@@ -1,0 +1,112 @@
+"""EXP-FINDERS — window quality across every single-window finder.
+
+Not a paper figure: a cross-cutting ablation that places all finders in
+this repository on the (start time, cost) plane for the same Section 5
+workload and request stream:
+
+* ALP (per-slot cap), AMP (budget) — the paper's algorithms,
+* first-fit (price-blind earliest) — the non-economic control,
+* cheapest-window — the cost-first O(m²) control,
+* backfill — the classic rectangular-window comparator,
+* utility (earliness+cost) — the ref. [7] style user-utility finder.
+
+Shape asserts encode the design space: first-fit is the earliest or
+tied-earliest everywhere; the cheapest-window finder pays the least; AMP
+starts no later than ALP; backfill (etalon durations, no speedup) never
+produces shorter executions than first-fit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines import (
+    backfill_find_window,
+    cheapest_find_window,
+    earliness_utility,
+    firstfit_find_window,
+    utility_find_window,
+)
+from repro.core import ResourceRequest
+from repro.core import alp, amp
+from repro.sim import JobGenerator, SlotGenerator, table
+
+from benchmarks.conftest import BENCH_SEED, report
+
+SAMPLES = 60
+
+FINDERS = {
+    "ALP": lambda slots, request: alp.find_window(slots, request),
+    "AMP": lambda slots, request: amp.find_window(slots, request),
+    "first-fit": firstfit_find_window,
+    "cheapest": cheapest_find_window,
+    "backfill": backfill_find_window,
+    "utility": lambda slots, request: utility_find_window(
+        slots, request, earliness_utility(start_weight=1.0, cost_weight=0.2)
+    ),
+}
+
+
+def _collect():
+    slot_generator = SlotGenerator(seed=BENCH_SEED + 7)
+    job_generator = JobGenerator(rng=slot_generator.rng)
+    stats = {
+        name: {"found": 0, "start": 0.0, "cost": 0.0, "length": 0.0}
+        for name in FINDERS
+    }
+    compared = 0
+    for _ in range(SAMPLES):
+        slots = slot_generator.generate()
+        request = job_generator.generate_request()
+        windows = {name: finder(slots, request) for name, finder in FINDERS.items()}
+        if any(window is None for window in windows.values()):
+            continue  # compare only mutually feasible requests
+        compared += 1
+        for name, window in windows.items():
+            bucket = stats[name]
+            bucket["found"] += 1
+            bucket["start"] += window.start
+            bucket["cost"] += window.cost
+            bucket["length"] += window.length
+    return stats, compared
+
+
+def test_finder_quality(benchmark, capsys):
+    stats, compared = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    assert compared > 10, "too few mutually feasible requests"
+
+    rows = []
+    means = {}
+    for name, bucket in stats.items():
+        count = max(1, bucket["found"])
+        means[name] = {
+            "start": bucket["start"] / count,
+            "cost": bucket["cost"] / count,
+            "length": bucket["length"] / count,
+        }
+        rows.append(
+            [
+                name,
+                f"{means[name]['start']:.1f}",
+                f"{means[name]['length']:.1f}",
+                f"{means[name]['cost']:.1f}",
+            ]
+        )
+    report(capsys, "=" * 72)
+    report(
+        capsys,
+        f"EXP-FINDERS — mean window quality over {compared} mutually feasible requests",
+    )
+    report(capsys, table(rows, header=["finder", "start", "exec time", "cost"]))
+
+    # First-fit is unconstrained-earliest: nobody starts earlier.
+    for name in ("ALP", "AMP", "cheapest", "utility", "backfill"):
+        assert means["first-fit"]["start"] <= means[name]["start"] + 1e-6
+    # The cheapest-window finder pays the least on average.
+    for name in ("ALP", "AMP", "first-fit", "utility"):
+        assert means["cheapest"]["cost"] <= means[name]["cost"] + 1e-6
+    # AMP's budget is a relaxation of ALP's cap: never later on average.
+    assert means["AMP"]["start"] <= means["ALP"]["start"] + 1e-6
+    # Backfill blocks etalon durations: executions at least as long as
+    # first-fit's heterogeneity-aware windows.
+    assert means["backfill"]["length"] >= means["first-fit"]["length"] - 1e-6

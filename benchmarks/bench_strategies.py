@@ -1,0 +1,96 @@
+"""EXP-STRAT — whole-batch co-scheduling strategies (Section 7 future work).
+
+The paper's future work proposes "slot selection for the whole job
+batch at once and not for each job consecutively", optimizing "on the
+fly".  We implemented three strategies (`repro.core.coschedule`) and
+compare them over the Section 5 workload:
+
+* SEQUENTIAL — the paper's consecutive scheme (baseline),
+* EARLIEST_FIRST — global on-the-fly ordering by earliest window,
+* CHEAPEST_FIRST — global ordering by cheapest window.
+
+Asserted shape: EARLIEST_FIRST never starts the batch later than
+SEQUENTIAL (its first commitment is the global earliest window), and
+CHEAPEST_FIRST never pays more than SEQUENTIAL on its first commitment.
+"""
+
+from __future__ import annotations
+
+from repro.core import BatchStrategy, SlotSearchAlgorithm, coallocate_batch
+from repro.sim import JobGenerator, SlotGenerator, table
+
+from benchmarks.conftest import BENCH_SEED, report
+
+SAMPLES = 40
+
+
+def _iterations():
+    slot_generator = SlotGenerator(seed=BENCH_SEED)
+    job_generator = JobGenerator(rng=slot_generator.rng)
+    for _ in range(SAMPLES):
+        yield slot_generator.generate(), job_generator.generate()
+
+
+def _run_all():
+    aggregates = {
+        strategy: {"first_start": 0.0, "cost": 0.0, "time": 0.0, "placed": 0, "batches": 0}
+        for strategy in BatchStrategy
+    }
+    for slots, batch in _iterations():
+        per_strategy = {}
+        for strategy in BatchStrategy:
+            assignment = coallocate_batch(
+                slots, batch, SlotSearchAlgorithm.AMP, strategy=strategy
+            )
+            per_strategy[strategy] = assignment
+        if any(not assignment.windows for assignment in per_strategy.values()):
+            continue
+        for strategy, assignment in per_strategy.items():
+            bucket = aggregates[strategy]
+            bucket["first_start"] += min(w.start for w in assignment.windows.values())
+            bucket["cost"] += assignment.total_cost
+            bucket["time"] += assignment.total_time
+            bucket["placed"] += len(assignment.windows)
+            bucket["batches"] += 1
+    return aggregates
+
+
+def test_batch_strategies(benchmark, capsys):
+    aggregates = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    for strategy, bucket in aggregates.items():
+        batches = max(1, bucket["batches"])
+        rows.append(
+            [
+                strategy.value,
+                str(bucket["batches"]),
+                f"{bucket['placed'] / batches:.2f}",
+                f"{bucket['first_start'] / batches:.1f}",
+                f"{bucket['time'] / batches:.1f}",
+                f"{bucket['cost'] / batches:.1f}",
+            ]
+        )
+    report(capsys, "=" * 72)
+    report(capsys, "EXP-STRAT — whole-batch strategies over the §5 workload (AMP)")
+    report(
+        capsys,
+        table(
+            rows,
+            header=["strategy", "batches", "placed/batch", "first start", "batch time", "batch cost"],
+        ),
+    )
+
+    sequential = aggregates[BatchStrategy.SEQUENTIAL]
+    earliest = aggregates[BatchStrategy.EARLIEST_FIRST]
+    cheapest = aggregates[BatchStrategy.CHEAPEST_FIRST]
+    assert sequential["batches"] > 0
+    # Global earliest-first commits the globally earliest window first,
+    # so its mean first-start can never exceed the sequential scheme's.
+    assert earliest["first_start"] <= sequential["first_start"] + 1e-6
+    # Cheapest-first trades start time for money.
+    batches = sequential["batches"]
+    assert cheapest["cost"] / batches <= sequential["cost"] / batches * 1.05
+    # All strategies place work on every counted batch.
+    for bucket in aggregates.values():
+        assert bucket["placed"] >= bucket["batches"]

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Extension scenario: schedule *strategies* surviving node failures.
+
+The paper closes with: "in the general case, a set of versions of
+scheduling, or a strategy, is required instead of a single version"
+(Section 7, refs [13, 14]).  This example builds such a strategy — four
+complete schedule versions of the same batch under different
+configurations — then fails nodes one by one and shows the strategy
+switching to the best surviving version *without rescheduling*.
+
+Run:  python examples/contingency_strategies.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    Criterion,
+    InfeasiblePolicy,
+    SchedulerConfig,
+    SlotSearchAlgorithm,
+    build_strategy,
+)
+from repro.sim import JobGenerator, SlotGenerator, table
+
+SEED = 2011
+
+
+def main() -> None:
+    slot_generator = SlotGenerator(seed=SEED)
+    job_generator = JobGenerator(rng=slot_generator.rng)
+    slots = slot_generator.generate()
+    batch = job_generator.generate()
+    print(f"environment: {len(slots)} vacant slots; batch: {len(batch)} jobs\n")
+
+    base = dict(infeasible_policy=InfeasiblePolicy.EARLIEST, max_alternatives_per_job=6)
+    configs = {
+        "amp/time": SchedulerConfig(
+            algorithm=SlotSearchAlgorithm.AMP, objective=Criterion.TIME, **base
+        ),
+        "amp/cost": SchedulerConfig(
+            algorithm=SlotSearchAlgorithm.AMP, objective=Criterion.COST, **base
+        ),
+        "amp/frugal": SchedulerConfig(
+            algorithm=SlotSearchAlgorithm.AMP, objective=Criterion.COST, rho=0.8, **base
+        ),
+        "alp/time": SchedulerConfig(
+            algorithm=SlotSearchAlgorithm.ALP, objective=Criterion.TIME, **base
+        ),
+    }
+    strategy = build_strategy(slots, batch, configs)
+
+    rows = [
+        [
+            version.name,
+            f"{version.scheduled_count}/{len(batch)}",
+            f"{version.total_time:.1f}",
+            f"{version.total_cost:.1f}",
+            str(len({r.uid for w in version.outcome.scheduled_jobs.values() for r in w.resources()})),
+        ]
+        for version in strategy
+    ]
+    print(table(rows, header=["version", "placed", "T(s̄)", "C(s̄)", "nodes used"]))
+
+    primary = strategy.best(Criterion.TIME)
+    print(f"\ncommitted version: {primary.name} "
+          f"(T={primary.total_time:.1f}, C={primary.total_cost:.1f})")
+
+    # Fail the committed version's nodes one at a time and switch.
+    used = sorted(
+        {
+            allocation.resource
+            for window in primary.outcome.scheduled_jobs.values()
+            for allocation in window.allocations
+        },
+        key=lambda resource: resource.uid,
+    )
+    failed: list[int] = []
+    for resource in used[:3]:
+        failed.append(resource.uid)
+        survivor = strategy.best_surviving(failed, Criterion.TIME)
+        if survivor is None:
+            print(f"after failing {len(failed)} node(s): no version survives — "
+                  "a rescheduling pass is unavoidable")
+            break
+        print(f"after failing {resource.name}: switch to {survivor.name} "
+              f"(T={survivor.total_time:.1f}, C={survivor.total_cost:.1f}, "
+              f"survives {len(strategy.surviving(failed))}/{len(strategy)} versions)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a small batch on a handful of priced nodes.
+
+Walks the full public API in ~60 lines:
+
+1. describe resources and publish their vacant slots,
+2. submit a batch of parallel jobs with economic requirements,
+3. find alternative windows with ALP and AMP,
+4. let the backward-run optimizer pick the batch-optimal combination.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    Batch,
+    BatchScheduler,
+    Criterion,
+    InfeasiblePolicy,
+    Job,
+    Resource,
+    ResourceRequest,
+    SchedulerConfig,
+    Slot,
+    SlotList,
+    SlotSearchAlgorithm,
+    find_alternatives,
+)
+
+
+def main() -> None:
+    # --- 1. The environment: six nodes, faster ones cost more. ---------
+    nodes = [
+        Resource("slow-a", performance=1.0, price=1.7),
+        Resource("slow-b", performance=1.0, price=1.6),
+        Resource("mid-a", performance=2.0, price=2.9),
+        Resource("mid-b", performance=2.0, price=3.1),
+        Resource("fast-a", performance=3.0, price=5.0),
+        Resource("fast-b", performance=3.0, price=4.8),
+    ]
+    slots = SlotList(Slot(node, 0.0, 500.0) for node in nodes)
+
+    # --- 2. The batch: two parallel jobs with price requirements. ------
+    render = Job(
+        ResourceRequest(node_count=2, volume=120.0, min_performance=1.0, max_price=3.0),
+        name="render",
+        priority=0,
+    )
+    analyze = Job(
+        ResourceRequest(node_count=3, volume=60.0, min_performance=2.0, max_price=4.0),
+        name="analyze",
+        priority=1,
+    )
+    batch = Batch([render, analyze])
+
+    # --- 3. Alternative search: ALP vs AMP on the same slots. ----------
+    for algorithm in SlotSearchAlgorithm:
+        result = find_alternatives(slots, batch, algorithm)
+        print(f"{algorithm.name}: {result.total_alternatives} alternatives "
+              f"({result.counts_by_job()})")
+
+    # --- 4. Full two-phase scheduling (AMP + time minimization). -------
+    config = SchedulerConfig(
+        algorithm=SlotSearchAlgorithm.AMP,
+        objective=Criterion.TIME,
+        infeasible_policy=InfeasiblePolicy.EARLIEST,
+    )
+    outcome = BatchScheduler(config).schedule(slots, batch)
+    budget_text = "-" if outcome.budget is None else f"{outcome.budget:.1f}"
+    print(f"\nquota T* = {outcome.quota:.1f}, budget B* = {budget_text}")
+    for job, window in outcome.scheduled_jobs.items():
+        nodes_used = ",".join(resource.name for resource in window.resources())
+        print(
+            f"  {job.name}: [{window.start:.0f}, {window.end:.0f}) on {nodes_used} "
+            f"(time {window.length:.0f}, cost {window.cost:.0f})"
+        )
+    print(
+        f"batch totals: time {outcome.combination.total_time:.0f}, "
+        f"cost {outcome.combination.total_cost:.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Domain scenario: a live virtual organization over many iterations.
+
+Builds the full grid substrate — two clusters of priced heterogeneous
+nodes, owner-local job flows making the resources non-dedicated — and
+runs the iterative metascheduler for a simulated day: global user jobs
+arrive over time, each iteration publishes fresh vacant slots, the
+two-phase scheduler commits windows, and unlucky jobs are postponed to
+later iterations exactly as Section 2 prescribes.
+
+Compares the AMP- and ALP-driven metascheduler end to end on identical
+environments, and contrasts both with price-blind EASY backfilling.
+
+Run:  python examples/vo_simulation.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import BackfillScheduler, BackfillVariant
+from repro.core import (
+    BatchScheduler,
+    Criterion,
+    InfeasiblePolicy,
+    Job,
+    SchedulerConfig,
+    SlotSearchAlgorithm,
+)
+from repro.grid import ClusterSpec, LocalJobFlow, Metascheduler, VOEnvironment
+from repro.sim import JobGenerator, table
+
+SEED = 7
+DAY = 3000.0
+JOB_COUNT = 30
+
+
+def build_environment() -> VOEnvironment:
+    """Two clusters with local load — rebuilt identically per scheduler."""
+    environment = VOEnvironment.generate(
+        [
+            ClusterSpec("hpc", node_count=8, performance_range=(1.5, 3.0)),
+            ClusterSpec("campus", node_count=10, performance_range=(1.0, 2.0)),
+        ],
+        seed=SEED,
+    )
+    flow = LocalJobFlow(seed=SEED)
+    for cluster in environment.clusters:
+        flow.occupy(cluster, 0.0, DAY + 2000.0)
+    return environment
+
+
+def submissions() -> list[tuple[float, Job]]:
+    """The same arrival stream for every scheduler under test."""
+    generator = JobGenerator(seed=SEED)
+    rng = random.Random(SEED)
+    jobs = []
+    for index in range(JOB_COUNT):
+        request = generator.generate_request()
+        jobs.append((rng.uniform(0.0, DAY * 0.6), Job(request, name=f"g{index}")))
+    return sorted(jobs, key=lambda pair: pair[0])
+
+
+def run_metascheduler(algorithm: SlotSearchAlgorithm) -> tuple[str, list[str]]:
+    environment = build_environment()
+    scheduler = BatchScheduler(
+        SchedulerConfig(
+            algorithm=algorithm,
+            objective=Criterion.TIME,
+            infeasible_policy=InfeasiblePolicy.EARLIEST,
+        )
+    )
+    meta = Metascheduler(environment, scheduler, period=100.0, horizon=1200.0)
+    for at_time, job in submissions():
+        meta.submit(job, at_time=at_time)
+    meta.run(until=DAY)
+    summary = meta.trace.summary()
+    postponements = sum(report.postponed for report in meta.reports)
+    return (
+        f"metascheduler+{algorithm.name}",
+        [
+            f"{summary.scheduled}/{summary.submitted}",
+            f"{summary.mean_wait_time:.1f}" if summary.mean_wait_time is not None else "-",
+            f"{summary.mean_execution_time:.1f}" if summary.mean_execution_time else "-",
+            f"{summary.mean_cost:.1f}" if summary.mean_cost else "-",
+            str(postponements),
+        ],
+    )
+
+
+def run_backfill() -> tuple[str, list[str]]:
+    environment = build_environment()
+    nodes = [node for cluster in environment.clusters for node in cluster]
+    scheduler = BackfillScheduler(nodes, variant=BackfillVariant.EASY)
+    stream = submissions()
+    assignments = scheduler.schedule([job for _, job in stream], now=0.0)
+    by_name = {assignment.job.name: assignment for assignment in assignments}
+    waits, execs, costs = [], [], []
+    for at_time, job in stream:
+        assignment = by_name.get(job.name)
+        if assignment is None:
+            continue
+        waits.append(max(0.0, assignment.start - at_time))
+        execs.append(assignment.duration)
+        costs.append(assignment.cost)
+    mean = lambda xs: sum(xs) / len(xs) if xs else float("nan")
+    return (
+        "EASY backfill (price-blind)",
+        [
+            f"{len(assignments)}/{len(stream)}",
+            f"{mean(waits):.1f}",
+            f"{mean(execs):.1f}",
+            f"{mean(costs):.1f}",
+            "-",
+        ],
+    )
+
+
+def main() -> None:
+    rows = []
+    for algorithm in (SlotSearchAlgorithm.AMP, SlotSearchAlgorithm.ALP):
+        name, cells = run_metascheduler(algorithm)
+        rows.append([name] + cells)
+    name, cells = run_backfill()
+    rows.append([name] + cells)
+    print(
+        table(
+            rows,
+            header=["scheduler", "placed", "mean wait", "mean exec", "mean cost", "postponements"],
+        )
+    )
+    print(
+        "\nnotes: backfill blocks whole etalon durations (no speedup from fast\n"
+        "nodes) and ignores prices entirely; the economic schedulers trade a\n"
+        "little money for much shorter executions, AMP more aggressively than ALP."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``python setup.py develop`` works on minimal environments
+without the ``wheel`` package (PEP 660 editable installs require it).
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

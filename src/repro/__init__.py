@@ -1,0 +1,65 @@
+"""repro — economic slot selection and co-allocation for distributed computing.
+
+A production-quality reproduction of:
+
+    V. Toporkov, A. Bobchenkov, A. Toporkova, A. Tselishchev,
+    D. Yemelyanov.  *Slot Selection and Co-allocation for Economic
+    Scheduling in Distributed Computing.*  PaCT 2011, LNCS 6873,
+    pp. 368-383.
+
+Packages:
+
+* :mod:`repro.core` — data model, the ALP/AMP slot-search algorithms,
+  multi-pass alternative search, and the backward-run combination
+  optimizer (the paper's contribution).
+* :mod:`repro.grid` — the virtual-organization substrate: priced nodes,
+  clusters, local job flows, occupancy schedules, vacant-slot extraction,
+  and the iterative metascheduler.
+* :mod:`repro.baselines` — backfilling (EASY and conservative),
+  first-fit, and greedy comparators.
+* :mod:`repro.sim` — the Section 5 simulation study: slot/job
+  generators, experiment runner, statistics, and figure regeneration.
+* :mod:`repro.examples_data` — the deterministic Section 4 worked
+  example environment.
+"""
+
+from repro.core import (
+    Batch,
+    BatchScheduler,
+    Combination,
+    Criterion,
+    Job,
+    Resource,
+    ResourceRequest,
+    ScheduleOutcome,
+    SchedulerConfig,
+    SchedulingError,
+    SearchResult,
+    Slot,
+    SlotList,
+    SlotSearchAlgorithm,
+    Window,
+    find_alternatives,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Resource",
+    "Slot",
+    "SlotList",
+    "Window",
+    "ResourceRequest",
+    "Job",
+    "Batch",
+    "SlotSearchAlgorithm",
+    "find_alternatives",
+    "SearchResult",
+    "Criterion",
+    "Combination",
+    "BatchScheduler",
+    "SchedulerConfig",
+    "ScheduleOutcome",
+    "SchedulingError",
+]

@@ -1,0 +1,41 @@
+"""Baseline schedulers the paper compares against (or that we add as controls).
+
+* :mod:`repro.baselines.backfill` — classic backfilling (refs [11, 12]):
+  the O(m²) slot-list window finder used in the complexity benchmark,
+  plus queue-based conservative/EASY variants over grid nodes.
+* :mod:`repro.baselines.firstfit` — earliest window, price-blind (ALP
+  without its price condition): the non-economic control.
+* :mod:`repro.baselines.greedy` — globally cheapest window (O(m²)): the
+  cost-first ablation point.
+
+All window finders share the :data:`repro.core.search.WindowFinder`
+signature, so each can drive the multi-pass alternative search.
+"""
+
+from repro.baselines.backfill import (
+    BackfillAssignment,
+    BackfillScheduler,
+    BackfillVariant,
+    backfill_find_window,
+)
+from repro.baselines.firstfit import firstfit_find_window
+from repro.baselines.greedy import cheapest_find_window
+from repro.baselines.utility import (
+    UtilityFunction,
+    deadline_utility,
+    earliness_utility,
+    utility_find_window,
+)
+
+__all__ = [
+    "backfill_find_window",
+    "BackfillScheduler",
+    "BackfillVariant",
+    "BackfillAssignment",
+    "firstfit_find_window",
+    "cheapest_find_window",
+    "UtilityFunction",
+    "earliness_utility",
+    "deadline_utility",
+    "utility_find_window",
+]

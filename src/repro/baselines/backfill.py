@@ -1,0 +1,243 @@
+"""Backfilling baselines (paper refs [11, 12], discussed in Section 3).
+
+The paper positions ALP/AMP against backfilling: "the backfill algorithm
+has quadratic complexity O(m²)... able to find a rectangular window of
+concurrent slots... provided that all available computational nodes have
+equal performance, and tasks of any job have identical resource
+requirements".  This module implements that comparator twice:
+
+* :func:`backfill_find_window` — a slot-list window finder with exactly
+  the classic backfill assumptions (etalon runtimes, no prices, all
+  candidate start times probed → O(m²)).  It is WindowFinder-compatible,
+  so the alternative-search scheme and the benchmarks can swap it in for
+  ALP/AMP directly.
+* :class:`BackfillScheduler` — a queue-based scheduler over grid nodes
+  with *conservative* and *EASY* variants, for end-to-end comparisons on
+  the grid substrate.
+
+Both deliberately ignore resource prices: backfilling predates economic
+scheduling, which is the gap the paper's algorithms fill.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import InvalidRequestError
+from repro.core.job import Job, ResourceRequest
+from repro.core.slot import Slot, SlotList
+from repro.core.window import TaskAllocation, Window
+from repro.grid.node import ComputeNode
+
+__all__ = [
+    "backfill_find_window",
+    "BackfillVariant",
+    "BackfillAssignment",
+    "BackfillScheduler",
+]
+
+
+def backfill_find_window(slot_list: SlotList, request: ResourceRequest) -> Window | None:
+    """Classic backfill window search on a slot list — O(m²).
+
+    Probes *every* slot start time as a candidate window start and, for
+    each, scans the whole list counting slots that cover
+    ``[T, T + volume)`` — the paper's characterization of backfilling's
+    quadratic cost.  Matching backfill's homogeneity assumption, the task
+    runtime is the request's etalon volume on every node (performance
+    differences are ignored — conservatively, since real runtimes on
+    ``P >= 1`` nodes are shorter), and prices are ignored entirely.
+
+    Returns the earliest rectangular window of ``request.node_count``
+    concurrent slots, or ``None``.
+    """
+    duration = request.volume
+    for candidate in slot_list:
+        window_start = candidate.start
+        window_end = window_start + duration
+        chosen: list[Slot] = []
+        taken_resources: set[int] = set()
+        for slot in slot_list:
+            if slot.start > window_start:
+                break
+            if slot.resource.uid in taken_resources:
+                continue
+            if not request.admits_performance(slot.resource):
+                continue
+            if slot.contains_span(window_start, window_end):
+                chosen.append(slot)
+                taken_resources.add(slot.resource.uid)
+                if len(chosen) == request.node_count:
+                    allocations = [
+                        TaskAllocation(slot, window_start, window_end)
+                        for slot in chosen
+                    ]
+                    return Window(request, allocations)
+    return None
+
+
+class BackfillVariant(enum.Enum):
+    """Reservation policies of queue-based backfilling."""
+
+    #: Every queued job receives a reservation immediately, in queue
+    #: order; later jobs fill earlier holes only if a hole fits them
+    #: (Maui-style conservative backfilling, ref. [12]).
+    CONSERVATIVE = "conservative"
+    #: Only the queue head holds a reservation; other jobs may run only
+    #: if they finish before the head's reserved start (or don't touch
+    #: its nodes) — EASY backfilling, ref. [11].
+    EASY = "easy"
+
+
+@dataclass(frozen=True)
+class BackfillAssignment:
+    """One job's placement produced by :class:`BackfillScheduler`."""
+
+    job: Job
+    start: float
+    end: float
+    nodes: tuple[ComputeNode, ...]
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration of the placement."""
+        return self.end - self.start
+
+    @property
+    def cost(self) -> float:
+        """What the placement would cost at the nodes' posted prices.
+
+        Backfilling itself is price-blind; the cost is computed only so
+        the benchmarks can compare economics across schedulers.
+        """
+        return sum(node.price for node in self.nodes) * self.duration
+
+
+class BackfillScheduler:
+    """Queue-based backfilling over grid compute nodes.
+
+    The scheduler plans against the nodes' occupancy schedules and
+    *commits* reservations for every placement (so runs are directly
+    comparable with the metascheduler's committed windows).  Task
+    duration is the request's etalon volume on every chosen node —
+    backfill's equal-performance assumption.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[ComputeNode],
+        *,
+        variant: BackfillVariant = BackfillVariant.CONSERVATIVE,
+        horizon: float = 1e7,
+    ) -> None:
+        if not nodes:
+            raise InvalidRequestError("backfill scheduler needs at least one node")
+        if horizon <= 0:
+            raise InvalidRequestError(f"horizon must be positive, got {horizon!r}")
+        self.nodes = list(nodes)
+        self.variant = variant
+        self.horizon = horizon
+
+    # ------------------------------------------------------------------ #
+    # Placement primitives                                               #
+    # ------------------------------------------------------------------ #
+
+    def _candidate_starts(self, now: float) -> list[float]:
+        starts = {now}
+        for node in self.nodes:
+            for interval in node.schedule:
+                if now <= interval.end <= now + self.horizon:
+                    starts.add(interval.end)
+        return sorted(starts)
+
+    def _free_nodes_at(self, start: float, duration: float, request: ResourceRequest) -> list[ComputeNode]:
+        return [
+            node
+            for node in self.nodes
+            if request.admits_performance(node.resource)
+            and node.schedule.is_free(start, start + duration)
+        ]
+
+    def earliest_start(self, request: ResourceRequest, now: float) -> tuple[float, list[ComputeNode]] | None:
+        """Earliest time ``>= now`` at which the job could be co-allocated.
+
+        Probes ``now`` and every reservation end (the only times the free
+        node count increases).  Quadratic in the number of reservations.
+        """
+        duration = request.volume
+        for start in self._candidate_starts(now):
+            free = self._free_nodes_at(start, duration, request)
+            if len(free) >= request.node_count:
+                return start, free[: request.node_count]
+        return None
+
+    def _place(self, job: Job, start: float, nodes: list[ComputeNode]) -> BackfillAssignment:
+        end = start + job.request.volume
+        for node in nodes:
+            node.reserve_for(job.name, start, end)
+        return BackfillAssignment(job=job, start=start, end=end, nodes=tuple(nodes))
+
+    # ------------------------------------------------------------------ #
+    # Queue policies                                                     #
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, jobs: Sequence[Job], now: float = 0.0) -> list[BackfillAssignment]:
+        """Place every job of the queue; returns assignments in queue order.
+
+        Jobs that cannot be placed within the horizon are skipped (their
+        assignment is simply absent from the result).
+        """
+        if self.variant is BackfillVariant.CONSERVATIVE:
+            return self._schedule_conservative(jobs, now)
+        return self._schedule_easy(jobs, now)
+
+    def _schedule_conservative(self, jobs: Sequence[Job], now: float) -> list[BackfillAssignment]:
+        assignments = []
+        for job in jobs:
+            found = self.earliest_start(job.request, now)
+            if found is None:
+                continue
+            start, nodes = found
+            assignments.append(self._place(job, start, nodes))
+        return assignments
+
+    def _schedule_easy(self, jobs: Sequence[Job], now: float) -> list[BackfillAssignment]:
+        """EASY backfilling: one reservation (queue head), aggressive fill.
+
+        The head of the remaining queue gets the earliest reservation.
+        Every other job is backfilled only if its placement finishes by
+        the head's reserved start or avoids the head's nodes entirely —
+        the classic "don't delay the first job" guarantee.  The loop then
+        repeats with the next unplaced head.
+        """
+        assignments: list[BackfillAssignment] = []
+        remaining = list(jobs)
+        while remaining:
+            head, *rest = remaining
+            found = self.earliest_start(head.request, now)
+            placed_head = None
+            if found is not None:
+                start, nodes = found
+                placed_head = self._place(head, start, nodes)
+                assignments.append(placed_head)
+            still_waiting: list[Job] = []
+            for job in rest:
+                found = self.earliest_start(job.request, now)
+                if found is None:
+                    continue
+                start, nodes = found
+                end = start + job.request.volume
+                safe = placed_head is None or end <= placed_head.start or not (
+                    set(node.resource.uid for node in nodes)
+                    & set(node.resource.uid for node in placed_head.nodes)
+                )
+                if safe:
+                    assignments.append(self._place(job, start, nodes))
+                else:
+                    still_waiting.append(job)
+            if len(still_waiting) == len(rest) and placed_head is None:
+                break  # no progress possible
+            remaining = still_waiting
+        return assignments

@@ -1,0 +1,27 @@
+"""First-fit window finder — the price-blind control baseline.
+
+First fit takes the earliest window of ``N`` suited slots while ignoring
+every economic attribute.  It is exactly ALP with condition 2°c switched
+off (equivalently AMP with an infinite budget), exposed as its own named
+finder so that experiments can quote a non-economic control: the gap
+between first-fit and ALP/AMP isolates what the *price* machinery costs
+or buys.
+"""
+
+from __future__ import annotations
+
+from repro.core import alp
+from repro.core.job import ResourceRequest
+from repro.core.slot import SlotList
+from repro.core.window import Window
+
+__all__ = ["firstfit_find_window"]
+
+
+def firstfit_find_window(slot_list: SlotList, request: ResourceRequest) -> Window | None:
+    """Earliest window of ``N`` performance/length-suited slots.
+
+    Prices and budgets are ignored; performance (condition 2°a) and
+    length (2°b) still apply, so the result is always executable.
+    """
+    return alp.find_window(slot_list, request, check_price=False)

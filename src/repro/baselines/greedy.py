@@ -1,0 +1,56 @@
+"""Greedy cheapest-window finder — a cost-first comparator.
+
+Where ALP/AMP return the *earliest* acceptable window, this baseline
+scans every candidate start time and returns the globally *cheapest*
+window in the list (earliest among ties).  It trades the linear
+complexity of the paper's algorithms for O(m²) probing, and start time
+for cost — the opposite corner of the design space, which makes it a
+useful ablation point for the benchmarks: how much cost does AMP's
+earliest-fit greed actually leave on the table?
+"""
+
+from __future__ import annotations
+
+from repro.core.alp import ForwardScan
+from repro.core.amp import cheapest_subset
+from repro.core.job import ResourceRequest
+from repro.core.slot import SlotList
+from repro.core.window import Window
+
+__all__ = ["cheapest_find_window"]
+
+
+def cheapest_find_window(
+    slot_list: SlotList,
+    request: ResourceRequest,
+    *,
+    budget: float | None = None,
+) -> Window | None:
+    """The cheapest feasible window in the whole list.
+
+    Args:
+        slot_list: Ordered vacant slots.
+        request: The job's request; performance and length conditions
+            apply per slot, and the budget bounds the window total.
+        budget: Cost cap; defaults to ``request.budget``.
+
+    Returns:
+        The minimum-cost window of ``request.node_count`` slots whose
+        total cost fits the budget; ties broken toward earlier starts.
+        ``None`` when no candidate start admits a feasible window.
+    """
+    if budget is None:
+        budget = request.budget
+    best: Window | None = None
+    scan = ForwardScan(request, check_price=False)
+    for slot in slot_list:
+        if not scan.offer(slot):
+            continue
+        if scan.size < request.node_count:
+            continue
+        chosen, total_cost = cheapest_subset(scan.candidates, request)
+        if total_cost > budget:
+            continue
+        if best is None or total_cost < best.cost - 1e-12:
+            best = scan.build_window(chosen)
+    return best

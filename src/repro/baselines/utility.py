@@ -1,0 +1,124 @@
+"""Utility-function slot selection — the ref. [7] style comparator.
+
+The paper's introduction cites Ernemann et al. (ref. [7]) for "heuristic
+algorithms for slot selection based on user defined utility functions".
+This baseline implements that family over our slot model: the user
+supplies a utility ``U(window)`` and the finder returns the feasible
+window maximizing it, scanning every candidate start time (O(m²), like
+the greedy baseline).
+
+Two stock utilities cover the common cases:
+
+* :func:`earliness_utility` — rewards early starts, penalizes cost:
+  ``U = -(start_weight · start + cost_weight · cost)``.  With
+  ``cost_weight = 0`` this reduces to first-fit; with
+  ``start_weight = 0`` to the cheapest-window baseline — so the utility
+  finder generalizes both.
+* :func:`deadline_utility` — full value before a deadline, linear decay
+  to zero afterwards, minus a cost term: the classic soft-deadline
+  shape of economic grid scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.alp import ForwardScan
+from repro.core.amp import cheapest_subset
+from repro.core.errors import InvalidRequestError
+from repro.core.job import ResourceRequest
+from repro.core.slot import SlotList
+from repro.core.window import Window
+
+__all__ = ["UtilityFunction", "earliness_utility", "deadline_utility", "utility_find_window"]
+
+#: A utility function scores a candidate window; higher is better.
+UtilityFunction = Callable[[Window], float]
+
+
+def earliness_utility(*, start_weight: float = 1.0, cost_weight: float = 0.0) -> UtilityFunction:
+    """Linear earliness/cost utility ``U = -(w_s·start + w_c·cost)``.
+
+    Raises:
+        InvalidRequestError: For negative weights or both zero.
+    """
+    if start_weight < 0 or cost_weight < 0 or start_weight + cost_weight == 0:
+        raise InvalidRequestError(
+            f"weights must be non-negative and not both zero, got "
+            f"({start_weight!r}, {cost_weight!r})"
+        )
+
+    def utility(window: Window) -> float:
+        return -(start_weight * window.start + cost_weight * window.cost)
+
+    return utility
+
+
+def deadline_utility(
+    deadline: float,
+    *,
+    value: float = 1000.0,
+    decay: float = 1.0,
+    cost_weight: float = 1.0,
+) -> UtilityFunction:
+    """Soft-deadline utility: full ``value`` if the job *finishes* by
+    ``deadline``, linearly decaying by ``decay`` per time unit late,
+    minus ``cost_weight · cost``.
+
+    Raises:
+        InvalidRequestError: For non-positive value/decay or negative
+            cost weight.
+    """
+    if value <= 0 or decay <= 0 or cost_weight < 0:
+        raise InvalidRequestError(
+            f"need value > 0, decay > 0, cost_weight >= 0; got "
+            f"({value!r}, {decay!r}, {cost_weight!r})"
+        )
+
+    def utility(window: Window) -> float:
+        lateness = max(0.0, window.end - deadline)
+        return value - decay * lateness - cost_weight * window.cost
+
+    return utility
+
+
+def utility_find_window(
+    slot_list: SlotList,
+    request: ResourceRequest,
+    utility: UtilityFunction,
+    *,
+    budget: float | None = None,
+) -> Window | None:
+    """The feasible window maximizing ``utility`` over the whole list.
+
+    Candidate windows are generated exactly as AMP generates them — at
+    every slot-start event, the ``N`` cheapest alive candidates — so the
+    search space matches the economic model; ``utility`` then ranks the
+    candidates instead of the earliest-fit rule.
+
+    Args:
+        budget: Optional cost cap (defaults to ``request.budget``).
+
+    Returns:
+        The best-utility window, or ``None`` when no feasible candidate
+        exists.  Ties resolve to the earlier-generated candidate.
+    """
+    if budget is None:
+        budget = request.budget
+    best: Window | None = None
+    best_utility = float("-inf")
+    scan = ForwardScan(request, check_price=False)
+    for slot in slot_list:
+        if not scan.offer(slot):
+            continue
+        if scan.size < request.node_count:
+            continue
+        chosen, total_cost = cheapest_subset(scan.candidates, request)
+        if total_cost > budget:
+            continue
+        candidate = scan.build_window(chosen)
+        candidate_utility = utility(candidate)
+        if candidate_utility > best_utility:
+            best = candidate
+            best_utility = candidate_utility
+    return best

@@ -1,0 +1,273 @@
+"""Command-line interface for the reproduction.
+
+Subcommands:
+
+* ``experiment`` — run the Section 5 study (time or cost minimization)
+  and print the summary table plus the corresponding figure panels;
+* ``example``    — replay the Section 4 worked example with a Gantt
+  chart of the alternatives found;
+* ``figures``    — regenerate one specific paper figure (4, 5 or 6);
+* ``complexity`` — time ALP/AMP vs backfilling over growing slot lists;
+* ``vo``         — run the iterative metascheduler against a synthetic
+  virtual organization and print the workload-trace summary.
+
+Examples::
+
+    repro-scheduler experiment --objective time --iterations 2000
+    repro-scheduler figures --figure 6 --iterations 1000 --seed 7
+    repro-scheduler example
+    repro-scheduler vo --until 2000 --jobs 25
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import Sequence
+
+from repro.core import Criterion, Job, SlotSearchAlgorithm
+from repro.core import alp as alp_module
+from repro.core import amp as amp_module
+from repro.sim import (
+    ExperimentConfig,
+    ExperimentRunner,
+    JobGenerator,
+    SlotGenerator,
+    SlotGeneratorConfig,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _run_experiment(objective: Criterion, iterations: int, seed: int, rho: float):
+    config = ExperimentConfig(
+        objective=objective, iterations=iterations, seed=seed, rho=rho
+    )
+    return ExperimentRunner(config).run()
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.sim import render_figure4, render_figure5, render_figure6, summarize, summary_table
+
+    objective = Criterion(args.objective)
+    result = _run_experiment(objective, args.iterations, args.seed, args.rho)
+    print(summary_table(summarize(result)))
+    print()
+    if objective is Criterion.TIME:
+        print(render_figure4(result))
+        print()
+        print(render_figure5(result, first_n=min(300, result.counted)))
+    else:
+        print(render_figure6(result))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.sim import render_figure4, render_figure5, render_figure6
+
+    objective = Criterion.COST if args.figure == 6 else Criterion.TIME
+    result = _run_experiment(objective, args.iterations, args.seed, rho=1.0)
+    if args.figure == 4:
+        print(render_figure4(result))
+    elif args.figure == 5:
+        print(render_figure5(result, first_n=min(args.first_n, result.counted)))
+    else:
+        print(render_figure6(result))
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    from repro.core import find_alternatives
+    from repro.examples_data import HORIZON, build_example
+    from repro.sim.gantt import GanttChart
+
+    example = build_example()
+    algorithm = SlotSearchAlgorithm(args.algorithm)
+    result = find_alternatives(example.slots, example.batch, algorithm)
+    chart = GanttChart(HORIZON)
+    chart.paint_slots(example.slots)
+    labelled = [
+        (f"{job.name}#{index + 1}", window)
+        for job, windows in result.alternatives.items()
+        for index, window in enumerate(windows)
+    ]
+    chart.paint_windows(labelled)
+    print(chart.render(title=f"Section 4 example — all {algorithm.name} alternatives"))
+    print()
+    for job, windows in result.alternatives.items():
+        print(f"{job.name}: {len(windows)} alternatives")
+    return 0
+
+
+def _cmd_complexity(args: argparse.Namespace) -> int:
+    from repro.baselines import backfill_find_window
+    from repro.core import ResourceRequest
+    from repro.sim import table
+
+    rows = []
+    for count in args.sizes:
+        config = SlotGeneratorConfig(slot_count_range=(count, count))
+        slots = SlotGenerator(config, seed=args.seed).generate()
+        request = ResourceRequest(node_count=4, volume=100.0, max_price=4.0)
+        timings = {}
+        for label, finder in (
+            ("ALP", lambda s, r: alp_module.find_window(s, r)),
+            ("AMP", lambda s, r: amp_module.find_window(s, r)),
+            ("backfill", backfill_find_window),
+        ):
+            started = time.perf_counter()
+            for _ in range(args.repeats):
+                finder(slots, request)
+            timings[label] = (time.perf_counter() - started) / args.repeats
+        rows.append(
+            [str(count)] + [f"{timings[name] * 1e3:.3f}" for name in ("ALP", "AMP", "backfill")]
+        )
+    print(table(rows, header=["slots", "ALP ms", "AMP ms", "backfill ms"]))
+    return 0
+
+
+def _cmd_vo(args: argparse.Namespace) -> int:
+    from repro.grid import ClusterSpec, LocalJobFlow, Metascheduler, VOEnvironment
+
+    environment = VOEnvironment.generate(
+        [
+            ClusterSpec("alpha", node_count=args.nodes // 2),
+            ClusterSpec("beta", node_count=args.nodes - args.nodes // 2),
+        ],
+        seed=args.seed,
+    )
+    flow = LocalJobFlow(seed=args.seed)
+    for cluster in environment.clusters:
+        flow.occupy(cluster, 0.0, args.until + 1000.0)
+    meta = Metascheduler(environment, period=args.period, horizon=args.horizon)
+    generator = JobGenerator(seed=args.seed)
+    rng = random.Random(args.seed)
+    for index in range(args.jobs):
+        request = generator.generate_request()
+        meta.submit(Job(request, name=f"user-job{index}"), at_time=rng.uniform(0.0, args.until / 2))
+    meta.run(until=args.until)
+    print(meta.trace.summary())
+    print(
+        f"iterations: {len(meta.reports)}, backlog: {meta.backlog()}, "
+        f"utilization: {environment.utilization(0.0, args.until):.2%}"
+    )
+    if args.statements:
+        from repro.grid import owner_statement, user_statement
+
+        print("\nowners' statement:")
+        print(owner_statement(environment, 0.0, args.until + args.horizon).render())
+        print("\nusers' statement:")
+        print(user_statement(meta.trace).render())
+    else:
+        print(
+            f"owner income: {environment.total_income(0.0, args.until + args.horizon):.2f} "
+            "(pass --statements for full billing)"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.sensitivity import render_sweep, sweep
+
+    points = sweep(
+        args.parameter,
+        args.values,
+        objective=Criterion(args.objective),
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    print(render_sweep(points))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.sim.reporting import experiments_report
+
+    print(experiments_report(iterations=args.iterations, seed=args.seed))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scheduler",
+        description="Economic slot selection and co-allocation (PaCT 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser("experiment", help="run the Section 5 study")
+    experiment.add_argument("--objective", choices=["time", "cost"], default="time")
+    experiment.add_argument("--iterations", type=int, default=1000)
+    experiment.add_argument("--seed", type=int, default=20110368)
+    experiment.add_argument("--rho", type=float, default=1.0)
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    figures = sub.add_parser("figures", help="regenerate one paper figure")
+    figures.add_argument("--figure", type=int, choices=[4, 5, 6], required=True)
+    figures.add_argument("--iterations", type=int, default=1000)
+    figures.add_argument("--seed", type=int, default=20110368)
+    figures.add_argument("--first-n", type=int, default=300, dest="first_n")
+    figures.set_defaults(handler=_cmd_figures)
+
+    example = sub.add_parser("example", help="replay the Section 4 worked example")
+    example.add_argument("--algorithm", choices=["alp", "amp"], default="amp")
+    example.set_defaults(handler=_cmd_example)
+
+    complexity = sub.add_parser("complexity", help="ALP/AMP vs backfill timing")
+    complexity.add_argument("--sizes", type=int, nargs="+", default=[200, 400, 800, 1600])
+    complexity.add_argument("--repeats", type=int, default=5)
+    complexity.add_argument("--seed", type=int, default=1)
+    complexity.set_defaults(handler=_cmd_complexity)
+
+    vo = sub.add_parser("vo", help="iterative metascheduler demo")
+    vo.add_argument("--nodes", type=int, default=12)
+    vo.add_argument("--jobs", type=int, default=20)
+    vo.add_argument("--until", type=float, default=2000.0)
+    vo.add_argument("--period", type=float, default=100.0)
+    vo.add_argument("--horizon", type=float, default=800.0)
+    vo.add_argument("--seed", type=int, default=7)
+    vo.add_argument(
+        "--statements",
+        action="store_true",
+        help="print the owners' and users' billing statements",
+    )
+    vo.set_defaults(handler=_cmd_vo)
+
+    sweep = sub.add_parser("sweep", help="parameter-sensitivity sweep")
+    sweep.add_argument(
+        "--parameter",
+        required=True,
+        choices=[
+            "performance_ceiling",
+            "same_start_probability",
+            "slot_count",
+            "price_cap_ceiling",
+        ],
+    )
+    sweep.add_argument("--values", type=float, nargs="+", required=True)
+    sweep.add_argument("--objective", choices=["time", "cost"], default="time")
+    sweep.add_argument("--iterations", type=int, default=150)
+    sweep.add_argument("--seed", type=int, default=20110368)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report", help="generate the EXPERIMENTS.md paper-vs-measured report"
+    )
+    report.add_argument("--iterations", type=int, default=2000)
+    report.add_argument("--seed", type=int, default=20110368)
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""Schedule auditing — independent verification of scheduler output.
+
+A downstream VO operator should not have to trust the scheduler: this
+module re-checks, from first principles, everything a committed
+schedule promises.  It is also what the integration tests and the
+failure-injection experiments use to prove invariants.
+
+Checks performed by :func:`audit_windows` / :func:`audit_outcome`:
+
+* **contract** — every window satisfies its job's request (node count,
+  distinct resources, synchronous start, minimum performance, runtimes,
+  per-slot price cap or budget, per the algorithm used);
+* **disjointness** — no two windows share processor time (the guarantee
+  the phase-2 DP relies on);
+* **containment** — every task placement lies inside a vacant slot of
+  the reference slot list (nothing was scheduled on occupied time);
+* **constraints** — the chosen combination respects the VO budget
+  ``B*`` / quota ``T*`` it was optimized under.
+
+Auditors *collect* violations instead of raising, so operators can log
+all problems of a bad schedule at once; :func:`require_valid` converts
+to an exception for test use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.errors import SchedulingError
+from repro.core.job import Job
+from repro.core.scheduler import ScheduleOutcome
+from repro.core.search import SlotSearchAlgorithm
+from repro.core.slot import SlotList
+from repro.core.window import Window
+
+__all__ = ["Violation", "audit_windows", "audit_outcome", "require_valid", "AuditError"]
+
+
+class AuditError(SchedulingError):
+    """Raised by :func:`require_valid` when an audit finds violations."""
+
+    def __init__(self, violations: list["Violation"]) -> None:
+        super().__init__(
+            f"{len(violations)} audit violation(s): "
+            + "; ".join(violation.message for violation in violations[:5])
+        )
+        #: The full violation list.
+        self.violations = violations
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One audit finding.
+
+    Attributes:
+        kind: Violation family: ``"contract"``, ``"overlap"``,
+            ``"containment"``, or ``"constraint"``.
+        message: Human-readable description.
+        job_name: The offending job, when attributable to one.
+    """
+
+    kind: str
+    message: str
+    job_name: str | None = None
+
+
+def _check_contract(
+    job: Job, window: Window, algorithm: SlotSearchAlgorithm | None
+) -> list[Violation]:
+    if algorithm is None:
+        # Unknown algorithm: check the physical contract only (node
+        # count, performance, runtimes) — an infinite budget disables
+        # both price checks.
+        budget: float | None = float("inf")
+    elif algorithm is SlotSearchAlgorithm.AMP:
+        budget = job.request.budget
+    else:
+        budget = None
+    if window.satisfies(job.request, budget=budget):
+        return []
+    return [
+        Violation(
+            kind="contract",
+            message=f"window of {job.name!r} violates its resource request",
+            job_name=job.name,
+        )
+    ]
+
+
+def _check_containment(job: Job, window: Window, slot_list: SlotList) -> list[Violation]:
+    violations = []
+    for allocation in window.allocations:
+        contained = any(
+            slot.resource == allocation.resource
+            and slot.contains_span(allocation.start, allocation.end)
+            for slot in slot_list.slots_on(allocation.resource)
+        )
+        if not contained:
+            violations.append(
+                Violation(
+                    kind="containment",
+                    message=(
+                        f"{job.name!r} occupies [{allocation.start:g}, "
+                        f"{allocation.end:g}) on {allocation.resource.name!r} "
+                        "outside any vacant slot"
+                    ),
+                    job_name=job.name,
+                )
+            )
+    return violations
+
+
+def audit_windows(
+    windows: Mapping[Job, Window],
+    *,
+    slot_list: SlotList | None = None,
+    algorithm: SlotSearchAlgorithm | None = None,
+    budget_limit: float | None = None,
+    time_quota: float | None = None,
+) -> list[Violation]:
+    """Audit a job → window assignment.
+
+    Args:
+        windows: The committed assignment.
+        slot_list: The vacant-slot list the schedule was built against;
+            enables the containment check when given.
+        algorithm: The phase-1 algorithm used; selects the price check
+            (per-slot cap for ALP, budget for AMP, neither when None).
+        budget_limit: The ``B*`` the combination was optimized under.
+        time_quota: The ``T*`` the combination was optimized under.
+
+    Returns:
+        All violations found (empty list = schedule is sound).
+    """
+    violations: list[Violation] = []
+    for job, window in windows.items():
+        violations.extend(_check_contract(job, window, algorithm))
+        if slot_list is not None:
+            violations.extend(_check_containment(job, window, slot_list))
+    for (job_a, win_a), (job_b, win_b) in itertools.combinations(windows.items(), 2):
+        if win_a.intersects(win_b):
+            violations.append(
+                Violation(
+                    kind="overlap",
+                    message=f"windows of {job_a.name!r} and {job_b.name!r} share processor time",
+                )
+            )
+    total_cost = sum(window.cost for window in windows.values())
+    total_time = sum(window.length for window in windows.values())
+    if budget_limit is not None and total_cost > budget_limit * (1 + 1e-2) + 1e-9:
+        violations.append(
+            Violation(
+                kind="constraint",
+                message=f"total cost {total_cost:g} exceeds budget {budget_limit:g}",
+            )
+        )
+    if time_quota is not None and total_time > time_quota * (1 + 1e-2) + 1e-9:
+        violations.append(
+            Violation(
+                kind="constraint",
+                message=f"total time {total_time:g} exceeds quota {time_quota:g}",
+            )
+        )
+    return violations
+
+
+def audit_outcome(
+    outcome: ScheduleOutcome,
+    slot_list: SlotList,
+    *,
+    algorithm: SlotSearchAlgorithm | None = None,
+) -> list[Violation]:
+    """Audit a full :class:`~repro.core.scheduler.ScheduleOutcome`.
+
+    The constraint checks are skipped when the outcome used the
+    earliest-alternative fallback (the fallback is explicitly allowed to
+    ignore them).
+    """
+    budget_limit = None if outcome.used_fallback else outcome.budget
+    time_quota = None
+    if not outcome.used_fallback and outcome.budget is None and outcome.scheduled_jobs:
+        time_quota = outcome.quota
+    return audit_windows(
+        outcome.scheduled_jobs,
+        slot_list=slot_list,
+        algorithm=algorithm,
+        budget_limit=budget_limit,
+        time_quota=time_quota,
+    )
+
+
+def require_valid(violations: list[Violation]) -> None:
+    """Raise :class:`AuditError` when the violation list is non-empty."""
+    if violations:
+        raise AuditError(violations)

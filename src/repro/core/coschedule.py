@@ -1,0 +1,177 @@
+"""Whole-batch co-scheduling strategies (paper Section 7, future work).
+
+The paper's scheme selects slots "for each job consecutively" in fixed
+priority order and defers optimization to a dedicated phase; its stated
+future work is "slot selection for the whole job batch at once", with
+the schedule optimized "on the fly".  This module implements that
+extension as pluggable *batch strategies* which produce one committed
+window per job directly (no alternatives phase):
+
+* :attr:`BatchStrategy.SEQUENTIAL` — the paper's baseline: fixed
+  priority order, earliest window each, subtraction in between.
+* :attr:`BatchStrategy.EARLIEST_FIRST` — global on-the-fly ordering: at
+  every step, *every* unscheduled job's earliest window is evaluated on
+  the current list, and the job whose window starts first is committed.
+  This removes the priority-order artefact where an early big job
+  pushes every later job behind it.
+* :attr:`BatchStrategy.CHEAPEST_FIRST` — same machinery with the
+  marginal criterion switched to window cost: commit the globally
+  cheapest available window each step (ties toward earlier starts).
+
+All strategies reuse the ALP/AMP single-window finders, so the economic
+requirements keep holding per job.  Complexity: SEQUENTIAL is ``O(n·m)``
+like the paper's scheme; the global strategies are ``O(n²·m)`` — the
+price of on-the-fly optimization the paper alludes to.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidRequestError
+from repro.core.job import Batch, Job
+from repro.core.search import SlotSearchAlgorithm, WindowFinder
+from repro.core.slot import SlotList
+from repro.core.window import Window
+
+__all__ = ["BatchStrategy", "BatchAssignment", "coallocate_batch"]
+
+
+class BatchStrategy(enum.Enum):
+    """How the batch's windows are selected and ordered."""
+
+    SEQUENTIAL = "sequential"
+    EARLIEST_FIRST = "earliest-first"
+    CHEAPEST_FIRST = "cheapest-first"
+
+
+@dataclass
+class BatchAssignment:
+    """Outcome of a whole-batch co-allocation.
+
+    Attributes:
+        windows: Committed window per scheduled job.
+        postponed: Jobs for which no window existed at their turn.
+        order: Job names in commitment order (diagnostic: shows how the
+            strategy deviated from priority order).
+        remaining_slots: The slot list after all subtractions.
+    """
+
+    windows: dict[Job, Window]
+    postponed: list[Job]
+    order: list[str]
+    remaining_slots: SlotList
+
+    @property
+    def total_time(self) -> float:
+        """Sum of scheduled jobs' execution times."""
+        return sum(window.length for window in self.windows.values())
+
+    @property
+    def total_cost(self) -> float:
+        """Sum of scheduled jobs' window costs."""
+        return sum(window.cost for window in self.windows.values())
+
+    @property
+    def makespan(self) -> float:
+        """Latest window end over the batch (0.0 when nothing scheduled)."""
+        if not self.windows:
+            return 0.0
+        return max(window.end for window in self.windows.values())
+
+
+def _commit(working: SlotList, window: Window) -> None:
+    for resource, start, end in window.occupied_spans():
+        working.subtract(resource, start, end)
+
+
+def _sequential(
+    working: SlotList, batch: Batch, finder: WindowFinder
+) -> BatchAssignment:
+    windows: dict[Job, Window] = {}
+    postponed: list[Job] = []
+    order: list[str] = []
+    for job in batch:
+        window = finder(working, job.request)
+        if window is None:
+            postponed.append(job)
+            continue
+        _commit(working, window)
+        windows[job] = window
+        order.append(job.name)
+    return BatchAssignment(windows, postponed, order, working)
+
+
+def _global(
+    working: SlotList,
+    batch: Batch,
+    finder: WindowFinder,
+    *,
+    key,
+) -> BatchAssignment:
+    windows: dict[Job, Window] = {}
+    postponed: list[Job] = []
+    order: list[str] = []
+    pending = list(batch)
+    while pending:
+        best: tuple[Job, Window] | None = None
+        hopeless: list[Job] = []
+        for job in pending:
+            window = finder(working, job.request)
+            if window is None:
+                hopeless.append(job)
+                continue
+            if best is None or key(window) < key(best[1]):
+                best = (job, window)
+        if best is None:
+            postponed.extend(pending)
+            break
+        job, window = best
+        _commit(working, window)
+        windows[job] = window
+        order.append(job.name)
+        pending.remove(job)
+        # A job hopeless *now* may become schedulable later only if slots
+        # were added — subtraction never adds capacity, so drop them.
+        for job in hopeless:
+            if job in pending:
+                postponed.append(job)
+                pending.remove(job)
+    return BatchAssignment(windows, postponed, order, working)
+
+
+def coallocate_batch(
+    slot_list: SlotList,
+    batch: Batch,
+    algorithm: SlotSearchAlgorithm | WindowFinder = SlotSearchAlgorithm.AMP,
+    *,
+    strategy: BatchStrategy = BatchStrategy.SEQUENTIAL,
+    rho: float = 1.0,
+) -> BatchAssignment:
+    """Co-allocate one window per job for the whole batch at once.
+
+    Args:
+        slot_list: Vacant slots (left untouched; work happens on a copy).
+        batch: The jobs; priority order matters only for SEQUENTIAL.
+        algorithm: ALP/AMP or a custom single-window finder.
+        strategy: Commitment-ordering strategy (see module docstring).
+        rho: AMP budget-shrink factor.
+
+    Returns:
+        The committed assignment; jobs with no feasible window at their
+        turn are postponed (Section 2's rule, applied per strategy).
+    """
+    if not isinstance(strategy, BatchStrategy):
+        raise InvalidRequestError(f"unknown batch strategy: {strategy!r}")
+    finder = (
+        algorithm.finder(rho=rho)
+        if isinstance(algorithm, SlotSearchAlgorithm)
+        else algorithm
+    )
+    working = slot_list.copy()
+    if strategy is BatchStrategy.SEQUENTIAL:
+        return _sequential(working, batch, finder)
+    if strategy is BatchStrategy.EARLIEST_FIRST:
+        return _global(working, batch, finder, key=lambda w: (w.start, w.cost))
+    return _global(working, batch, finder, key=lambda w: (w.cost, w.start))

@@ -1,0 +1,108 @@
+"""Batch-level optimization criteria (paper Section 2).
+
+The economic policy of the virtual organization is expressed through two
+scalar measures of a slot combination ``s̄ = (s̄_1, ..., s̄_n)``:
+
+* the total execution **cost** ``C(s̄) = Σ c_i(s̄_i)`` — the users' money
+  flowing to resource owners, and
+* the total execution **time** ``T(s̄) = Σ t_i(s̄_i)`` — the VO
+  administrators' (and, partially, users') interest in throughput.
+
+Single-criterion scheduling minimizes one of them under a limit on the
+other: the VO budget ``B*`` caps cost, the slot-occupancy quota ``T*``
+caps time.  The general model uses the vector
+``⟨C(s̄), D(s̄), T(s̄), I(s̄)⟩`` with the slacks ``D = B* − C`` and
+``I = T* − T``; :class:`CriteriaVector` packages it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.job import Job
+from repro.core.window import Window
+
+__all__ = [
+    "Criterion",
+    "CriteriaVector",
+    "total_cost",
+    "total_time",
+    "criteria_vector",
+]
+
+
+class Criterion(enum.Enum):
+    """The particular criterion ``g_i(s̄_i)`` optimized in phase 2."""
+
+    COST = "cost"
+    TIME = "time"
+
+    def of(self, window: Window) -> float:
+        """Value of this criterion for one job's window."""
+        return window.cost if self is Criterion.COST else window.length
+
+    @property
+    def dual(self) -> "Criterion":
+        """The complementary criterion, used as the DP constraint axis."""
+        return Criterion.TIME if self is Criterion.COST else Criterion.COST
+
+
+def total_cost(combination: Iterable[Window] | Mapping[Job, Window]) -> float:
+    """The batch cost criterion ``C(s̄) = Σ c_i(s̄_i)``."""
+    windows = combination.values() if isinstance(combination, Mapping) else combination
+    return sum(window.cost for window in windows)
+
+
+def total_time(combination: Iterable[Window] | Mapping[Job, Window]) -> float:
+    """The batch time criterion ``T(s̄) = Σ t_i(s̄_i)``."""
+    windows = combination.values() if isinstance(combination, Mapping) else combination
+    return sum(window.length for window in windows)
+
+
+@dataclass(frozen=True, slots=True)
+class CriteriaVector:
+    """The vector criterion ``⟨C(s̄), D(s̄), T(s̄), I(s̄)⟩`` of Section 2.
+
+    Attributes:
+        cost: ``C(s̄)`` — total batch execution cost.
+        time: ``T(s̄)`` — total batch execution time.
+        budget_slack: ``D(s̄) = B* − C(s̄)`` — unspent VO budget.
+        time_slack: ``I(s̄) = T* − T(s̄)`` — unused occupancy quota.
+    """
+
+    cost: float
+    time: float
+    budget_slack: float
+    time_slack: float
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether the combination respects the VO budget ``B*``."""
+        return self.budget_slack >= -1e-9
+
+    @property
+    def within_quota(self) -> bool:
+        """Whether the combination respects the occupancy quota ``T*``."""
+        return self.time_slack >= -1e-9
+
+
+def criteria_vector(
+    combination: Iterable[Window] | Mapping[Job, Window],
+    *,
+    budget_limit: float,
+    time_quota: float,
+) -> CriteriaVector:
+    """Evaluate the full vector criterion for a chosen combination."""
+    windows = list(
+        combination.values() if isinstance(combination, Mapping) else combination
+    )
+    cost = total_cost(windows)
+    time = total_time(windows)
+    return CriteriaVector(
+        cost=cost,
+        time=time,
+        budget_slack=budget_limit - cost,
+        time_slack=time_quota - time,
+    )

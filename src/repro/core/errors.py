@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` scheduling library.
+
+Every error raised on purpose by the library derives from
+:class:`SchedulingError`, so callers can catch one base class.  The
+subclasses distinguish the three failure families that matter to users:
+malformed inputs, infeasible searches, and optimizer failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SchedulingError",
+    "InvalidRequestError",
+    "SlotListError",
+    "WindowNotFoundError",
+    "OptimizationError",
+    "InfeasibleConstraintError",
+]
+
+
+class SchedulingError(Exception):
+    """Base class for all errors raised by the repro scheduling library."""
+
+
+class InvalidRequestError(SchedulingError, ValueError):
+    """A resource request, job, or batch violates a model invariant.
+
+    Raised eagerly at construction time (for example a request for zero
+    nodes, a negative runtime, or a non-positive performance bound) so that
+    the search algorithms can assume well-formed inputs.
+    """
+
+
+class SlotListError(SchedulingError, ValueError):
+    """A slot-list operation received an inconsistent argument.
+
+    Typical causes: subtracting a window slot that is not contained in any
+    vacant slot of the list, or inserting a slot that ends before it
+    starts.
+    """
+
+
+class WindowNotFoundError(SchedulingError):
+    """No window satisfying a request exists in the current slot list.
+
+    The search functions in :mod:`repro.core.alp` and
+    :mod:`repro.core.amp` normally *return* ``None`` on failure because a
+    failed search is an expected outcome of every scheduling iteration
+    (the job is postponed, per Section 2 of the paper).  This exception
+    exists for the strict variants (``require_window``) used by callers
+    that treat failure as exceptional.
+    """
+
+    def __init__(self, message: str, *, job_name: str | None = None) -> None:
+        super().__init__(message)
+        #: Name of the job whose search failed, when known.
+        self.job_name = job_name
+
+
+class OptimizationError(SchedulingError):
+    """The phase-2 combination optimizer could not produce a schedule."""
+
+
+class InfeasibleConstraintError(OptimizationError):
+    """No combination of alternatives satisfies the given constraint.
+
+    Carries the constraint value so diagnostics can report how far the
+    cheapest/fastest combination is from feasibility.
+    """
+
+    def __init__(self, message: str, *, limit: float | None = None, best: float | None = None) -> None:
+        super().__init__(message)
+        #: The constraint limit (``B*`` or ``T*``) that could not be met.
+        self.limit = limit
+        #: The best (smallest) achievable value of the constrained quantity.
+        self.best = best

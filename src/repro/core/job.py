@@ -1,0 +1,197 @@
+"""Jobs, resource requests, and job batches.
+
+A *job* is an independent parallel application submitted to the virtual
+organization.  Its :class:`ResourceRequest` is the economic contract of
+Section 3 of the paper: ``N`` concurrent slots, reserved for a runtime
+``t`` (expressed at etalon performance ``P = 1``), on nodes with
+performance rate at least ``P``, at a price per time unit of at most
+``C``.  AMP reinterprets the price requirement as the *job budget*
+``S = C · t · N``.
+
+A :class:`Batch` is the unit of one scheduling iteration
+(``J = {j_1, ..., j_n}`` in Section 2), ordered by priority.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.errors import InvalidRequestError
+from repro.core.resource import Resource
+from repro.core.slot import Slot
+
+__all__ = ["ResourceRequest", "Job", "Batch"]
+
+_job_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRequest:
+    """User requirements for one parallel job (paper Section 3).
+
+    Attributes:
+        node_count: ``N`` — number of concurrent slots (tasks) to
+            co-allocate.  All tasks must start synchronously.
+        volume: ``t`` — wall-clock runtime of each task on the *etalon*
+            node (``P = 1``).  On a node with performance ``P(s)`` the
+            task runs for ``volume / P(s)`` time units (Section 6).
+        min_performance: ``P`` — minimum acceptable node performance
+            rate (ALP/AMP condition 2°a).
+        max_price: ``C`` — maximum acceptable price per time unit.  ALP
+            applies it to every individual slot (condition 2°c); AMP
+            applies it only through the aggregate budget.
+    """
+
+    node_count: int
+    volume: float
+    min_performance: float = 1.0
+    max_price: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise InvalidRequestError(f"node_count must be >= 1, got {self.node_count!r}")
+        if self.volume <= 0:
+            raise InvalidRequestError(f"volume must be positive, got {self.volume!r}")
+        if self.min_performance <= 0:
+            raise InvalidRequestError(
+                f"min_performance must be positive, got {self.min_performance!r}"
+            )
+        if self.max_price <= 0:
+            raise InvalidRequestError(f"max_price must be positive, got {self.max_price!r}")
+
+    @property
+    def budget(self) -> float:
+        """The AMP job budget ``S = C · t · N`` (Section 3).
+
+        ``inf`` when the request has no price requirement.
+        """
+        return self.max_price * self.volume * self.node_count
+
+    def scaled_budget(self, rho: float) -> float:
+        """The Section 6 extension ``S = ρ · C · t · N`` with ``0 < ρ <= 1``.
+
+        Shrinking the budget trades schedule earliness for execution cost;
+        ``rho = 1`` recovers the plain AMP budget.
+        """
+        if not 0 < rho <= 1:
+            raise InvalidRequestError(f"rho must be in (0, 1], got {rho!r}")
+        return rho * self.budget
+
+    def runtime_on(self, resource: Resource) -> float:
+        """Task execution time on ``resource`` (``t / P(s)``)."""
+        return resource.runtime_of(self.volume)
+
+    def admits_performance(self, resource: Resource) -> bool:
+        """ALP/AMP condition 2°a: ``P(s_k) >= P``."""
+        return resource.performance >= self.min_performance
+
+    def admits_price(self, slot: Slot) -> bool:
+        """ALP condition 2°c: ``C(s_k) <= C`` for an individual slot."""
+        return slot.price <= self.max_price
+
+    def fits_length(self, slot: Slot, window_start: float) -> bool:
+        """ALP conditions 2°b / 3°: the slot still covers the task runtime.
+
+        A slot fits at a tentative window start ``window_start`` when the
+        span remaining from ``max(slot.start, window_start)`` to
+        ``slot.end`` is at least the task's runtime on that node.  This is
+        the consistent reading of the paper's conditions 2°b and 3° under
+        the etalon-runtime convention (see DESIGN.md, Section 2).
+        """
+        if slot.start > window_start:
+            return False
+        return slot.remaining_from(window_start) >= self.runtime_on(slot.resource)
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """An independent parallel job of the batch.
+
+    Attributes:
+        request: The job's resource request.
+        name: Human-readable identifier, auto-generated when omitted.
+        priority: Position weight inside the batch; *lower values are
+            scheduled first* (the worked example's "Job 1 has the highest
+            priority").  Ties preserve submission order.
+        uid: Unique integer id, auto-assigned.
+    """
+
+    request: ResourceRequest
+    name: str = ""
+    priority: int = 0
+    uid: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.uid == -1:
+            object.__setattr__(self, "uid", next(_job_counter))
+        if not self.name:
+            object.__setattr__(self, "name", f"job{self.uid}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Job):
+            return NotImplemented
+        return self.uid == other.uid
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        r = self.request
+        return (
+            f"Job({self.name!r}, N={r.node_count}, t={r.volume:g}, "
+            f"P>={r.min_performance:g}, C<={r.max_price:g})"
+        )
+
+
+class Batch:
+    """An ordered batch of jobs ``J = {j_1, ..., j_n}`` (Section 2).
+
+    Iteration yields jobs in scheduling order: ascending ``priority``,
+    submission order within equal priorities.  The batch is immutable from
+    the scheduler's point of view; postponed jobs are carried into a *new*
+    batch for the next iteration (see :mod:`repro.grid.metascheduler`).
+    """
+
+    __slots__ = ("_jobs",)
+
+    def __init__(self, jobs: Iterable[Job] = ()) -> None:
+        ordered = list(jobs)
+        seen: set[int] = set()
+        for job in ordered:
+            if job.uid in seen:
+                raise InvalidRequestError(f"duplicate job {job.name!r} in batch")
+            seen.add(job.uid)
+        ordered.sort(key=lambda job: job.priority)
+        self._jobs: tuple[Job, ...] = tuple(ordered)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self._jobs[index]
+
+    def __contains__(self, job: Job) -> bool:
+        return job in self._jobs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Batch({[job.name for job in self._jobs]})"
+
+    @property
+    def jobs(self) -> tuple[Job, ...]:
+        """The jobs in scheduling order."""
+        return self._jobs
+
+    def without(self, jobs_to_drop: Iterable[Job]) -> "Batch":
+        """A new batch with ``jobs_to_drop`` removed (used for postponement)."""
+        dropped = {job.uid for job in jobs_to_drop}
+        return Batch(job for job in self._jobs if job.uid not in dropped)
+
+    def total_volume(self) -> float:
+        """Aggregate etalon compute volume ``sum(N_i * t_i)`` of the batch."""
+        return sum(job.request.node_count * job.request.volume for job in self._jobs)

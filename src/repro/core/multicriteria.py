@@ -1,0 +1,186 @@
+"""Vector-criteria optimization (paper Section 2, general model).
+
+The general model of ref. [2] optimizes the vector
+``⟨C(s̄), D(s̄), T(s̄), I(s̄)⟩`` rather than one scalar.  Since ``D`` and
+``I`` are affine in ``C`` and ``T``, the decision space is really the
+(time, cost) plane; this module provides the two standard tools over
+it:
+
+* :func:`pareto_front` — the exact set of non-dominated combinations
+  (small instances; exhaustive with a safety cap).  Useful for judging
+  how much the scalarized answers leave on the table.
+* :func:`minimize_weighted` — scalarization ``w_t·T(s̄) + w_c·C(s̄)``
+  minimized by the same backward-run machinery, optionally under the
+  budget or quota constraint.  With no constraint the problem separates
+  per job and is solved in closed form.
+
+These are *our* extension of the paper's single-criterion experiments;
+DESIGN.md lists them under the future-work items.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.criteria import Criterion
+from repro.core.errors import InvalidRequestError, OptimizationError
+from repro.core.job import Job
+from repro.core.optimize import (
+    DEFAULT_RESOLUTION,
+    Combination,
+    _as_job_lists,
+    _backward_run,
+    _discretize,
+)
+from repro.core.window import Window
+
+__all__ = ["ParetoPoint", "pareto_front", "minimize_weighted"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated combination in the (time, cost) plane."""
+
+    total_time: float
+    total_cost: float
+    selection: dict[Job, Window]
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weak Pareto dominance: no worse on both axes, better on one."""
+        no_worse = (
+            self.total_time <= other.total_time + 1e-12
+            and self.total_cost <= other.total_cost + 1e-12
+        )
+        better = (
+            self.total_time < other.total_time - 1e-12
+            or self.total_cost < other.total_cost - 1e-12
+        )
+        return no_worse and better
+
+
+def pareto_front(
+    alternatives: Mapping[Job, Sequence[Window]],
+    *,
+    max_combinations: int = 200_000,
+) -> list[ParetoPoint]:
+    """The exact (time, cost) Pareto front over all combinations.
+
+    Returns points sorted by ascending total time (hence descending
+    cost).  Exhaustive; guarded by ``max_combinations``.
+
+    Raises:
+        OptimizationError: If the combination space exceeds the cap or a
+            job has no alternatives.
+    """
+    jobs, lists = _as_job_lists(alternatives)
+    if not jobs:
+        return []
+    space = math.prod(len(windows) for windows in lists)
+    if space > max_combinations:
+        raise OptimizationError(
+            f"pareto_front over {space} combinations exceeds cap {max_combinations}"
+        )
+    candidates: list[ParetoPoint] = []
+    for combo in itertools.product(*lists):
+        candidates.append(
+            ParetoPoint(
+                total_time=sum(window.length for window in combo),
+                total_cost=sum(window.cost for window in combo),
+                selection=dict(zip(jobs, combo)),
+            )
+        )
+    candidates.sort(key=lambda point: (point.total_time, point.total_cost))
+    front: list[ParetoPoint] = []
+    best_cost = math.inf
+    for point in candidates:
+        if point.total_cost < best_cost - 1e-12:
+            front.append(point)
+            best_cost = point.total_cost
+    return front
+
+
+def minimize_weighted(
+    alternatives: Mapping[Job, Sequence[Window]],
+    *,
+    time_weight: float = 1.0,
+    cost_weight: float = 1.0,
+    budget: float | None = None,
+    quota: float | None = None,
+    resolution: int = DEFAULT_RESOLUTION,
+) -> Combination:
+    """Minimize ``w_t·T(s̄) + w_c·C(s̄)``, optionally constrained.
+
+    Exactly one of ``budget`` / ``quota`` may be given (the constrained
+    axis is then discretized as in :mod:`repro.core.optimize`); with
+    neither, the objective separates per job and each job independently
+    takes its best-weighted window.
+
+    Raises:
+        InvalidRequestError: For negative/zero weights or both
+            constraints at once.
+        InfeasibleConstraintError: When the constraint cannot be met.
+    """
+    if time_weight < 0 or cost_weight < 0 or time_weight + cost_weight == 0:
+        raise InvalidRequestError(
+            f"weights must be non-negative and not both zero, got "
+            f"({time_weight!r}, {cost_weight!r})"
+        )
+    if budget is not None and quota is not None:
+        raise InvalidRequestError(
+            "give at most one of budget/quota; two-dimensional constraints "
+            "are outside the backward-run model"
+        )
+    jobs, lists = _as_job_lists(alternatives)
+    if not jobs:
+        return Combination({}, 0.0, 0.0, Criterion.TIME, budget or quota or 0.0)
+
+    def weighted(window: Window) -> float:
+        return time_weight * window.length + cost_weight * window.cost
+
+    if budget is None and quota is None:
+        selection = {
+            job: min(windows, key=weighted) for job, windows in zip(jobs, lists)
+        }
+        return Combination(
+            selection=selection,
+            total_cost=sum(window.cost for window in selection.values()),
+            total_time=sum(window.length for window in selection.values()),
+            objective=Criterion.TIME if time_weight >= cost_weight else Criterion.COST,
+            limit=math.inf,
+        )
+
+    constrained = Criterion.COST if budget is not None else Criterion.TIME
+    limit = budget if budget is not None else quota
+    assert limit is not None
+    g_values = [[weighted(window) for window in windows] for windows in lists]
+    z_values = [[constrained.of(window) for window in windows] for windows in lists]
+    flat_z = [value for job_values in z_values for value in job_values]
+    weights_flat, capacity = _discretize(flat_z, limit, resolution)
+    z_weights: list[list[int]] = []
+    cursor = 0
+    for windows in lists:
+        z_weights.append(weights_flat[cursor : cursor + len(windows)])
+        cursor += len(windows)
+    solved = _backward_run(g_values, z_weights, capacity, maximize=False)
+    if solved is None:
+        from repro.core.errors import InfeasibleConstraintError
+
+        best = sum(min(values) for values in z_values)
+        raise InfeasibleConstraintError(
+            f"no combination satisfies {constrained.value} <= {limit:g} "
+            f"(best possible is >= {best:g})",
+            limit=limit,
+            best=best,
+        )
+    chosen, _ = solved
+    selection = {job: lists[index][alt] for index, (job, alt) in enumerate(zip(jobs, chosen))}
+    return Combination(
+        selection=selection,
+        total_cost=sum(window.cost for window in selection.values()),
+        total_time=sum(window.length for window in selection.values()),
+        objective=Criterion.TIME if time_weight >= cost_weight else Criterion.COST,
+        limit=limit,
+    )

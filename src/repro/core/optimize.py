@@ -1,0 +1,368 @@
+"""Phase-2 combination optimization — the backward-run dynamic programming.
+
+Given the per-job alternative windows produced by the phase-1 search,
+phase 2 chooses one window per job so that a batch criterion is optimal
+under a resource constraint (paper Section 2, functional equation (1)):
+
+    f_i(Z_i) = extr { g_i(s̄_i) + f_{i+1}(Z_i − z_i(s̄_i)) },
+    f_{n+1} ≡ 0,
+
+where ``g`` is the optimized measure (time or cost) and ``z`` the
+constrained one (cost under the VO budget ``B*``, or time under the
+occupancy quota ``T*``).  Because phase 1 guarantees that alternatives of
+different jobs never intersect, *any* selection of one window per job is
+realisable, and the problem is a multiple-choice knapsack solved exactly
+(up to constraint discretization) by the backward run below.
+
+The module also implements the constraint-generation formulas:
+
+* :func:`time_quota` — eq. (2): ``T* = Σ_i Σ_s ⌊t_i(s̄_i) / l_i⌋``;
+* :func:`vo_budget` — eq. (3): ``B*`` is the maximal owner income under
+  the quota ``T*`` (the same DP run with ``extr = max``).
+
+The constrained quantity is discretized into ``resolution`` integer bins
+with *floor* rounding.  This guarantees that a truly feasible
+combination is **never** rejected (no spurious infeasibility — crucial
+because ``B*`` itself is defined as an attained income, so the Fig. 4
+pipeline must always be feasible); the price is a bounded overshoot: a
+combination reported feasible satisfies
+``Σz <= limit · (1 + n / resolution)`` where ``n`` is the number of
+jobs.  With integer inputs, an integer limit, and ``resolution >= limit``
+the DP is exact.  A brute-force reference solver is provided for
+testing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.criteria import Criterion
+from repro.core.errors import InfeasibleConstraintError, OptimizationError
+from repro.core.job import Job
+from repro.core.window import Window
+
+__all__ = [
+    "Combination",
+    "time_quota",
+    "vo_budget",
+    "minimize_time",
+    "minimize_cost",
+    "optimize",
+    "brute_force",
+    "DEFAULT_RESOLUTION",
+]
+
+#: Default number of discretization bins for the constrained axis.  With
+#: batches of at most ~10 jobs the worst-case relative constraint error is
+#: ``n / resolution`` — under 1 % at the default.
+DEFAULT_RESOLUTION: int = 2000
+
+
+@dataclass(frozen=True)
+class Combination:
+    """A chosen slot combination ``s̄ = (s̄_1, ..., s̄_n)`` with its measures.
+
+    Attributes:
+        selection: The chosen window for every job.
+        total_cost: ``C(s̄)`` in exact (undiscretized) arithmetic.
+        total_time: ``T(s̄)`` in exact arithmetic.
+        objective: Which criterion was minimized.
+        limit: The constraint value the DP ran under.
+    """
+
+    selection: dict[Job, Window]
+    total_cost: float
+    total_time: float
+    objective: Criterion
+    limit: float
+
+    @property
+    def mean_job_time(self) -> float:
+        """Average job execution time of the combination (Fig. 4a / 6b)."""
+        if not self.selection:
+            return 0.0
+        return self.total_time / len(self.selection)
+
+    @property
+    def mean_job_cost(self) -> float:
+        """Average job execution cost of the combination (Fig. 4b / 6a)."""
+        if not self.selection:
+            return 0.0
+        return self.total_cost / len(self.selection)
+
+
+def _as_job_lists(
+    alternatives: Mapping[Job, Sequence[Window]],
+) -> tuple[list[Job], list[list[Window]]]:
+    """Validate and normalise the alternatives mapping.
+
+    Raises:
+        OptimizationError: If some job has no alternatives — such jobs
+            must be postponed *before* phase 2 (paper Section 2).
+    """
+    jobs = list(alternatives)
+    lists: list[list[Window]] = []
+    for job in jobs:
+        windows = list(alternatives[job])
+        if not windows:
+            raise OptimizationError(
+                f"job {job.name!r} has no alternatives; postpone it before optimizing"
+            )
+        lists.append(windows)
+    return jobs, lists
+
+
+def time_quota(alternatives: Mapping[Job, Sequence[Window]]) -> float:
+    """The slot-occupancy quota ``T*`` of eq. (2).
+
+    ``T* = Σ_i Σ_{s̄_i} ⌊ t_i(s̄_i) / l_i ⌋`` where ``l_i`` is the number
+    of admissible slot sets of job ``i``.  Per job this is (up to the
+    floor) the mean alternative execution time, so the quota balances the
+    global job flow against owners' local jobs: a batch may not occupy
+    much more time than an "average" choice of alternatives would.
+    """
+    _, lists = _as_job_lists(alternatives)
+    quota = 0
+    for windows in lists:
+        count = len(windows)
+        quota += sum(math.floor(window.length / count) for window in windows)
+    return float(quota)
+
+
+def _discretize(values: list[float], limit: float, resolution: int) -> tuple[list[int], int]:
+    """Map constraint values onto integer bins with floor rounding.
+
+    Returns the per-value bin weights and the bin capacity.  Floor
+    rounding guarantees that any truly feasible selection stays
+    DP-feasible (``Σ⌊z/unit⌋ <= ⌊Σz/unit⌋ <= capacity``); a DP-feasible
+    selection may overshoot the limit by at most one unit per job, i.e.
+    ``limit · n / resolution`` in total (see module docstring).
+    """
+    if limit < 0:
+        raise InfeasibleConstraintError(
+            f"constraint limit must be non-negative, got {limit!r}", limit=limit
+        )
+    if resolution < 1:
+        raise OptimizationError(f"resolution must be >= 1, got {resolution!r}")
+    if limit == 0:
+        unit = 1.0
+    else:
+        unit = limit / resolution
+    weights = [max(0, math.floor(value / unit + 1e-9)) for value in values]
+    capacity = resolution if limit > 0 else 0
+    return weights, capacity
+
+
+def _backward_run(
+    g_values: list[list[float]],
+    z_weights: list[list[int]],
+    capacity: int,
+    *,
+    maximize: bool,
+) -> tuple[list[int], float] | None:
+    """Solve the multiple-choice knapsack by the paper's backward run.
+
+    ``f_i(b)`` is the extremal total of ``g`` over jobs ``i..n`` when bins
+    ``b`` of the constraint remain; the recurrence is eq. (1).  Vectorised
+    over the constraint axis with numpy.
+
+    Returns:
+        ``(chosen indices, extremal objective)`` or ``None`` when no
+        selection fits the capacity.
+    """
+    bad = math.inf if not maximize else -math.inf
+    spread = capacity + 1
+    f_next = np.zeros(spread)
+    choices: list[np.ndarray] = []
+    for job_g, job_z in zip(reversed(g_values), reversed(z_weights)):
+        table = np.full((len(job_g), spread), bad)
+        for alt, (g, z) in enumerate(zip(job_g, job_z)):
+            if z > capacity:
+                continue
+            row = table[alt]
+            row[z:] = g + f_next[: spread - z]
+        if maximize:
+            choice = np.argmax(table, axis=0)
+            f_next = np.max(table, axis=0)
+        else:
+            choice = np.argmin(table, axis=0)
+            f_next = np.min(table, axis=0)
+        choices.append(choice)
+    choices.reverse()
+    if not math.isfinite(f_next[capacity]):
+        return None
+    # Forward reconstruction: Z_1 = Z*, Z_{i+1} = Z_i − z_i(s̄_i).
+    selection: list[int] = []
+    remaining = capacity
+    for job_index, choice in enumerate(choices):
+        alt = int(choice[remaining])
+        selection.append(alt)
+        remaining -= z_weights[job_index][alt]
+    return selection, float(f_next[capacity])
+
+
+def optimize(
+    alternatives: Mapping[Job, Sequence[Window]],
+    objective: Criterion,
+    limit: float,
+    *,
+    resolution: int = DEFAULT_RESOLUTION,
+) -> Combination:
+    """Choose one window per job minimizing ``objective`` under ``limit``.
+
+    The limit constrains the *dual* criterion: minimizing time runs under
+    the VO budget ``B*``; minimizing cost runs under the quota ``T*``.
+
+    Raises:
+        InfeasibleConstraintError: When no selection fits the limit.
+        OptimizationError: When a job has no alternatives.
+    """
+    jobs, lists = _as_job_lists(alternatives)
+    if not jobs:
+        return Combination({}, 0.0, 0.0, objective, limit)
+    constrained = objective.dual
+    g_values = [[objective.of(window) for window in windows] for windows in lists]
+    z_values = [[constrained.of(window) for window in windows] for windows in lists]
+    flat_z = [value for job_values in z_values for value in job_values]
+    weights_flat, capacity = _discretize(flat_z, limit, resolution)
+    z_weights: list[list[int]] = []
+    cursor = 0
+    for windows in lists:
+        z_weights.append(weights_flat[cursor : cursor + len(windows)])
+        cursor += len(windows)
+    solved = _backward_run(g_values, z_weights, capacity, maximize=False)
+    if solved is None:
+        best = sum(min(values) for values in z_values)
+        raise InfeasibleConstraintError(
+            f"no combination satisfies {constrained.value} <= {limit:g} "
+            f"(cheapest possible is >= {best:g})",
+            limit=limit,
+            best=best,
+        )
+    chosen, _ = solved
+    selection = {job: lists[index][alt] for index, (job, alt) in enumerate(zip(jobs, chosen))}
+    return Combination(
+        selection=selection,
+        total_cost=sum(window.cost for window in selection.values()),
+        total_time=sum(window.length for window in selection.values()),
+        objective=objective,
+        limit=limit,
+    )
+
+
+def vo_budget(
+    alternatives: Mapping[Job, Sequence[Window]],
+    quota: float | None = None,
+    *,
+    resolution: int = DEFAULT_RESOLUTION,
+) -> float:
+    """The VO budget ``B*`` of eq. (3).
+
+    ``B*`` is the maximal total income of resource owners over all
+    combinations whose total time fits the quota ``T*`` — the same
+    backward run with ``extr = max`` and cost as the income function.
+
+    Args:
+        alternatives: Phase-1 output; every job must have alternatives.
+        quota: The time quota ``T*``; computed by eq. (2) when omitted.
+
+    Raises:
+        InfeasibleConstraintError: When even the fastest combination
+            exceeds the quota (the scheduling iteration is then dropped,
+            matching the paper's experimental protocol).
+    """
+    jobs, lists = _as_job_lists(alternatives)
+    if not jobs:
+        return 0.0
+    if quota is None:
+        quota = time_quota(alternatives)
+    g_values = [[window.cost for window in windows] for windows in lists]
+    z_values = [[window.length for window in windows] for windows in lists]
+    flat_z = [value for job_values in z_values for value in job_values]
+    weights_flat, capacity = _discretize(flat_z, quota, resolution)
+    z_weights: list[list[int]] = []
+    cursor = 0
+    for windows in lists:
+        z_weights.append(weights_flat[cursor : cursor + len(windows)])
+        cursor += len(windows)
+    solved = _backward_run(g_values, z_weights, capacity, maximize=True)
+    if solved is None:
+        best = sum(min(values) for values in z_values)
+        raise InfeasibleConstraintError(
+            f"no combination satisfies time <= quota {quota:g} "
+            f"(fastest possible is >= {best:g})",
+            limit=quota,
+            best=best,
+        )
+    _, income = solved
+    return income
+
+
+def minimize_time(
+    alternatives: Mapping[Job, Sequence[Window]],
+    budget_limit: float,
+    *,
+    resolution: int = DEFAULT_RESOLUTION,
+) -> Combination:
+    """``min T(s̄)`` subject to ``C(s̄) <= B*`` (the Fig. 4 experiment)."""
+    return optimize(alternatives, Criterion.TIME, budget_limit, resolution=resolution)
+
+
+def minimize_cost(
+    alternatives: Mapping[Job, Sequence[Window]],
+    quota: float,
+    *,
+    resolution: int = DEFAULT_RESOLUTION,
+) -> Combination:
+    """``min C(s̄)`` subject to ``T(s̄) <= T*`` (the Fig. 6 experiment)."""
+    return optimize(alternatives, Criterion.COST, quota, resolution=resolution)
+
+
+def brute_force(
+    alternatives: Mapping[Job, Sequence[Window]],
+    objective: Criterion,
+    limit: float,
+    *,
+    max_combinations: int = 2_000_000,
+) -> Combination | None:
+    """Exact exhaustive reference solver (for tests and small instances).
+
+    Enumerates every combination, returning the best feasible one or
+    ``None`` when none fits the limit.
+
+    Raises:
+        OptimizationError: If the search space exceeds
+            ``max_combinations`` or a job has no alternatives.
+    """
+    jobs, lists = _as_job_lists(alternatives)
+    if not jobs:
+        return Combination({}, 0.0, 0.0, objective, limit)
+    space = math.prod(len(windows) for windows in lists)
+    if space > max_combinations:
+        raise OptimizationError(
+            f"brute force over {space} combinations exceeds cap {max_combinations}"
+        )
+    constrained = objective.dual
+    best: tuple[float, tuple[Window, ...]] | None = None
+    for combo in itertools.product(*lists):
+        z_total = sum(constrained.of(window) for window in combo)
+        if z_total > limit + 1e-9:
+            continue
+        g_total = sum(objective.of(window) for window in combo)
+        if best is None or g_total < best[0]:
+            best = (g_total, combo)
+    if best is None:
+        return None
+    selection = dict(zip(jobs, best[1]))
+    return Combination(
+        selection=selection,
+        total_cost=sum(window.cost for window in best[1]),
+        total_time=sum(window.length for window in best[1]),
+        objective=objective,
+        limit=limit,
+    )

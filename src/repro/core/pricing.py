@@ -1,0 +1,139 @@
+"""Pricing mechanisms for resources and job budgets.
+
+Section 5 of the paper prices nodes by the exponential law
+``p = 1.7^performance`` with a ±25 % uniform perturbation; Section 6
+proposes shrinking AMP budgets by a factor ``ρ`` to trade earliness for
+cost; and Section 7 names supply-and-demand-aware pricing as future
+work.  This module implements all three so the benchmarks can sweep
+them:
+
+* :class:`ExponentialPricing` — the published price law;
+* :class:`BudgetPolicy` — the ``S = ρ·C·t·N`` budget family;
+* :class:`DemandAdjustedPricing` — a simple load-multiplier pricing
+  model for the future-work experiments (documented extension, not a
+  paper result).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidRequestError
+from repro.core.job import ResourceRequest
+from repro.core.resource import DEFAULT_PRICE_BASE, Resource
+
+__all__ = ["ExponentialPricing", "BudgetPolicy", "DemandAdjustedPricing"]
+
+
+@dataclass(frozen=True)
+class ExponentialPricing:
+    """The paper's SlotGenerator price law (Section 5).
+
+    The price of a slot on a node with performance ``P`` is drawn
+    uniformly from ``[low_factor · p, high_factor · p]`` with
+    ``p = base^P`` — "the price is a function of performance with some
+    element of randomness".
+
+    Attributes:
+        base: Base of the exponential law (paper: 1.7).
+        low_factor: Lower perturbation bound (paper: 0.75).
+        high_factor: Upper perturbation bound (paper: 1.25).
+    """
+
+    base: float = DEFAULT_PRICE_BASE
+    low_factor: float = 0.75
+    high_factor: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise InvalidRequestError(f"price base must be positive, got {self.base!r}")
+        if not 0 < self.low_factor <= self.high_factor:
+            raise InvalidRequestError(
+                f"need 0 < low_factor <= high_factor, got "
+                f"{self.low_factor!r}, {self.high_factor!r}"
+            )
+
+    def nominal(self, performance: float) -> float:
+        """Deterministic price ``base^performance`` (no perturbation)."""
+        if performance <= 0:
+            raise InvalidRequestError(f"performance must be positive, got {performance!r}")
+        return self.base**performance
+
+    def mean(self, performance: float) -> float:
+        """Expected perturbed price for a given performance."""
+        return self.nominal(performance) * (self.low_factor + self.high_factor) / 2
+
+    def sample(self, performance: float, rng: random.Random) -> float:
+        """Draw one perturbed price using the supplied RNG."""
+        return self.nominal(performance) * rng.uniform(self.low_factor, self.high_factor)
+
+    def bounds(self, performance: float) -> tuple[float, float]:
+        """The exact support of the sampled price (used by tests)."""
+        nominal = self.nominal(performance)
+        return (nominal * self.low_factor, nominal * self.high_factor)
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """The job-budget family ``S = ρ · C · t · N`` (Sections 3 and 6).
+
+    ``ρ = 1`` is plain AMP; smaller values force AMP toward cheaper
+    windows at the expense of later start times — the lever Section 6
+    proposes for adapting schedules to time of day or load level.
+    """
+
+    rho: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.rho <= 1:
+            raise InvalidRequestError(f"rho must be in (0, 1], got {self.rho!r}")
+
+    def budget_for(self, request: ResourceRequest) -> float:
+        """The AMP budget for one request under this policy."""
+        return request.scaled_budget(self.rho)
+
+
+@dataclass(frozen=True)
+class DemandAdjustedPricing:
+    """Supply-and-demand pricing extension (paper Section 7, future work).
+
+    Scales a base pricing law by a multiplier that grows linearly with
+    the observed utilization of the environment:
+
+        ``price = base_price · (1 + sensitivity · utilization)``
+
+    with ``utilization`` in ``[0, 1]`` (busy time / total time over the
+    scheduling horizon).  This is *our* minimal instantiation of the
+    paper's future-work idea; it exists so the ablation benchmark can
+    show how demand-driven prices shift the ALP/AMP trade-off.
+    """
+
+    base: ExponentialPricing = ExponentialPricing()
+    sensitivity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sensitivity < 0:
+            raise InvalidRequestError(
+                f"sensitivity must be non-negative, got {self.sensitivity!r}"
+            )
+
+    def multiplier(self, utilization: float) -> float:
+        """Demand multiplier for a given utilization in ``[0, 1]``."""
+        if not 0 <= utilization <= 1:
+            raise InvalidRequestError(
+                f"utilization must be within [0, 1], got {utilization!r}"
+            )
+        return 1.0 + self.sensitivity * utilization
+
+    def sample(self, performance: float, utilization: float, rng: random.Random) -> float:
+        """Draw a demand-adjusted price for a node of given performance."""
+        return self.base.sample(performance, rng) * self.multiplier(utilization)
+
+    def price_resource(self, resource: Resource, utilization: float, rng: random.Random) -> Resource:
+        """A copy of ``resource`` repriced under current demand."""
+        return Resource(
+            name=resource.name,
+            performance=resource.performance,
+            price=self.sample(resource.performance, utilization, rng),
+        )

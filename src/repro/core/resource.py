@@ -1,0 +1,123 @@
+"""Computational resources of the virtual organization.
+
+A :class:`Resource` models one computational node (or one core line of a
+multicore node) as seen by the economic scheduler: it has a *relative
+performance rate* ``performance`` (the paper's ``P``, with ``P = 1`` being
+the etalon node) and a *usage price per time unit* ``price`` (the paper's
+``C`` / ``cash`` field of the ``Slot`` class in Section 3).
+
+Resources are deliberately lightweight and hashable so they can serve as
+dictionary keys in occupancy schedules and window bookkeeping.  The richer
+node model (owner domains, local job flows, release/occupancy dynamics)
+lives in :mod:`repro.grid`; the core algorithms only ever need the two
+economic attributes defined here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.errors import InvalidRequestError
+
+__all__ = ["Resource", "price_of_performance", "DEFAULT_PRICE_BASE"]
+
+#: Base of the price/performance law used throughout the paper's Section 5
+#: simulation study: the expected price of a node with performance ``P`` is
+#: ``DEFAULT_PRICE_BASE ** P``.
+DEFAULT_PRICE_BASE: float = 1.7
+
+_resource_counter = itertools.count(1)
+
+
+def price_of_performance(performance: float, *, base: float = DEFAULT_PRICE_BASE) -> float:
+    """Return the nominal price per time unit of a node with ``performance``.
+
+    This is the deterministic part of the paper's pricing law
+    ``p = 1.7 ** performance`` (Section 5, SlotGenerator); generators add a
+    uniform ±25 % perturbation on top of it.
+
+    Args:
+        performance: Relative performance rate ``P`` of the node (etalon
+            node has ``P = 1``).
+        base: Base of the exponential price law.
+
+    Raises:
+        InvalidRequestError: If ``performance`` is not positive.
+    """
+    if performance <= 0:
+        raise InvalidRequestError(f"performance must be positive, got {performance!r}")
+    return base**performance
+
+
+@dataclass(frozen=True, slots=True)
+class Resource:
+    """A priced computational node.
+
+    Attributes:
+        name: Human-readable identifier (``"cpu1"`` in the paper's worked
+            example).  Names need not be unique; identity is established by
+            ``uid``.
+        performance: Relative performance rate ``P > 0``.  A job whose
+            etalon runtime (volume) is ``t`` executes on this node in
+            ``t / performance`` time units (Section 6 of the paper: "the
+            job execution time t/P").
+        price: Usage cost per time unit ``C > 0`` charged by the owner.
+        uid: Unique integer id; auto-assigned when not given.  Two
+            ``Resource`` objects with the same ``uid`` compare equal, which
+            lets slot lists recognise "same node" across slot splits.
+    """
+
+    name: str
+    performance: float = 1.0
+    price: float = 1.0
+    uid: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.performance <= 0:
+            raise InvalidRequestError(
+                f"resource {self.name!r}: performance must be positive, got {self.performance!r}"
+            )
+        if self.price < 0:
+            raise InvalidRequestError(
+                f"resource {self.name!r}: price must be non-negative, got {self.price!r}"
+            )
+        if self.uid == -1:
+            object.__setattr__(self, "uid", next(_resource_counter))
+
+    def runtime_of(self, volume: float) -> float:
+        """Execution time of a task with etalon runtime ``volume`` on this node.
+
+        ``volume`` is the task's runtime on the etalon node (``P = 1``);
+        a faster node shortens it proportionally.
+        """
+        if volume < 0:
+            raise InvalidRequestError(f"volume must be non-negative, got {volume!r}")
+        return volume / self.performance
+
+    def cost_of(self, volume: float) -> float:
+        """Cost of executing a task with etalon runtime ``volume`` here.
+
+        Implements the paper's Section 6 formula for a single slot:
+        ``C · t / P`` (price per unit times the actual occupancy time).
+        """
+        return self.price * self.runtime_of(volume)
+
+    @property
+    def price_quality(self) -> float:
+        """The paper's ``C / P`` price/quality ratio (lower is better)."""
+        return self.price / self.performance
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Resource):
+            return NotImplemented
+        return self.uid == other.uid
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Resource({self.name!r}, performance={self.performance:g}, "
+            f"price={self.price:g}, uid={self.uid})"
+        )

@@ -1,0 +1,169 @@
+"""Multi-pass search for alternative slot sets (paper Section 2).
+
+One scheduling iteration must supply *several* execution alternatives per
+job so that the phase-2 optimizer has something to choose between.  The
+scheme is:
+
+* walk the batch in priority order; for each job, find one window with
+  the configured algorithm (ALP or AMP);
+* on success, *subtract* the window's occupied spans from the vacant-slot
+  list, so that later alternatives — of this job and of every other job —
+  never intersect it in processor time;
+* after the last job, start over from the first job on the modified
+  list; stop when a full pass over the batch finds no window for any
+  job.
+
+Because every found window removes a positive amount of vacant processor
+time, the scheme always terminates.  The resulting alternatives are
+mutually disjoint, so *any* combination choosing one window per job is
+simultaneously realisable — the property the phase-2 dynamic programming
+relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core import alp, amp
+from repro.core.errors import InvalidRequestError
+from repro.core.job import Batch, Job, ResourceRequest
+from repro.core.slot import SlotList
+from repro.core.window import Window
+
+__all__ = ["SlotSearchAlgorithm", "SearchResult", "find_alternatives", "WindowFinder"]
+
+#: Signature of a pluggable single-window search: takes the current slot
+#: list and a request, returns a window or ``None``.
+WindowFinder = Callable[[SlotList, ResourceRequest], "Window | None"]
+
+
+class SlotSearchAlgorithm(enum.Enum):
+    """The two slot-search algorithms proposed by the paper."""
+
+    ALP = "alp"
+    AMP = "amp"
+
+    def finder(self, *, rho: float = 1.0) -> WindowFinder:
+        """A :data:`WindowFinder` for this algorithm.
+
+        Args:
+            rho: Budget-shrink factor of the Section 6 extension
+                (``S = ρ · C · t · N``).  Only meaningful for AMP; ALP
+                ignores it because its price cap is per-slot.
+        """
+        if self is SlotSearchAlgorithm.ALP:
+            return lambda slots, request: alp.find_window(slots, request)
+        return lambda slots, request: amp.find_window(
+            slots, request, budget=request.scaled_budget(rho)
+        )
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one alternative-search phase for a whole batch.
+
+    Attributes:
+        alternatives: For every job of the batch, its alternative windows
+            in discovery order (possibly empty).
+        remaining_slots: The vacant-slot list after all subtractions.
+        passes: Number of complete passes over the batch, including the
+            final empty pass that stopped the search.
+    """
+
+    alternatives: dict[Job, list[Window]]
+    remaining_slots: SlotList
+    passes: int
+
+    @property
+    def total_alternatives(self) -> int:
+        """Total number of windows found across the whole batch."""
+        return sum(len(windows) for windows in self.alternatives.values())
+
+    @property
+    def mean_alternatives_per_job(self) -> float:
+        """Average number of alternatives per job (paper's ~7.39 vs ~34.28)."""
+        if not self.alternatives:
+            return 0.0
+        return self.total_alternatives / len(self.alternatives)
+
+    def jobs_without_alternatives(self) -> list[Job]:
+        """Jobs whose scheduling must be postponed to the next iteration."""
+        return [job for job, windows in self.alternatives.items() if not windows]
+
+    def all_jobs_covered(self) -> bool:
+        """Whether every job of the batch has at least one alternative.
+
+        The paper's simulation study only counts experiments where this
+        holds for the algorithms being compared.
+        """
+        return all(self.alternatives.values())
+
+    def counts_by_job(self) -> Mapping[str, int]:
+        """Alternative counts keyed by job name (diagnostic view)."""
+        return {job.name: len(windows) for job, windows in self.alternatives.items()}
+
+
+def find_alternatives(
+    slot_list: SlotList,
+    batch: Batch,
+    algorithm: SlotSearchAlgorithm | WindowFinder = SlotSearchAlgorithm.AMP,
+    *,
+    rho: float = 1.0,
+    max_passes: int | None = None,
+    max_alternatives_per_job: int | None = None,
+) -> SearchResult:
+    """Find alternative windows for every job of ``batch``.
+
+    Args:
+        slot_list: Vacant slots of the current scheduling iteration.  The
+            input list is left untouched; the search works on a copy.
+        batch: Jobs in priority order.
+        algorithm: One of :class:`SlotSearchAlgorithm`, or any custom
+            :data:`WindowFinder` callable (used by the baselines and by
+            ablation experiments).
+        rho: AMP budget-shrink factor (Section 6 extension).
+        max_passes: Optional safety cap on batch passes; ``None`` runs
+            until a pass finds nothing (the paper's stopping rule).
+        max_alternatives_per_job: Optional cap on alternatives collected
+            per job; jobs at the cap are skipped in later passes.
+
+    Returns:
+        A :class:`SearchResult` with per-job alternatives, the modified
+        slot list, and the pass count.
+    """
+    if max_passes is not None and max_passes < 1:
+        raise InvalidRequestError(f"max_passes must be >= 1, got {max_passes!r}")
+    if max_alternatives_per_job is not None and max_alternatives_per_job < 1:
+        raise InvalidRequestError(
+            f"max_alternatives_per_job must be >= 1, got {max_alternatives_per_job!r}"
+        )
+    finder = (
+        algorithm.finder(rho=rho)
+        if isinstance(algorithm, SlotSearchAlgorithm)
+        else algorithm
+    )
+    working = slot_list.copy()
+    alternatives: dict[Job, list[Window]] = {job: [] for job in batch}
+    passes = 0
+    while max_passes is None or passes < max_passes:
+        passes += 1
+        found_any = False
+        for job in batch:
+            windows = alternatives[job]
+            if (
+                max_alternatives_per_job is not None
+                and len(windows) >= max_alternatives_per_job
+            ):
+                continue
+            window = finder(working, job.request)
+            if window is None:
+                continue
+            for resource, start, end in window.occupied_spans():
+                working.subtract(resource, start, end)
+            windows.append(window)
+            found_any = True
+        if not found_any:
+            break
+    return SearchResult(alternatives=alternatives, remaining_slots=working, passes=passes)

@@ -1,0 +1,245 @@
+"""JSON serialization of the core data model.
+
+Scheduling scenarios (environments, batches, schedules) need to be
+saved, diffed, and shared; this module round-trips every core value
+object through plain JSON-ready dictionaries:
+
+* resources, slots, slot lists;
+* requests, jobs, batches;
+* windows (with their source slots) and job → window assignments.
+
+Resource identity is preserved across a document: encoding interns each
+resource once under its uid, and decoding reuses one ``Resource``
+instance per uid, so slot lists and windows referring to the same node
+keep referring to the same node after a round trip.
+
+The format is versioned (``"format": "repro/1"``); decoding rejects
+unknown versions loudly rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import InvalidRequestError
+from repro.core.job import Batch, Job, ResourceRequest
+from repro.core.resource import Resource
+from repro.core.slot import Slot, SlotList
+from repro.core.window import TaskAllocation, Window
+
+__all__ = [
+    "FORMAT",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "save_scenario",
+    "load_scenario",
+    "Scenario",
+]
+
+#: Document format tag; bump on breaking layout changes.
+FORMAT = "repro/1"
+
+
+class Scenario:
+    """A serializable bundle: slot list + batch + optional assignment.
+
+    Attributes:
+        slots: The vacant-slot list.
+        batch: The job batch.
+        assignment: Optional job → window mapping (a committed schedule).
+    """
+
+    __slots__ = ("slots", "batch", "assignment")
+
+    def __init__(
+        self,
+        slots: SlotList,
+        batch: Batch,
+        assignment: dict[Job, Window] | None = None,
+    ) -> None:
+        self.slots = slots
+        self.batch = batch
+        self.assignment = assignment or {}
+
+
+# --------------------------------------------------------------------- #
+# Encoding                                                              #
+# --------------------------------------------------------------------- #
+
+
+class _Encoder:
+    def __init__(self) -> None:
+        self.resources: dict[int, dict[str, Any]] = {}
+
+    def resource(self, resource: Resource) -> int:
+        if resource.uid not in self.resources:
+            self.resources[resource.uid] = {
+                "uid": resource.uid,
+                "name": resource.name,
+                "performance": resource.performance,
+                "price": resource.price,
+            }
+        return resource.uid
+
+    def slot(self, slot: Slot) -> dict[str, Any]:
+        return {
+            "resource": self.resource(slot.resource),
+            "start": slot.start,
+            "end": slot.end,
+            "price": slot.price,
+        }
+
+    def request(self, request: ResourceRequest) -> dict[str, Any]:
+        return {
+            "node_count": request.node_count,
+            "volume": request.volume,
+            "min_performance": request.min_performance,
+            "max_price": None if math.isinf(request.max_price) else request.max_price,
+        }
+
+    def job(self, job: Job) -> dict[str, Any]:
+        return {
+            "uid": job.uid,
+            "name": job.name,
+            "priority": job.priority,
+            "request": self.request(job.request),
+        }
+
+    def window(self, window: Window) -> dict[str, Any]:
+        return {
+            "request": self.request(window.request),
+            "allocations": [
+                {
+                    "source": self.slot(allocation.source),
+                    "start": allocation.start,
+                    "end": allocation.end,
+                }
+                for allocation in window.allocations
+            ],
+        }
+
+
+def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
+    """Encode a scenario as a JSON-ready dictionary."""
+    encoder = _Encoder()
+    slots = [encoder.slot(slot) for slot in scenario.slots]
+    jobs = [encoder.job(job) for job in scenario.batch]
+    assignment = [
+        {"job": job.uid, "window": encoder.window(window)}
+        for job, window in scenario.assignment.items()
+    ]
+    return {
+        "format": FORMAT,
+        "resources": list(encoder.resources.values()),
+        "slots": slots,
+        "jobs": jobs,
+        "assignment": assignment,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Decoding                                                              #
+# --------------------------------------------------------------------- #
+
+
+def _decode_request(payload: dict[str, Any]) -> ResourceRequest:
+    max_price = payload.get("max_price")
+    return ResourceRequest(
+        node_count=int(payload["node_count"]),
+        volume=float(payload["volume"]),
+        min_performance=float(payload["min_performance"]),
+        max_price=math.inf if max_price is None else float(max_price),
+    )
+
+
+def scenario_from_dict(data: dict[str, Any]) -> Scenario:
+    """Decode a scenario produced by :func:`scenario_to_dict`.
+
+    Raises:
+        InvalidRequestError: On an unknown format tag or references to
+            undeclared resources/jobs.
+    """
+    if data.get("format") != FORMAT:
+        raise InvalidRequestError(
+            f"unsupported scenario format {data.get('format')!r}; expected {FORMAT!r}"
+        )
+    resources: dict[int, Resource] = {}
+    for payload in data.get("resources", []):
+        resource = Resource(
+            name=str(payload["name"]),
+            performance=float(payload["performance"]),
+            price=float(payload["price"]),
+            uid=int(payload["uid"]),
+        )
+        resources[resource.uid] = resource
+
+    def resource_of(uid: int) -> Resource:
+        try:
+            return resources[uid]
+        except KeyError:
+            raise InvalidRequestError(f"slot references undeclared resource uid {uid}") from None
+
+    def decode_slot(payload: dict[str, Any]) -> Slot:
+        return Slot(
+            resource_of(int(payload["resource"])),
+            float(payload["start"]),
+            float(payload["end"]),
+            price=float(payload["price"]),
+        )
+
+    slots = SlotList(decode_slot(payload) for payload in data.get("slots", []))
+    jobs_by_uid: dict[int, Job] = {}
+    jobs = []
+    for payload in data.get("jobs", []):
+        job = Job(
+            _decode_request(payload["request"]),
+            name=str(payload["name"]),
+            priority=int(payload["priority"]),
+            uid=int(payload["uid"]),
+        )
+        jobs_by_uid[job.uid] = job
+        jobs.append(job)
+    batch = Batch(jobs)
+
+    assignment: dict[Job, Window] = {}
+    for entry in data.get("assignment", []):
+        job_uid = int(entry["job"])
+        if job_uid not in jobs_by_uid:
+            raise InvalidRequestError(
+                f"assignment references undeclared job uid {job_uid}"
+            )
+        window_payload = entry["window"]
+        request = _decode_request(window_payload["request"])
+        allocations = [
+            TaskAllocation(
+                decode_slot(item["source"]),
+                float(item["start"]),
+                float(item["end"]),
+            )
+            for item in window_payload["allocations"]
+        ]
+        assignment[jobs_by_uid[job_uid]] = Window(request, allocations)
+    return Scenario(slots=slots, batch=batch, assignment=assignment)
+
+
+# --------------------------------------------------------------------- #
+# File helpers                                                          #
+# --------------------------------------------------------------------- #
+
+
+def save_scenario(scenario: Scenario, path: str | Path) -> Path:
+    """Write a scenario to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(scenario_to_dict(scenario), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Read a scenario written by :func:`save_scenario`."""
+    return scenario_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,185 @@
+"""Scheduling strategies — sets of schedule *versions* (paper Section 7).
+
+The paper's closing argument (refs [13, 14]): under environment dynamics
+"a set of versions of scheduling, or a strategy, is required instead of
+a single version".  This module implements that idea on top of the
+two-phase scheduler: a :class:`ScheduleStrategy` holds several complete,
+individually valid schedule versions for the same batch — produced under
+different configurations (ALP vs AMP, time vs cost, shrunk budgets) —
+and can answer, *without rescheduling*:
+
+* which version is best under a criterion right now, and
+* which versions **survive** a set of node failures (no task of any
+  scheduled job touches a failed node), and which survivor is best.
+
+Versions are built against the same initial slot list, so exactly one of
+them is committed; the others are contingency plans.  Switching after a
+failure is O(versions × windows) — the "scalable co-scheduling" property
+the paper is after, versus a full rescheduling pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.criteria import Criterion
+from repro.core.errors import InvalidRequestError
+from repro.core.job import Batch
+from repro.core.resource import Resource
+from repro.core.scheduler import BatchScheduler, ScheduleOutcome, SchedulerConfig
+from repro.core.slot import SlotList
+
+__all__ = ["ScheduleVersion", "ScheduleStrategy", "build_strategy"]
+
+
+@dataclass(frozen=True)
+class ScheduleVersion:
+    """One complete scheduling version of the batch.
+
+    Attributes:
+        name: Label identifying the configuration that produced it.
+        config: The scheduler configuration used.
+        outcome: The full two-phase outcome (combination, postponed...).
+    """
+
+    name: str
+    config: SchedulerConfig
+    outcome: ScheduleOutcome
+
+    @property
+    def total_time(self) -> float:
+        """Batch time criterion ``T(s̄)`` of this version."""
+        return self.outcome.combination.total_time
+
+    @property
+    def total_cost(self) -> float:
+        """Batch cost criterion ``C(s̄)`` of this version."""
+        return self.outcome.combination.total_cost
+
+    @property
+    def scheduled_count(self) -> int:
+        """Jobs this version actually places."""
+        return len(self.outcome.scheduled_jobs)
+
+    def uses_resource(self, resource_uid: int) -> bool:
+        """Whether any scheduled window runs a task on ``resource_uid``."""
+        return any(
+            allocation.resource.uid == resource_uid
+            for window in self.outcome.scheduled_jobs.values()
+            for allocation in window.allocations
+        )
+
+    def survives(self, failed: Iterable[Resource | int]) -> bool:
+        """Whether the version avoids every failed resource entirely."""
+        failed_uids = {
+            item.uid if isinstance(item, Resource) else int(item) for item in failed
+        }
+        return not any(self.uses_resource(uid) for uid in failed_uids)
+
+
+class ScheduleStrategy:
+    """An ordered set of schedule versions for one batch."""
+
+    def __init__(self, versions: Sequence[ScheduleVersion]) -> None:
+        if not versions:
+            raise InvalidRequestError("a strategy needs at least one version")
+        names = [version.name for version in versions]
+        if len(set(names)) != len(names):
+            raise InvalidRequestError(f"version names must be unique, got {names}")
+        self._versions = tuple(versions)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __iter__(self):
+        return iter(self._versions)
+
+    @property
+    def versions(self) -> tuple[ScheduleVersion, ...]:
+        """All versions, in construction order."""
+        return self._versions
+
+    def version(self, name: str) -> ScheduleVersion:
+        """Look a version up by name (KeyError when absent)."""
+        for candidate in self._versions:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+    def best(
+        self, criterion: Criterion = Criterion.TIME, *, require_full_coverage: bool = False
+    ) -> ScheduleVersion:
+        """The best version under ``criterion``.
+
+        Versions placing more jobs always rank above versions placing
+        fewer (a cheap schedule that drops half the batch is not
+        "better"); the criterion breaks ties within equal coverage.
+
+        Raises:
+            InvalidRequestError: When ``require_full_coverage`` is set
+                and no version schedules every job.
+        """
+        candidates = list(self._versions)
+        if require_full_coverage:
+            full = [v for v in candidates if not v.outcome.postponed]
+            if not full:
+                raise InvalidRequestError("no version schedules the whole batch")
+            candidates = full
+        return min(
+            candidates,
+            key=lambda v: (
+                -v.scheduled_count,
+                v.total_time if criterion is Criterion.TIME else v.total_cost,
+            ),
+        )
+
+    def surviving(self, failed: Iterable[Resource | int]) -> list[ScheduleVersion]:
+        """Versions untouched by the failed resources, in order."""
+        failed_list = list(failed)
+        return [version for version in self._versions if version.survives(failed_list)]
+
+    def best_surviving(
+        self, failed: Iterable[Resource | int], criterion: Criterion = Criterion.TIME
+    ) -> ScheduleVersion | None:
+        """The best version that survives the failures, or ``None``.
+
+        ``None`` means every contingency plan is hit and a genuine
+        rescheduling pass is unavoidable.
+        """
+        survivors = self.surviving(failed)
+        if not survivors:
+            return None
+        return min(
+            survivors,
+            key=lambda v: (
+                -v.scheduled_count,
+                v.total_time if criterion is Criterion.TIME else v.total_cost,
+            ),
+        )
+
+
+def build_strategy(
+    slot_list: SlotList,
+    batch: Batch,
+    configs: dict[str, SchedulerConfig],
+) -> ScheduleStrategy:
+    """Build a strategy by scheduling the batch under each configuration.
+
+    Every version is computed against the *same* snapshot of the slot
+    list, so all versions are individually commitable and mutually
+    exclusive contingency plans.
+
+    Raises:
+        InvalidRequestError: For an empty configuration set.
+        InfeasibleConstraintError: Propagated from configurations using
+            :attr:`InfeasiblePolicy.RAISE` on infeasible iterations —
+            use the EARLIEST fallback for robust strategies.
+    """
+    if not configs:
+        raise InvalidRequestError("need at least one configuration")
+    versions = []
+    for name, config in configs.items():
+        outcome = BatchScheduler(config).schedule(slot_list, batch)
+        versions.append(ScheduleVersion(name=name, config=config, outcome=outcome))
+    return ScheduleStrategy(versions)

@@ -1,0 +1,161 @@
+"""Timeline diagnostics over slot lists.
+
+Generator calibration and environment debugging need to see a slot list
+as a *supply curve over time*, not a list: how many slots (or how much
+aggregate performance) is available at each instant, and how many of
+them could actually host a given request.  Section 5 justifies its gap
+parameters with exactly such a claim — "at each moment of time we have
+at least five different slots ready for utilization" — which the tests
+verify with these tools.
+
+All profiles are step functions represented as breakpoint lists
+``[(t0, v0), (t1, v1), ...]``: the value is ``v_i`` on ``[t_i, t_{i+1})``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import SlotListError
+from repro.core.job import ResourceRequest
+from repro.core.slot import Slot, SlotList
+
+__all__ = ["StepFunction", "concurrency_profile", "alive_profile", "supply_summary", "SupplySummary"]
+
+
+@dataclass(frozen=True)
+class StepFunction:
+    """A right-continuous step function as sorted breakpoints.
+
+    Attributes:
+        breakpoints: ``(time, value)`` pairs, time strictly increasing;
+            the function holds ``value`` from that time until the next
+            breakpoint and is 0 before the first.
+    """
+
+    breakpoints: tuple[tuple[float, float], ...]
+
+    def at(self, time: float) -> float:
+        """Value at ``time`` (0 before the first breakpoint)."""
+        value = 0.0
+        for point_time, point_value in self.breakpoints:
+            if point_time > time:
+                break
+            value = point_value
+        return value
+
+    def minimum_on(self, start: float, end: float) -> float:
+        """Smallest value attained anywhere on ``[start, end)``."""
+        if end <= start:
+            raise SlotListError(f"empty interval [{start!r}, {end!r})")
+        lowest = self.at(start)
+        for point_time, point_value in self.breakpoints:
+            if start < point_time < end:
+                lowest = min(lowest, point_value)
+        return lowest
+
+    def maximum(self) -> float:
+        """Largest value over the whole function (0 when empty)."""
+        if not self.breakpoints:
+            return 0.0
+        return max(value for _, value in self.breakpoints)
+
+
+def _profile(slot_list: SlotList, weight: Callable[[Slot], float], active_until: Callable[[Slot], float]) -> StepFunction:
+    """Generic sweep-line profile: Σ weight(s) over slots active at t."""
+    events: dict[float, float] = {}
+    for slot in slot_list:
+        until = active_until(slot)
+        if until <= slot.start:
+            continue
+        events[slot.start] = events.get(slot.start, 0.0) + weight(slot)
+        events[until] = events.get(until, 0.0) - weight(slot)
+    breakpoints = []
+    value = 0.0
+    for time in sorted(events):
+        value += events[time]
+        breakpoints.append((time, value))
+    return StepFunction(tuple(breakpoints))
+
+
+def concurrency_profile(slot_list: SlotList) -> StepFunction:
+    """Number of vacant slots covering each instant."""
+    return _profile(slot_list, weight=lambda slot: 1.0, active_until=lambda slot: slot.end)
+
+
+def alive_profile(slot_list: SlotList, request: ResourceRequest) -> StepFunction:
+    """Number of slots *alive for* ``request`` at each instant.
+
+    A slot is alive at ``t`` when a task of the request starting at ``t``
+    fits (suitability conditions 2°a/2°b plus the expiry rule): between
+    ``slot.start`` and ``slot.end − runtime``.  Price is ignored — this
+    is the supply AMP sees.  The request is co-allocatable at ``t`` iff
+    the profile is ≥ ``request.node_count`` there.
+    """
+    def active_until(slot: Slot) -> float:
+        if not request.admits_performance(slot.resource):
+            return slot.start  # never active
+        return slot.end - request.runtime_on(slot.resource)
+
+    # ``active_until`` is exclusive in _profile, but aliveness is closed
+    # on the right (a task may start exactly at end − runtime); nudging
+    # by nothing keeps half-open semantics consistent with the rest of
+    # the library and errs on the conservative side.
+    return _profile(slot_list, weight=lambda slot: 1.0, active_until=active_until)
+
+
+@dataclass(frozen=True)
+class SupplySummary:
+    """Headline numbers of a slot list's supply curve.
+
+    Attributes:
+        peak_concurrency: Maximum simultaneously vacant slots.
+        min_concurrency: Minimum over the busy span (first slot start to
+            the earliest profile drop-to-zero or last start).
+        total_vacant_time: Aggregate vacant slot time.
+        mean_performance: Supply-weighted mean node performance.
+    """
+
+    peak_concurrency: int
+    min_concurrency: int
+    total_vacant_time: float
+    mean_performance: float
+
+
+def supply_summary(slot_list: SlotList, *, warmup_starts: int = 0) -> SupplySummary:
+    """Summarize a slot list's supply curve.
+
+    ``min_concurrency`` is evaluated over the span where the generator
+    claims continuous supply: from the ``warmup_starts``-th slot's start
+    time to the last slot's start (after that, slots only drain).  A
+    slot list necessarily ramps up from one slot, so steady-state claims
+    — like Section 5's "at least five slots ready at each moment" —
+    should be checked with a small warmup.
+
+    Raises:
+        SlotListError: For an empty list or an out-of-range warmup.
+    """
+    if len(slot_list) == 0:
+        raise SlotListError("supply summary of an empty slot list is undefined")
+    if not 0 <= warmup_starts < len(slot_list):
+        raise SlotListError(
+            f"warmup_starts must be within [0, {len(slot_list)}), got {warmup_starts!r}"
+        )
+    profile = concurrency_profile(slot_list)
+    first_start = slot_list[warmup_starts].start
+    last_start = max(slot.start for slot in slot_list)
+    if last_start > first_start:
+        minimum = profile.minimum_on(first_start, last_start)
+    else:
+        minimum = profile.at(first_start)
+    total_time = slot_list.total_vacant_time()
+    weighted_performance = sum(
+        slot.length * slot.resource.performance for slot in slot_list
+    )
+    return SupplySummary(
+        peak_concurrency=int(profile.maximum()),
+        min_concurrency=int(minimum),
+        total_vacant_time=total_time,
+        mean_performance=weighted_performance / total_time if total_time else 0.0,
+    )

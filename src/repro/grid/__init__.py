@@ -1,0 +1,85 @@
+"""Grid substrate: the virtual organization the scheduler runs against.
+
+The paper evaluates its algorithms on slot lists; real deployments get
+those slot lists from *somewhere* — local resource managers publishing
+the vacant gaps of their nodes' occupancy schedules.  This package
+builds that somewhere:
+
+* :mod:`repro.grid.occupancy` — busy-interval schedules per node;
+* :mod:`repro.grid.node` — priced compute nodes (resource + schedule);
+* :mod:`repro.grid.cluster` — resource domains under one owner;
+* :mod:`repro.grid.local` — owner-local job flows (non-dedication);
+* :mod:`repro.grid.environment` — the VO: publishes slot lists, commits
+  windows;
+* :mod:`repro.grid.metascheduler` — the periodic batch-scheduling cycle
+  with postponement;
+* :mod:`repro.grid.trace` — job life-cycle records and run metrics.
+"""
+
+from repro.grid.accounting import (
+    OwnerLine,
+    OwnerStatement,
+    UserLine,
+    UserStatement,
+    owner_statement,
+    user_statement,
+)
+from repro.grid.arrivals import BurstyArrivals, PoissonArrivals
+from repro.grid.cluster import Cluster, ClusterSpec
+from repro.grid.environment import VOEnvironment
+from repro.grid.events import EventKind, SimulationDriver, SimulationEvent
+from repro.grid.local import LocalJobFlow, LocalLoadModel
+from repro.grid.metascheduler import IterationReport, Metascheduler
+from repro.grid.node import (
+    LOCAL_LABEL_PREFIX,
+    OUTAGE_LABEL_PREFIX,
+    RESERVATION_LABEL_PREFIX,
+    ComputeNode,
+    total_income,
+)
+from repro.grid.occupancy import BusyInterval, OccupancySchedule
+from repro.grid.swf import (
+    SwfImportPolicy,
+    SwfImportResult,
+    parse_swf,
+    read_swf,
+    write_swf,
+)
+from repro.grid.trace import JobRecord, JobState, TraceSummary, WorkloadTrace
+
+__all__ = [
+    "BusyInterval",
+    "OccupancySchedule",
+    "ComputeNode",
+    "total_income",
+    "LOCAL_LABEL_PREFIX",
+    "RESERVATION_LABEL_PREFIX",
+    "OUTAGE_LABEL_PREFIX",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "SimulationDriver",
+    "SimulationEvent",
+    "EventKind",
+    "SwfImportPolicy",
+    "SwfImportResult",
+    "parse_swf",
+    "read_swf",
+    "write_swf",
+    "OwnerStatement",
+    "OwnerLine",
+    "UserStatement",
+    "UserLine",
+    "owner_statement",
+    "user_statement",
+    "Cluster",
+    "ClusterSpec",
+    "LocalJobFlow",
+    "LocalLoadModel",
+    "VOEnvironment",
+    "Metascheduler",
+    "IterationReport",
+    "WorkloadTrace",
+    "JobRecord",
+    "JobState",
+    "TraceSummary",
+]

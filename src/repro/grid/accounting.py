@@ -1,0 +1,192 @@
+"""Economic accounting: billing statements for owners and users.
+
+The economic model's point is that money changes hands: users pay for
+windows, owners earn for reserved time.  This module turns a VO run
+(environment + workload trace) into the two standard statements:
+
+* :func:`owner_statement` — per-cluster income: reserved time sold,
+  local time kept, utilization split (the owners' side of the paper's
+  "balance of global and local job shares" that ``T*`` protects);
+* :func:`user_statement` — per-job spend: window cost, unit price paid,
+  wait time (the users' side: "the earliest launch with the lowest
+  costs").
+
+Both are plain dataclasses plus text renderers, so examples and
+operators can print invoices without touching the internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidRequestError
+from repro.grid.environment import VOEnvironment
+from repro.grid.node import LOCAL_LABEL_PREFIX, RESERVATION_LABEL_PREFIX
+from repro.grid.trace import JobState, WorkloadTrace
+from repro.sim.ascii_plot import table
+
+__all__ = [
+    "OwnerLine",
+    "OwnerStatement",
+    "UserLine",
+    "UserStatement",
+    "owner_statement",
+    "user_statement",
+]
+
+
+@dataclass(frozen=True)
+class OwnerLine:
+    """One cluster's earnings over the accounting period."""
+
+    cluster: str
+    nodes: int
+    income: float
+    reserved_time: float
+    local_time: float
+    utilization: float
+
+    @property
+    def global_share(self) -> float:
+        """Fraction of busy time sold to the global flow."""
+        busy = self.reserved_time + self.local_time
+        return self.reserved_time / busy if busy else 0.0
+
+
+@dataclass(frozen=True)
+class OwnerStatement:
+    """All clusters' earnings over ``[period_start, period_end)``."""
+
+    period_start: float
+    period_end: float
+    lines: tuple[OwnerLine, ...]
+
+    @property
+    def total_income(self) -> float:
+        """VO-wide owner income for the period."""
+        return sum(line.income for line in self.lines)
+
+    def render(self) -> str:
+        """Text invoice, one row per cluster."""
+        rows = [
+            [
+                line.cluster,
+                str(line.nodes),
+                f"{line.income:.2f}",
+                f"{line.reserved_time:.1f}",
+                f"{line.local_time:.1f}",
+                f"{100 * line.global_share:.0f}%",
+                f"{100 * line.utilization:.0f}%",
+            ]
+            for line in self.lines
+        ]
+        rows.append(["TOTAL", "", f"{self.total_income:.2f}", "", "", "", ""])
+        return table(
+            rows,
+            header=["cluster", "nodes", "income", "sold time", "local time", "global share", "util"],
+        )
+
+
+def owner_statement(
+    environment: VOEnvironment, period_start: float, period_end: float
+) -> OwnerStatement:
+    """Build the owners' statement for an accounting period.
+
+    Raises:
+        InvalidRequestError: For an empty period.
+    """
+    if period_end <= period_start:
+        raise InvalidRequestError(
+            f"accounting period must be non-empty, got [{period_start!r}, {period_end!r})"
+        )
+    lines = []
+    for cluster in environment.clusters:
+        reserved = sum(
+            node.schedule.busy_time(
+                period_start, period_end, label_prefix=RESERVATION_LABEL_PREFIX
+            )
+            for node in cluster
+        )
+        local = sum(
+            node.schedule.busy_time(
+                period_start, period_end, label_prefix=LOCAL_LABEL_PREFIX
+            )
+            for node in cluster
+        )
+        lines.append(
+            OwnerLine(
+                cluster=cluster.name,
+                nodes=len(cluster),
+                income=cluster.income(period_start, period_end),
+                reserved_time=reserved,
+                local_time=local,
+                utilization=cluster.utilization(period_start, period_end),
+            )
+        )
+    return OwnerStatement(
+        period_start=period_start, period_end=period_end, lines=tuple(lines)
+    )
+
+
+@dataclass(frozen=True)
+class UserLine:
+    """One global job's bill."""
+
+    job_name: str
+    state: JobState
+    cost: float | None
+    unit_price: float | None
+    execution_time: float | None
+    wait_time: float | None
+
+
+@dataclass(frozen=True)
+class UserStatement:
+    """Bills for every job of a workload trace."""
+
+    lines: tuple[UserLine, ...]
+
+    @property
+    def total_spend(self) -> float:
+        """Aggregate spend over billed (placed) jobs."""
+        return sum(line.cost for line in self.lines if line.cost is not None)
+
+    def render(self) -> str:
+        """Text bill, one row per job."""
+        def fmt(value: float | None, pattern: str = "{:.2f}") -> str:
+            return "-" if value is None else pattern.format(value)
+
+        rows = [
+            [
+                line.job_name,
+                line.state.value,
+                fmt(line.cost),
+                fmt(line.unit_price),
+                fmt(line.execution_time, "{:.1f}"),
+                fmt(line.wait_time, "{:.1f}"),
+            ]
+            for line in self.lines
+        ]
+        rows.append(["TOTAL", "", f"{self.total_spend:.2f}", "", "", ""])
+        return table(
+            rows,
+            header=["job", "state", "cost", "price/unit", "exec time", "wait"],
+        )
+
+
+def user_statement(trace: WorkloadTrace) -> UserStatement:
+    """Build the users' statement from a workload trace."""
+    lines = []
+    for record in trace:
+        window = record.window
+        lines.append(
+            UserLine(
+                job_name=record.job.name,
+                state=record.state,
+                cost=record.cost,
+                unit_price=window.unit_cost if window is not None else None,
+                execution_time=window.length if window is not None else None,
+                wait_time=record.wait_time,
+            )
+        )
+    return UserStatement(lines=tuple(lines))

@@ -1,0 +1,123 @@
+"""Job arrival processes for the global user flow.
+
+Section 7 of the paper names "changes in the number of jobs for
+servicing" as one of the dynamics co-scheduling strategies must absorb.
+This module supplies the standard arrival models so VO simulations can
+drive the metascheduler with a realistic global flow instead of a fixed
+job list:
+
+* :class:`PoissonArrivals` — memoryless arrivals at a given rate, the
+  default model for independent users;
+* :class:`BurstyArrivals` — alternating calm/burst phases, stressing the
+  batch-postponement machinery.
+
+Both emit ``(time, Job)`` pairs generated from a
+:class:`~repro.sim.generators.JobGenerator`, so requests follow the
+Section 5 parameter ranges unless configured otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import InvalidRequestError
+from repro.core.job import Job
+from repro.sim.generators import JobGenerator
+
+__all__ = ["PoissonArrivals", "BurstyArrivals"]
+
+
+@dataclass
+class PoissonArrivals:
+    """Poisson process of global job submissions.
+
+    Attributes:
+        rate: Expected arrivals per time unit (``λ > 0``).
+        generator: Source of job requests (fresh Section 5 generator
+            when omitted).
+        seed: Seed for the arrival-time RNG.
+    """
+
+    rate: float
+    generator: JobGenerator | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise InvalidRequestError(f"rate must be positive, got {self.rate!r}")
+        if self.generator is None:
+            self.generator = JobGenerator(seed=self.seed)
+        self._rng = random.Random(self.seed)
+        self._counter = 0
+
+    def stream(self, start: float, end: float) -> Iterator[tuple[float, Job]]:
+        """Yield ``(submit_time, job)`` pairs inside ``[start, end)``."""
+        if end < start:
+            raise InvalidRequestError(f"end {end!r} precedes start {start!r}")
+        now = start
+        assert self.generator is not None
+        while True:
+            now += self._rng.expovariate(self.rate)
+            if now >= end:
+                return
+            self._counter += 1
+            yield now, Job(self.generator.generate_request(), name=f"arr{self._counter}")
+
+
+@dataclass
+class BurstyArrivals:
+    """Two-phase arrival process: calm Poisson flow with periodic bursts.
+
+    During a burst the rate multiplies by ``burst_factor``; bursts of
+    ``burst_length`` start every ``burst_period`` time units.  The model
+    is deliberately simple — its purpose is stressing postponement, not
+    matching a trace.
+    """
+
+    base_rate: float
+    burst_factor: float = 5.0
+    burst_period: float = 500.0
+    burst_length: float = 100.0
+    generator: JobGenerator | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise InvalidRequestError(f"base_rate must be positive, got {self.base_rate!r}")
+        if self.burst_factor < 1:
+            raise InvalidRequestError(
+                f"burst_factor must be >= 1, got {self.burst_factor!r}"
+            )
+        if self.burst_period <= 0 or not 0 < self.burst_length <= self.burst_period:
+            raise InvalidRequestError(
+                "need 0 < burst_length <= burst_period, got "
+                f"{self.burst_length!r} / {self.burst_period!r}"
+            )
+        if self.generator is None:
+            self.generator = JobGenerator(seed=self.seed)
+        self._rng = random.Random(self.seed)
+        self._counter = 0
+
+    def _rate_at(self, time: float) -> float:
+        phase = time % self.burst_period
+        return self.base_rate * (self.burst_factor if phase < self.burst_length else 1.0)
+
+    def stream(self, start: float, end: float) -> Iterator[tuple[float, Job]]:
+        """Yield ``(submit_time, job)`` pairs via thinning of the peak rate."""
+        if end < start:
+            raise InvalidRequestError(f"end {end!r} precedes start {start!r}")
+        peak = self.base_rate * self.burst_factor
+        now = start
+        assert self.generator is not None
+        while True:
+            now += self._rng.expovariate(peak)
+            if now >= end:
+                return
+            # Thinning: accept with probability rate(t)/peak.
+            if self._rng.random() <= self._rate_at(now) / peak:
+                self._counter += 1
+                yield now, Job(
+                    self.generator.generate_request(), name=f"burst{self._counter}"
+                )

@@ -1,0 +1,103 @@
+"""Clusters (resource domains) of the virtual organization.
+
+The paper's environment consists of "resource domains (clusters,
+computational nodes equipped with multicore processors, etc.)" whose
+owners run local job flows alongside the global flow (Section 1).  A
+:class:`Cluster` groups nodes that share ownership; node performance and
+price are drawn per node, so a cluster is homogeneous in administration
+but may be heterogeneous in hardware generations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.errors import InvalidRequestError
+from repro.core.pricing import ExponentialPricing
+from repro.grid.node import ComputeNode
+
+__all__ = ["ClusterSpec", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Blueprint for generating a cluster.
+
+    Attributes:
+        name: Cluster name (node names become ``"{name}-n{i}"``).
+        node_count: Number of nodes.
+        performance_range: Uniform sampling range of node performance
+            (paper default ``[1, 3]``).
+        pricing: Price law mapping performance to price per time unit.
+    """
+
+    name: str
+    node_count: int
+    performance_range: tuple[float, float] = (1.0, 3.0)
+    pricing: ExponentialPricing = field(default_factory=ExponentialPricing)
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise InvalidRequestError(f"node_count must be >= 1, got {self.node_count!r}")
+        low, high = self.performance_range
+        if not 0 < low <= high:
+            raise InvalidRequestError(
+                f"performance_range must satisfy 0 < low <= high, got {self.performance_range!r}"
+            )
+
+    def build(self, rng: random.Random) -> "Cluster":
+        """Instantiate a cluster, sampling node attributes with ``rng``."""
+        nodes = []
+        low, high = self.performance_range
+        for index in range(self.node_count):
+            performance = rng.uniform(low, high)
+            price = self.pricing.sample(performance, rng)
+            nodes.append(
+                ComputeNode(
+                    f"{self.name}-n{index}", performance=performance, price=price
+                )
+            )
+        return Cluster(self.name, nodes)
+
+
+class Cluster:
+    """A named group of compute nodes under one owner."""
+
+    __slots__ = ("name", "_nodes")
+
+    def __init__(self, name: str, nodes: list[ComputeNode]) -> None:
+        if not nodes:
+            raise InvalidRequestError(f"cluster {name!r} must have at least one node")
+        self.name = name
+        self._nodes = list(nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[ComputeNode]:
+        return iter(self._nodes)
+
+    def __getitem__(self, index: int) -> ComputeNode:
+        return self._nodes[index]
+
+    @property
+    def nodes(self) -> tuple[ComputeNode, ...]:
+        """The cluster's nodes."""
+        return tuple(self._nodes)
+
+    def utilization(self, horizon_start: float, horizon_end: float) -> float:
+        """Mean node utilization over the horizon."""
+        if not self._nodes:
+            return 0.0
+        return sum(
+            node.utilization(horizon_start, horizon_end) for node in self._nodes
+        ) / len(self._nodes)
+
+    def income(self, horizon_start: float, horizon_end: float) -> float:
+        """Owner income from global-job reservations over the horizon."""
+        return sum(node.income(horizon_start, horizon_end) for node in self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cluster({self.name!r}, {len(self._nodes)} nodes)"

@@ -1,0 +1,181 @@
+"""Discrete-event simulation driver for virtual-organization runs.
+
+The examples drive the metascheduler with hand-written loops; longer
+studies want a proper event queue.  :class:`SimulationDriver` wires the
+three event sources of the Section 2/Section 7 model together on a
+single timeline:
+
+* **scheduling ticks** — the periodic batch iterations;
+* **job arrivals** — from any object with a ``stream(start, end)``
+  method (:mod:`repro.grid.arrivals`), or explicit submissions;
+* **node outages** — scheduled failures with repair times, resubmitting
+  the jobs they kill.
+
+Events at equal times fire in insertion-stable priority order
+(arrivals → outages → ticks), so a job arriving exactly at a tick is
+batched by that tick, and an outage at a tick is visible to it.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol
+
+from repro.core.errors import InvalidRequestError
+from repro.core.job import Job
+from repro.grid.metascheduler import IterationReport, Metascheduler
+from repro.grid.node import ComputeNode
+
+__all__ = ["EventKind", "SimulationEvent", "ArrivalSource", "SimulationDriver"]
+
+
+class EventKind(enum.IntEnum):
+    """Event families, ordered by same-time firing priority."""
+
+    ARRIVAL = 0
+    OUTAGE = 1
+    TICK = 2
+    CUSTOM = 3
+
+
+class ArrivalSource(Protocol):
+    """Anything that can produce a submission stream (duck-typed)."""
+
+    def stream(self, start: float, end: float) -> Iterable[tuple[float, Job]]:
+        """Yield ``(submit_time, job)`` pairs inside ``[start, end)``."""
+
+
+@dataclass(frozen=True)
+class SimulationEvent:
+    """One fired event, as recorded in the driver's log.
+
+    Attributes:
+        time: Firing time.
+        kind: Event family.
+        description: Human-readable note (job name, node name, ...).
+        report: The iteration report, for TICK events.
+    """
+
+    time: float
+    kind: EventKind
+    description: str
+    report: IterationReport | None = None
+
+
+class SimulationDriver:
+    """Runs a metascheduler on an event-queue timeline."""
+
+    def __init__(self, metascheduler: Metascheduler) -> None:
+        self.metascheduler = metascheduler
+        self.log: list[SimulationEvent] = []
+        self._queue: list[tuple[float, int, int, Callable[[float], str]]] = []
+        self._sequence = itertools.count()
+        self._kinds: dict[int, EventKind] = {}
+
+    # ------------------------------------------------------------------ #
+    # Event scheduling                                                   #
+    # ------------------------------------------------------------------ #
+
+    def _push(self, time: float, kind: EventKind, action: Callable[[float], str]) -> None:
+        if time < 0:
+            raise InvalidRequestError(f"event time must be non-negative, got {time!r}")
+        sequence = next(self._sequence)
+        self._kinds[sequence] = kind
+        heapq.heappush(self._queue, (time, int(kind), sequence, action))
+
+    def add_arrivals(self, source: ArrivalSource, start: float, end: float) -> int:
+        """Schedule every submission of ``source`` in ``[start, end)``.
+
+        Returns the number of arrivals scheduled.
+        """
+        count = 0
+        for submit_time, job in source.stream(start, end):
+            self.add_submission(job, submit_time)
+            count += 1
+        return count
+
+    def add_submission(self, job: Job, at_time: float) -> None:
+        """Schedule one explicit job submission."""
+
+        def fire(now: float) -> str:
+            self.metascheduler.submit(job, at_time=now)
+            return f"submit {job.name}"
+
+        self._push(at_time, EventKind.ARRIVAL, fire)
+
+    def add_outage(self, node: ComputeNode, at_time: float, duration: float) -> None:
+        """Schedule a node failure lasting ``duration`` time units."""
+        if duration <= 0:
+            raise InvalidRequestError(f"outage duration must be positive, got {duration!r}")
+
+        def fire(now: float) -> str:
+            resubmitted = self.metascheduler.inject_outage(node, now, now + duration)
+            names = ",".join(job.name for job in resubmitted) or "none"
+            return f"outage {node.name} [{now:g}, {now + duration:g}) resubmitted: {names}"
+
+        self._push(at_time, EventKind.OUTAGE, fire)
+
+    def add_ticks(self, start: float, end: float) -> int:
+        """Schedule the periodic scheduling iterations over ``[start, end]``.
+
+        Returns the number of ticks scheduled.
+        """
+        if end < start:
+            raise InvalidRequestError(f"end {end!r} precedes start {start!r}")
+        count = 0
+        now = start
+        while now <= end:
+            self._push(now, EventKind.TICK, self._fire_tick)
+            count += 1
+            now += self.metascheduler.period
+        return count
+
+    def add_custom(self, at_time: float, action: Callable[[float], str]) -> None:
+        """Schedule an arbitrary action; it returns its log description."""
+        self._push(at_time, EventKind.CUSTOM, action)
+
+    def _fire_tick(self, now: float) -> str:
+        report = self.metascheduler.run_iteration(now)
+        self._last_report = report
+        return (
+            f"tick #{report.index}: batch {report.batch_size}, "
+            f"scheduled {report.scheduled}, postponed {report.postponed}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                          #
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: float | None = None) -> list[SimulationEvent]:
+        """Fire events in time order until the queue drains (or ``until``).
+
+        Returns the events fired by this call, in firing order.
+        """
+        fired: list[SimulationEvent] = []
+        while self._queue:
+            time, kind_value, sequence, action = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self._last_report = None
+            description = action(time)
+            event = SimulationEvent(
+                time=time,
+                kind=EventKind(kind_value),
+                description=description,
+                report=self._last_report,
+            )
+            fired.append(event)
+            self.log.append(event)
+        if fired:
+            self.metascheduler.trace.mark_completions(fired[-1].time)
+        return fired
+
+    _last_report: IterationReport | None = None
+
+    def pending_events(self) -> int:
+        """Events still waiting in the queue."""
+        return len(self._queue)

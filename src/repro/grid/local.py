@@ -1,0 +1,111 @@
+"""Owner-local job flows — what makes the resources *non-dedicated*.
+
+The paper's premise is that "along with global flows of external users'
+jobs, owner's local job flows exist inside the resource domains"
+(Section 1).  :class:`LocalJobFlow` fills node schedules with such local
+jobs so that the vacant gaps published to the metascheduler have the
+statistical shape of the paper's SlotGenerator output: release bursts
+where several nodes of a cluster free up simultaneously, vacant spans of
+50-300 time units, and short gaps between consecutive releases.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidRequestError
+from repro.grid.cluster import Cluster
+
+__all__ = ["LocalLoadModel", "LocalJobFlow"]
+
+
+@dataclass(frozen=True)
+class LocalLoadModel:
+    """Statistical shape of one owner's local workload.
+
+    Attributes:
+        busy_length_range: Uniform range of local-job durations.
+        vacant_length_range: Uniform range of the vacant spans left
+            between local jobs (paper slots: ``[50, 300]``).
+        synchronized_release_probability: Probability that a node reuses
+            the cluster's previous release time instead of drawing a new
+            one — the paper's "probability that the nearby slots in the
+            list have the same start time is 0.4".
+        stagger_range: Uniform range of the offset between consecutive
+            distinct release times (paper: ``[0, 10]``).
+    """
+
+    busy_length_range: tuple[float, float] = (30.0, 120.0)
+    vacant_length_range: tuple[float, float] = (50.0, 300.0)
+    synchronized_release_probability: float = 0.4
+    stagger_range: tuple[float, float] = (0.0, 10.0)
+
+    def __post_init__(self) -> None:
+        for name in ("busy_length_range", "vacant_length_range", "stagger_range"):
+            low, high = getattr(self, name)
+            if not 0 <= low <= high:
+                raise InvalidRequestError(f"{name} must satisfy 0 <= low <= high")
+        probability = self.synchronized_release_probability
+        if not 0 <= probability <= 1:
+            raise InvalidRequestError(
+                f"synchronized_release_probability must be in [0, 1], got {probability!r}"
+            )
+
+
+class LocalJobFlow:
+    """Generates local-job occupancy for the nodes of a cluster."""
+
+    def __init__(self, model: LocalLoadModel | None = None, *, seed: int | None = None) -> None:
+        self.model = model or LocalLoadModel()
+        self._rng = random.Random(seed)
+        self._job_counter = 0
+
+    def _next_job_name(self, cluster: Cluster) -> str:
+        self._job_counter += 1
+        return f"{cluster.name}-local{self._job_counter}"
+
+    def occupy(self, cluster: Cluster, horizon_start: float, horizon_end: float) -> int:
+        """Fill ``cluster``'s schedules with local jobs over the horizon.
+
+        Each node alternates busy (local job) and vacant periods.  The
+        *first release time* of a node either reuses the cluster's last
+        release (synchronized, probability per the model) or staggers a
+        small offset after it, reproducing the correlated-release
+        structure of real domains.
+
+        Returns:
+            Number of local jobs created.
+        """
+        if horizon_end <= horizon_start:
+            raise InvalidRequestError(
+                f"horizon must be non-empty, got [{horizon_start!r}, {horizon_end!r})"
+            )
+        model = self.model
+        rng = self._rng
+        created = 0
+        last_release = horizon_start
+        for node in cluster:
+            if rng.random() < model.synchronized_release_probability:
+                release = last_release
+            else:
+                release = last_release + rng.uniform(*model.stagger_range)
+                last_release = release
+            release = min(release, horizon_end)
+            # Initial local job from horizon start until the release point.
+            if release > horizon_start:
+                node.run_local_job(horizon_start, release, self._next_job_name(cluster))
+                created += 1
+            cursor = release
+            while True:
+                vacant = rng.uniform(*model.vacant_length_range)
+                cursor += vacant
+                if cursor >= horizon_end:
+                    break
+                busy = min(rng.uniform(*model.busy_length_range), horizon_end - cursor)
+                if busy <= 0:
+                    break
+                node.run_local_job(cursor, cursor + busy, self._next_job_name(cluster))
+                created += 1
+                cursor += busy
+        return created

@@ -1,0 +1,269 @@
+"""The iterative metascheduler of the virtual organization.
+
+Section 2 of the paper: "job batch scheduling runs iteratively on
+periodically updated local schedules"; a job that cannot accumulate its
+``N`` slots "is joined another batch, and its scheduling is postponed
+till the next iteration".  :class:`Metascheduler` implements that cycle
+on top of the grid substrate:
+
+1. every ``period`` time units, collect the pending global jobs into a
+   batch (submission order = priority, so older jobs go first);
+2. ask the environment for the vacant-slot list over the lookahead
+   horizon starting *now*;
+3. run the two-phase :class:`~repro.core.scheduler.BatchScheduler`;
+4. commit the chosen windows as reservations; postponed jobs stay in
+   the queue for the next iteration (up to an optional retry limit).
+
+The run produces a :class:`~repro.grid.trace.WorkloadTrace` plus one
+:class:`IterationReport` per tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import InvalidRequestError
+from repro.core.job import Batch, Job
+from repro.core.pricing import DemandAdjustedPricing
+from repro.core.scheduler import (
+    BatchScheduler,
+    InfeasiblePolicy,
+    SchedulerConfig,
+)
+from repro.grid.environment import VOEnvironment
+from repro.grid.trace import JobState, WorkloadTrace
+
+__all__ = ["IterationReport", "Metascheduler"]
+
+
+@dataclass(frozen=True)
+class IterationReport:
+    """What one scheduling iteration did.
+
+    Attributes:
+        index: Iteration number (0-based).
+        time: Tick time of the iteration.
+        slot_count: Vacant slots published by the environment.
+        batch_size: Jobs in this iteration's batch.
+        scheduled: Jobs that received (and committed) a window.
+        postponed: Jobs pushed to the next iteration.
+        rejected: Jobs dropped for exceeding the retry limit.
+        total_alternatives: Phase-1 alternatives found for the batch.
+        used_fallback: Whether the earliest-alternative fallback fired.
+    """
+
+    index: int
+    time: float
+    slot_count: int
+    batch_size: int
+    scheduled: int
+    postponed: int
+    rejected: int
+    total_alternatives: int
+    used_fallback: bool
+
+
+class Metascheduler:
+    """Runs the periodic batch-scheduling cycle against a VO environment."""
+
+    def __init__(
+        self,
+        environment: VOEnvironment,
+        scheduler: BatchScheduler | None = None,
+        *,
+        period: float = 60.0,
+        horizon: float = 600.0,
+        min_slot_length: float = 0.0,
+        max_batch_size: int | None = None,
+        max_postponements: int | None = None,
+        demand_pricing: DemandAdjustedPricing | None = None,
+    ) -> None:
+        """Configure the cycle.
+
+        Args:
+            environment: The VO resource pool.
+            scheduler: Two-phase scheduler; defaults to AMP +
+                time-minimization with the EARLIEST fallback, which keeps
+                a live VO making progress when the eq. (2) quota is tight.
+            period: Time between scheduling iterations.
+            horizon: Lookahead of the published slot list.
+            min_slot_length: Gaps shorter than this are not published.
+            max_batch_size: Cap on jobs per batch (oldest first);
+                overflow simply waits (it is not a postponement).
+            max_postponements: Drop a job after this many postponements
+                (``None`` retries forever, as the paper's scheme does).
+            demand_pricing: Optional supply-and-demand pricing (paper
+                Section 7 future work): at every iteration, published
+                slot prices are scaled by the demand multiplier for the
+                environment's utilization over the *preceding* period.
+        """
+        if period <= 0:
+            raise InvalidRequestError(f"period must be positive, got {period!r}")
+        if horizon <= 0:
+            raise InvalidRequestError(f"horizon must be positive, got {horizon!r}")
+        if max_batch_size is not None and max_batch_size < 1:
+            raise InvalidRequestError(
+                f"max_batch_size must be >= 1, got {max_batch_size!r}"
+            )
+        self.environment = environment
+        self.scheduler = scheduler or BatchScheduler(
+            SchedulerConfig(infeasible_policy=InfeasiblePolicy.EARLIEST)
+        )
+        self.period = period
+        self.horizon = horizon
+        self.min_slot_length = min_slot_length
+        self.max_batch_size = max_batch_size
+        self.max_postponements = max_postponements
+        self.demand_pricing = demand_pricing
+        self.trace = WorkloadTrace()
+        self.reports: list[IterationReport] = []
+        self._pending: list[Job] = []
+        self._submissions: list[tuple[float, Job]] = []
+        self._iteration = 0
+
+    # ------------------------------------------------------------------ #
+    # Submission                                                         #
+    # ------------------------------------------------------------------ #
+
+    def submit(self, job: Job, at_time: float = 0.0) -> None:
+        """Queue a global job, effective from ``at_time``."""
+        self.trace.add(job, at_time)
+        self._submissions.append((at_time, job))
+        self._submissions.sort(key=lambda pair: pair[0])
+
+    def pending_jobs(self) -> list[Job]:
+        """Jobs currently waiting for a window (oldest first)."""
+        return list(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # The cycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _absorb_arrivals(self, now: float) -> None:
+        arrived = [job for time, job in self._submissions if time <= now]
+        self._submissions = [
+            (time, job) for time, job in self._submissions if time > now
+        ]
+        self._pending.extend(arrived)
+
+    def run_iteration(self, now: float) -> IterationReport:
+        """Execute one scheduling iteration at time ``now``."""
+        self._absorb_arrivals(now)
+        self.trace.mark_completions(now)
+
+        batch_jobs = self._pending
+        if self.max_batch_size is not None:
+            batch_jobs = batch_jobs[: self.max_batch_size]
+        # Older jobs get higher priority (lower number): submission order.
+        batch = Batch(
+            Job(job.request, name=job.name, priority=position, uid=job.uid)
+            for position, job in enumerate(batch_jobs)
+        )
+        by_uid = {job.uid: job for job in batch_jobs}
+
+        price_multiplier = 1.0
+        if self.demand_pricing is not None:
+            window_start = max(0.0, now - self.period)
+            utilization = self.environment.utilization(
+                window_start, window_start + self.period
+            )
+            price_multiplier = self.demand_pricing.multiplier(utilization)
+        slots = self.environment.vacant_slot_list(
+            now,
+            now + self.horizon,
+            min_length=self.min_slot_length,
+            price_multiplier=price_multiplier,
+        )
+        outcome = self.scheduler.schedule(slots, batch)
+
+        scheduled = 0
+        for scheduled_job, window in outcome.scheduled_jobs.items():
+            original = by_uid[scheduled_job.uid]
+            self.environment.commit_window(original.name, window)
+            self.trace.mark_scheduled(original, window, self._iteration)
+            self._pending.remove(original)
+            scheduled += 1
+
+        rejected = 0
+        for postponed_job in outcome.postponed:
+            original = by_uid[postponed_job.uid]
+            self.trace.mark_postponed(original)
+            record = self.trace.record_for(original)
+            if (
+                self.max_postponements is not None
+                and record.postponements > self.max_postponements
+            ):
+                self.trace.mark_rejected(original)
+                self._pending.remove(original)
+                rejected += 1
+
+        report = IterationReport(
+            index=self._iteration,
+            time=now,
+            slot_count=len(slots),
+            batch_size=len(batch),
+            scheduled=scheduled,
+            postponed=len(outcome.postponed) - rejected,
+            rejected=rejected,
+            total_alternatives=outcome.search.total_alternatives,
+            used_fallback=outcome.used_fallback,
+        )
+        self.reports.append(report)
+        self._iteration += 1
+        return report
+
+    def run(self, until: float, *, start: float = 0.0) -> list[IterationReport]:
+        """Run iterations every ``period`` from ``start`` until ``until``.
+
+        Returns the reports of the iterations executed by this call.
+        """
+        if until < start:
+            raise InvalidRequestError(f"until {until!r} precedes start {start!r}")
+        first = len(self.reports)
+        now = start
+        while now <= until:
+            self.run_iteration(now)
+            now += self.period
+        self.trace.mark_completions(until)
+        return self.reports[first:]
+
+    # ------------------------------------------------------------------ #
+    # Dynamics (Section 7): node failures                                #
+    # ------------------------------------------------------------------ #
+
+    def inject_outage(self, node, start: float, end: float) -> list[Job]:
+        """Fail ``node`` during ``[start, end)`` and resubmit killed jobs.
+
+        Jobs whose reservations overlapped the outage lose their windows
+        (synchronous tasks: losing one node kills the co-allocation),
+        return to the pending queue, and compete again at the next
+        iteration.  Jobs that already *completed* are untouched even if
+        their historical reservation overlapped — only SCHEDULED ones
+        are revoked.
+
+        Returns:
+            The resubmitted jobs, in original submission order.
+        """
+        killed_names = set(self.environment.inject_outage(node, start, end))
+        resubmitted: list[Job] = []
+        for record in self.trace:
+            if record.job.name not in killed_names:
+                continue
+            if record.state is not JobState.SCHEDULED:
+                continue
+            self.trace.mark_resubmitted(record.job)
+            resubmitted.append(record.job)
+        self._pending.extend(resubmitted)
+        return resubmitted
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+
+    def backlog(self) -> int:
+        """Jobs submitted but not yet scheduled or rejected."""
+        return len(self._pending) + len(self._submissions)
+
+    def completed_jobs(self) -> int:
+        """Jobs whose windows have already finished."""
+        return len(self.trace.in_state(JobState.COMPLETED))

@@ -1,0 +1,193 @@
+"""Standard Workload Format (SWF) import/export.
+
+Scheduling research exchanges workloads in the Parallel Workloads
+Archive's SWF: one job per line, 18 whitespace-separated fields, ``;``
+header comments.  This module maps the subset our model needs:
+
+===== ============================== =======================
+field SWF meaning                    mapped to
+===== ============================== =======================
+1     job number                     job name (``swf<N>``)
+2     submit time                    submission time
+4     run time                       (export only: window length)
+8     requested processors           ``node_count``
+9     requested time                 ``volume`` (etalon runtime)
+===== ============================== =======================
+
+Prices are not part of SWF; imports attach a max price through the same
+calibrated rule as the Section 5 job generator (price-cap factor ×
+nominal price at the minimum performance), so imported workloads drop
+straight into the economic model.  Jobs with missing (``-1``) processor
+or runtime fields are skipped and counted.
+
+Export writes scheduled jobs back out with actual start/run times, so a
+repro run can be analysed by standard SWF tooling.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.errors import InvalidRequestError
+from repro.core.job import Job, ResourceRequest
+from repro.grid.trace import JobRecord, JobState
+
+__all__ = ["SwfImportPolicy", "SwfImportResult", "parse_swf", "read_swf", "write_swf"]
+
+#: Number of whitespace-separated fields in a standard SWF line.
+SWF_FIELDS = 18
+
+
+@dataclass(frozen=True)
+class SwfImportPolicy:
+    """How SWF jobs acquire the economic attributes SWF lacks.
+
+    Attributes:
+        min_performance: Performance requirement attached to every job
+            (SWF has no such notion).
+        price_cap_factor_range: Uniform range of the price-cap factor,
+            as in the Section 5 generator.
+        price_base: Price-law base the cap is expressed against.
+        max_node_count: Jobs requesting more processors are clamped
+            (``None`` keeps them as-is).
+        seed: RNG seed for the price-cap draws.
+    """
+
+    min_performance: float = 1.0
+    price_cap_factor_range: tuple[float, float] = (0.9, 1.3)
+    price_base: float = 1.7
+    max_node_count: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_performance <= 0:
+            raise InvalidRequestError(
+                f"min_performance must be positive, got {self.min_performance!r}"
+            )
+        low, high = self.price_cap_factor_range
+        if not 0 < low <= high:
+            raise InvalidRequestError(
+                f"price_cap_factor_range must satisfy 0 < low <= high, got "
+                f"{self.price_cap_factor_range!r}"
+            )
+        if self.max_node_count is not None and self.max_node_count < 1:
+            raise InvalidRequestError(
+                f"max_node_count must be >= 1, got {self.max_node_count!r}"
+            )
+
+
+@dataclass
+class SwfImportResult:
+    """Parsed workload plus bookkeeping.
+
+    Attributes:
+        submissions: ``(submit_time, job)`` pairs in file order.
+        skipped: Lines dropped for missing processor/runtime fields.
+        comments: The ``;`` header lines, verbatim.
+    """
+
+    submissions: list[tuple[float, Job]]
+    skipped: int
+    comments: list[str]
+
+
+def parse_swf(text: str, policy: SwfImportPolicy | None = None) -> SwfImportResult:
+    """Parse SWF text into submission pairs.
+
+    Malformed non-comment lines (wrong field count, non-numeric fields)
+    raise; missing values encoded as ``-1`` skip the job, per SWF
+    convention.
+    """
+    policy = policy or SwfImportPolicy()
+    rng = random.Random(policy.seed)
+    submissions: list[tuple[float, Job]] = []
+    skipped = 0
+    comments: list[str] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            comments.append(raw)
+            continue
+        fields = line.split()
+        if len(fields) != SWF_FIELDS:
+            raise InvalidRequestError(
+                f"SWF line {line_number}: expected {SWF_FIELDS} fields, got {len(fields)}"
+            )
+        try:
+            job_number = int(fields[0])
+            submit_time = float(fields[1])
+            processors = int(float(fields[7]))
+            requested_time = float(fields[8])
+        except ValueError as error:
+            raise InvalidRequestError(f"SWF line {line_number}: {error}") from None
+        if processors <= 0 or requested_time <= 0:
+            skipped += 1
+            continue
+        if policy.max_node_count is not None:
+            processors = min(processors, policy.max_node_count)
+        factor = rng.uniform(*policy.price_cap_factor_range)
+        request = ResourceRequest(
+            node_count=processors,
+            volume=requested_time,
+            min_performance=policy.min_performance,
+            max_price=factor * policy.price_base**policy.min_performance,
+        )
+        submissions.append((submit_time, Job(request, name=f"swf{job_number}")))
+    return SwfImportResult(submissions=submissions, skipped=skipped, comments=comments)
+
+
+def read_swf(path: str | Path, policy: SwfImportPolicy | None = None) -> SwfImportResult:
+    """Parse an SWF file from disk."""
+    return parse_swf(Path(path).read_text(encoding="utf-8"), policy)
+
+
+def write_swf(records: Iterable[JobRecord], path: str | Path, *, header: str = "") -> Path:
+    """Export trace records as SWF.
+
+    Scheduled/completed jobs get their actual wait and run times;
+    unplaced jobs are emitted with ``-1`` markers, as SWF prescribes.
+    Fields we do not model (memory, user, queue, ...) are ``-1``.
+    """
+    lines = []
+    if header:
+        lines.extend(f"; {line}" for line in header.splitlines())
+    for number, record in enumerate(records, start=1):
+        if record.window is not None:
+            wait = record.window.start - record.submit_time
+            run_time = record.window.length
+            processors = record.job.request.node_count
+            status = 1 if record.state in (JobState.SCHEDULED, JobState.COMPLETED) else 0
+        else:
+            wait = -1.0
+            run_time = -1.0
+            processors = -1
+            status = 0
+        fields = [
+            str(number),                      # 1 job number
+            f"{record.submit_time:g}",        # 2 submit time
+            f"{wait:g}",                      # 3 wait time
+            f"{run_time:g}",                  # 4 run time
+            str(processors),                  # 5 allocated processors
+            "-1",                             # 6 average CPU time
+            "-1",                             # 7 used memory
+            str(record.job.request.node_count),  # 8 requested processors
+            f"{record.job.request.volume:g}",    # 9 requested time
+            "-1",                             # 10 requested memory
+            str(status),                      # 11 status
+            "-1",                             # 12 user id
+            "-1",                             # 13 group id
+            "-1",                             # 14 executable
+            "-1",                             # 15 queue
+            "-1",                             # 16 partition
+            "-1",                             # 17 preceding job
+            "-1",                             # 18 think time
+        ]
+        lines.append(" ".join(fields))
+    path = Path(path)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,197 @@
+"""Workload traces — the audit log of a metascheduler run.
+
+Every global job's life cycle (submission → zero or more postponements →
+reservation → completion) is recorded as a :class:`JobRecord`, and the
+whole run aggregates into a :class:`WorkloadTrace` with the usual
+scheduling metrics (wait time, slowdown, throughput, owner income).
+These are the quantities the paper's future-work section cares about
+when comparing co-scheduling strategies, and the examples print them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.job import Job
+from repro.core.window import Window
+
+__all__ = ["JobState", "JobRecord", "WorkloadTrace", "TraceSummary"]
+
+
+class JobState(enum.Enum):
+    """Life-cycle states of a global job inside the metascheduler."""
+
+    PENDING = "pending"
+    SCHEDULED = "scheduled"
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+
+
+@dataclass
+class JobRecord:
+    """Trace entry for one global job.
+
+    Attributes:
+        job: The job itself.
+        submit_time: When the user submitted it.
+        state: Current life-cycle state.
+        window: The committed window once scheduled.
+        scheduled_iteration: Index of the iteration that placed it.
+        postponements: How many iterations postponed it before placement.
+        resubmissions: How many times an outage revoked its reservation
+            and sent it back to the queue (Section 7 dynamics).
+    """
+
+    job: Job
+    submit_time: float
+    state: JobState = JobState.PENDING
+    window: Window | None = None
+    scheduled_iteration: int | None = None
+    postponements: int = 0
+    resubmissions: int = 0
+
+    @property
+    def start_time(self) -> float | None:
+        """Execution start (window start), if scheduled."""
+        return None if self.window is None else self.window.start
+
+    @property
+    def finish_time(self) -> float | None:
+        """Execution end (window end), if scheduled."""
+        return None if self.window is None else self.window.end
+
+    @property
+    def wait_time(self) -> float | None:
+        """Time from submission to execution start."""
+        if self.window is None:
+            return None
+        return self.window.start - self.submit_time
+
+    @property
+    def cost(self) -> float | None:
+        """Money paid for the job's window, if scheduled."""
+        return None if self.window is None else self.window.cost
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate metrics of one run.
+
+    All means are over *scheduled* jobs; ``None`` when nothing was
+    scheduled.
+    """
+
+    submitted: int
+    scheduled: int
+    rejected: int
+    mean_wait_time: float | None
+    mean_execution_time: float | None
+    mean_cost: float | None
+    mean_postponements: float | None
+    total_cost: float
+    makespan: float | None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        def fmt(value: float | None) -> str:
+            return "-" if value is None else f"{value:.2f}"
+
+        return (
+            f"jobs: {self.scheduled}/{self.submitted} scheduled, {self.rejected} rejected | "
+            f"wait {fmt(self.mean_wait_time)} | exec {fmt(self.mean_execution_time)} | "
+            f"cost {fmt(self.mean_cost)} | makespan {fmt(self.makespan)}"
+        )
+
+
+class WorkloadTrace:
+    """Collects job records over a metascheduler run."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, JobRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self._records.values())
+
+    def add(self, job: Job, submit_time: float) -> JobRecord:
+        """Register a submitted job; returns its mutable record."""
+        record = JobRecord(job=job, submit_time=submit_time)
+        self._records[job.uid] = record
+        return record
+
+    def record_for(self, job: Job) -> JobRecord:
+        """The record of ``job`` (KeyError for unknown jobs)."""
+        return self._records[job.uid]
+
+    def mark_scheduled(self, job: Job, window: Window, iteration: int) -> None:
+        """Transition a job to SCHEDULED with its committed window."""
+        record = self.record_for(job)
+        record.state = JobState.SCHEDULED
+        record.window = window
+        record.scheduled_iteration = iteration
+
+    def mark_postponed(self, job: Job) -> None:
+        """Count one more postponement for a pending job."""
+        self.record_for(job).postponements += 1
+
+    def mark_rejected(self, job: Job) -> None:
+        """Give up on a job (exceeded the postponement limit)."""
+        self.record_for(job).state = JobState.REJECTED
+
+    def mark_resubmitted(self, job: Job) -> None:
+        """Return a scheduled job to PENDING after its window was revoked."""
+        record = self.record_for(job)
+        record.state = JobState.PENDING
+        record.window = None
+        record.scheduled_iteration = None
+        record.resubmissions += 1
+
+    def mark_completions(self, now: float) -> int:
+        """Move scheduled jobs whose windows ended by ``now`` to COMPLETED."""
+        completed = 0
+        for record in self._records.values():
+            if (
+                record.state is JobState.SCHEDULED
+                and record.window is not None
+                and record.window.end <= now
+            ):
+                record.state = JobState.COMPLETED
+                completed += 1
+        return completed
+
+    def in_state(self, state: JobState) -> list[JobRecord]:
+        """All records currently in ``state``."""
+        return [record for record in self._records.values() if record.state is state]
+
+    def summary(self) -> TraceSummary:
+        """Aggregate the trace into a :class:`TraceSummary`."""
+        placed = [
+            record
+            for record in self._records.values()
+            if record.state in (JobState.SCHEDULED, JobState.COMPLETED)
+        ]
+        rejected = len(self.in_state(JobState.REJECTED))
+
+        def mean(values: list[float]) -> float | None:
+            return sum(values) / len(values) if values else None
+
+        waits = [record.wait_time for record in placed if record.wait_time is not None]
+        lengths = [record.window.length for record in placed if record.window is not None]
+        costs = [record.cost for record in placed if record.cost is not None]
+        finishes = [
+            record.finish_time for record in placed if record.finish_time is not None
+        ]
+        return TraceSummary(
+            submitted=len(self._records),
+            scheduled=len(placed),
+            rejected=rejected,
+            mean_wait_time=mean(waits),
+            mean_execution_time=mean(lengths),
+            mean_cost=mean(costs),
+            mean_postponements=mean([float(r.postponements) for r in placed]),
+            total_cost=sum(costs),
+            makespan=max(finishes) if finishes else None,
+        )

@@ -1,0 +1,118 @@
+"""Plain-text charts for terminal reports.
+
+The benchmarks and the CLI regenerate the paper's figures as data; this
+module renders them as ASCII bar charts and line series so that a run's
+output is self-contained (no plotting dependencies are available in the
+offline environment, and none are needed for shape comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.errors import InvalidRequestError
+
+__all__ = ["bar_chart", "line_chart", "table"]
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per labelled value.
+
+    Bars are scaled to the maximum value; zero/negative maxima render
+    empty bars rather than failing, since experiment aggregates can
+    legitimately be zero.
+    """
+    if width < 1:
+        raise InvalidRequestError(f"width must be >= 1, got {width!r}")
+    lines = [title] if title else []
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    label_width = max(len(label) for label in values)
+    peak = max(values.values())
+    for label, value in values.items():
+        filled = int(round(width * value / peak)) if peak > 0 else 0
+        bar = "█" * filled
+        lines.append(f"{label:<{label_width}} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 72,
+    height: int = 16,
+) -> str:
+    """Multi-series line chart on a character grid.
+
+    Each series is resampled to ``width`` columns and drawn with its own
+    glyph; a legend and the y-range are printed alongside.  Intended for
+    the Fig. 5 style per-experiment comparison series.
+    """
+    if width < 2 or height < 2:
+        raise InvalidRequestError("line_chart needs width >= 2 and height >= 2")
+    lines = [title] if title else []
+    populated = {label: list(points) for label, points in series.items() if points}
+    if not populated:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    glyphs = "*o+x@#"
+    lo = min(min(points) for points in populated.values())
+    hi = max(max(points) for points in populated.values())
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(populated.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for column in range(width):
+            # Nearest-point resampling keeps short series readable.
+            position = column * (len(points) - 1) / (width - 1) if len(points) > 1 else 0
+            value = points[int(round(position))]
+            row = int(round((height - 1) * (hi - value) / (hi - lo)))
+            grid[row][column] = glyph
+    lines.append(f"{hi:>10.2f} ┐")
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{lo:>10.2f} ┘")
+    legend = "   ".join(
+        f"{glyphs[index % len(glyphs)]} {label}" for index, label in enumerate(populated)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def table(rows: Sequence[Sequence[str]], *, header: Sequence[str] | None = None) -> str:
+    """Fixed-width text table.
+
+    Args:
+        rows: Cell text, one inner sequence per row.
+        header: Optional column headers (adds a separator rule).
+    """
+    all_rows = ([list(header)] if header else []) + [list(row) for row in rows]
+    if not all_rows:
+        return "(empty table)"
+    columns = max(len(row) for row in all_rows)
+    for row in all_rows:
+        row.extend([""] * (columns - len(row)))
+    widths = [
+        max(len(row[column]) for row in all_rows) for column in range(columns)
+    ]
+    def render(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    lines = []
+    if header:
+        lines.append(render(all_rows[0]))
+        lines.append("-+-".join("-" * width for width in widths))
+        body = all_rows[1:]
+    else:
+        body = all_rows
+    lines.extend(render(row) for row in body)
+    return "\n".join(lines)

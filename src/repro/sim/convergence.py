@@ -1,0 +1,108 @@
+"""Convergence diagnostics for experiment series.
+
+EXPERIMENTS.md claims the ALP/AMP ratios are "stable from ~1 000 counted
+experiments on"; this module makes that claim checkable instead of
+anecdotal.  :func:`convergence_track` computes the running comparison
+ratios after each counted experiment, and :func:`is_converged` tests
+whether the tail of the track stays inside a tolerance band — the same
+criterion a reviewer would apply to decide if a series ran long enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import InvalidRequestError
+from repro.sim.experiment import ExperimentResult
+
+__all__ = ["ConvergencePoint", "convergence_track", "is_converged", "required_samples"]
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Running ratios after the first ``counted`` experiments."""
+
+    counted: int
+    amp_time_gain: float
+    amp_cost_premium: float
+
+
+def convergence_track(result: ExperimentResult) -> list[ConvergencePoint]:
+    """Running comparison ratios over the counted experiments, in order."""
+    track: list[ConvergencePoint] = []
+    alp_time = alp_cost = amp_time = amp_cost = 0.0
+    for position, sample in enumerate(result.samples, start=1):
+        alp_time += sample.alp.mean_job_time
+        alp_cost += sample.alp.mean_job_cost
+        amp_time += sample.amp.mean_job_time
+        amp_cost += sample.amp.mean_job_cost
+        track.append(
+            ConvergencePoint(
+                counted=position,
+                amp_time_gain=(alp_time - amp_time) / alp_time if alp_time else 0.0,
+                amp_cost_premium=(amp_cost - alp_cost) / alp_cost if alp_cost else 0.0,
+            )
+        )
+    return track
+
+
+def is_converged(
+    track: Sequence[ConvergencePoint],
+    *,
+    tail_fraction: float = 0.5,
+    tolerance: float = 0.02,
+) -> bool:
+    """Whether the running ratios settled.
+
+    The track converged when, over its last ``tail_fraction`` of points,
+    both ratios stay within ``±tolerance`` (absolute) of their final
+    values.
+
+    Raises:
+        InvalidRequestError: For out-of-range parameters.
+    """
+    if not 0 < tail_fraction <= 1:
+        raise InvalidRequestError(f"tail_fraction must be in (0, 1], got {tail_fraction!r}")
+    if tolerance <= 0:
+        raise InvalidRequestError(f"tolerance must be positive, got {tolerance!r}")
+    if not track:
+        return False
+    final = track[-1]
+    tail_start = int(len(track) * (1 - tail_fraction))
+    for point in track[tail_start:]:
+        if abs(point.amp_time_gain - final.amp_time_gain) > tolerance:
+            return False
+        if abs(point.amp_cost_premium - final.amp_cost_premium) > tolerance:
+            return False
+    return True
+
+
+def required_samples(
+    track: Sequence[ConvergencePoint],
+    *,
+    tolerance: float = 0.02,
+) -> int | None:
+    """First count from which both ratios stay within the final band.
+
+    Returns ``None`` when the track never settles (including the empty
+    track).  This is the number EXPERIMENTS.md's stability claim rests
+    on.
+    """
+    if tolerance <= 0:
+        raise InvalidRequestError(f"tolerance must be positive, got {tolerance!r}")
+    if not track:
+        return None
+    final = track[-1]
+    settle_from: int | None = None
+    for point in track:
+        inside = (
+            abs(point.amp_time_gain - final.amp_time_gain) <= tolerance
+            and abs(point.amp_cost_premium - final.amp_cost_premium) <= tolerance
+        )
+        if inside:
+            if settle_from is None:
+                settle_from = point.counted
+        else:
+            settle_from = None
+    return settle_from

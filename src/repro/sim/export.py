@@ -1,0 +1,134 @@
+"""Result export: CSV and JSON serialization of experiment outputs.
+
+Reproduction results should be consumable outside Python — for external
+plotting, archival, or diffing between runs.  This module serializes
+experiment series, summaries, and figure panels into plain structures:
+
+* :func:`result_to_rows` / :func:`write_samples_csv` — one CSV row per
+  counted experiment (the raw material of Fig. 5);
+* :func:`summary_to_dict` — the Section 5 aggregates as JSON-ready data;
+* :func:`figure_to_dict` — one figure panel with measured and paper
+  reference values side by side.
+
+Only standard-library machinery is used (``csv``, ``json``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.sim.experiment import ExperimentResult
+from repro.sim.figures import FigureData
+from repro.sim.stats import ExperimentSummary
+
+__all__ = [
+    "result_to_rows",
+    "write_samples_csv",
+    "samples_csv_text",
+    "summary_to_dict",
+    "figure_to_dict",
+    "write_json",
+]
+
+#: Column order of the per-experiment CSV.
+CSV_FIELDS = [
+    "index",
+    "slot_count",
+    "job_count",
+    "alp_mean_job_time",
+    "alp_mean_job_cost",
+    "alp_total_alternatives",
+    "amp_mean_job_time",
+    "amp_mean_job_cost",
+    "amp_total_alternatives",
+]
+
+
+def result_to_rows(result: ExperimentResult) -> list[dict[str, Any]]:
+    """One dictionary per counted experiment, in CSV column order."""
+    rows = []
+    for sample in result.samples:
+        rows.append(
+            {
+                "index": sample.index,
+                "slot_count": sample.slot_count,
+                "job_count": sample.job_count,
+                "alp_mean_job_time": sample.alp.mean_job_time,
+                "alp_mean_job_cost": sample.alp.mean_job_cost,
+                "alp_total_alternatives": sample.alp.total_alternatives,
+                "amp_mean_job_time": sample.amp.mean_job_time,
+                "amp_mean_job_cost": sample.amp.mean_job_cost,
+                "amp_total_alternatives": sample.amp.total_alternatives,
+            }
+        )
+    return rows
+
+
+def samples_csv_text(result: ExperimentResult) -> str:
+    """The per-experiment CSV as a string."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(result_to_rows(result))
+    return buffer.getvalue()
+
+
+def write_samples_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write the per-experiment CSV to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(samples_csv_text(result), encoding="utf-8")
+    return path
+
+
+def summary_to_dict(summary: ExperimentSummary) -> dict[str, Any]:
+    """The Section 5 aggregates as a JSON-ready dictionary."""
+    ratios = summary.ratios()
+    return {
+        "objective": summary.objective.value,
+        "attempted": summary.attempted,
+        "counted": summary.counted,
+        "dropped_uncovered": summary.dropped_uncovered,
+        "dropped_infeasible": summary.dropped_infeasible,
+        "alp": {
+            "mean_job_time": summary.alp.mean_job_time,
+            "mean_job_cost": summary.alp.mean_job_cost,
+            "total_alternatives": summary.alp.total_alternatives,
+            "mean_alternatives_per_job": summary.alp.mean_alternatives_per_job,
+        },
+        "amp": {
+            "mean_job_time": summary.amp.mean_job_time,
+            "mean_job_cost": summary.amp.mean_job_cost,
+            "total_alternatives": summary.amp.total_alternatives,
+            "mean_alternatives_per_job": summary.amp.mean_alternatives_per_job,
+        },
+        "ratios": {
+            "amp_time_gain": ratios.amp_time_gain,
+            "amp_cost_premium": ratios.amp_cost_premium,
+            "alternatives_factor": ratios.alternatives_factor,
+        },
+        "mean_slots_per_experiment": summary.mean_slots_per_experiment,
+        "mean_jobs_per_counted_experiment": summary.mean_jobs_per_counted_experiment,
+    }
+
+
+def figure_to_dict(figure: FigureData) -> dict[str, Any]:
+    """One figure panel (measured + paper reference) as JSON-ready data."""
+    payload: dict[str, Any] = {
+        "name": figure.name,
+        "measured": dict(figure.measured),
+        "paper_reference": dict(figure.reference),
+    }
+    if figure.series is not None:
+        payload["series"] = {label: list(points) for label, points in figure.series.items()}
+    return payload
+
+
+def write_json(data: dict[str, Any], path: str | Path) -> Path:
+    """Write JSON-ready data to ``path`` (pretty-printed, sorted keys)."""
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,208 @@
+"""Regeneration of every evaluation figure of the paper.
+
+Each ``figureN`` function turns experiment results into exactly the data
+series the corresponding paper figure plots, together with the paper's
+reference values so reports can show paper-vs-measured side by side;
+``render_figureN`` draws the ASCII version.
+
+* **Fig. 4** — job batch *time* minimization: (a) average job execution
+  time, (b) average job execution cost, ALP vs AMP bars.
+* **Fig. 5** — the same experiment: per-experiment average job execution
+  time for the first 300 counted experiments, two series.
+* **Fig. 6** — job batch *cost* minimization: (a) average job execution
+  cost, (b) average job execution time, ALP vs AMP bars.
+
+The in-text statistics around the figures (alternative counts, average
+slot and batch sizes) are produced by :mod:`repro.sim.stats` and
+reported by the benchmarks as "Table S1".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.criteria import Criterion
+from repro.core.errors import InvalidRequestError
+from repro.sim.ascii_plot import bar_chart, line_chart, table
+from repro.sim.experiment import ExperimentResult
+from repro.sim.stats import ExperimentSummary, summarize
+
+__all__ = [
+    "PAPER_REFERENCE",
+    "FigureData",
+    "figure4",
+    "figure5",
+    "figure6",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+    "summary_table",
+]
+
+#: The paper's reported numbers, keyed by figure panel (Section 5).
+PAPER_REFERENCE: dict[str, dict[str, float]] = {
+    "fig4a_time": {"ALP": 59.85, "AMP": 39.01},
+    "fig4b_cost": {"ALP": 313.56, "AMP": 369.69},
+    "fig6a_cost": {"ALP": 313.09, "AMP": 343.30},
+    "fig6b_time": {"ALP": 61.04, "AMP": 51.62},
+    "alternatives_per_job_time_min": {"ALP": 7.39, "AMP": 34.28},
+    "alternatives_per_job_cost_min": {"ALP": 7.28, "AMP": 34.23},
+}
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """One figure panel: measured values plus the paper's reference.
+
+    Attributes:
+        name: Panel id (e.g. ``"fig4a_time"``).
+        measured: Our values per algorithm.
+        reference: The paper's values per algorithm (empty for panels
+            the paper only shows graphically, like Fig. 5).
+        series: Optional per-experiment series (Fig. 5 only).
+    """
+
+    name: str
+    measured: Mapping[str, float]
+    reference: Mapping[str, float]
+    series: Mapping[str, list[float]] | None = None
+
+
+def _require_objective(result: ExperimentResult, objective: Criterion, figure: str) -> None:
+    if result.config.objective is not objective:
+        raise InvalidRequestError(
+            f"{figure} requires a {objective.value}-minimization experiment, "
+            f"got {result.config.objective.value}"
+        )
+
+
+def figure4(result: ExperimentResult) -> tuple[FigureData, FigureData]:
+    """Fig. 4 panels (a) time and (b) cost from a time-min experiment."""
+    _require_objective(result, Criterion.TIME, "figure4")
+    summary = summarize(result)
+    panel_a = FigureData(
+        name="fig4a_time",
+        measured={"ALP": summary.alp.mean_job_time, "AMP": summary.amp.mean_job_time},
+        reference=PAPER_REFERENCE["fig4a_time"],
+    )
+    panel_b = FigureData(
+        name="fig4b_cost",
+        measured={"ALP": summary.alp.mean_job_cost, "AMP": summary.amp.mean_job_cost},
+        reference=PAPER_REFERENCE["fig4b_cost"],
+    )
+    return panel_a, panel_b
+
+
+def figure5(result: ExperimentResult, *, first_n: int = 300) -> FigureData:
+    """Fig. 5: per-experiment average job time, first ``first_n`` samples."""
+    _require_objective(result, Criterion.TIME, "figure5")
+    head = result.samples[:first_n]
+    return FigureData(
+        name="fig5_series",
+        measured={
+            "ALP": (
+                sum(sample.alp.mean_job_time for sample in head) / len(head)
+                if head
+                else 0.0
+            ),
+            "AMP": (
+                sum(sample.amp.mean_job_time for sample in head) / len(head)
+                if head
+                else 0.0
+            ),
+        },
+        reference={},
+        series={
+            "ALP": [sample.alp.mean_job_time for sample in head],
+            "AMP": [sample.amp.mean_job_time for sample in head],
+        },
+    )
+
+
+def figure6(result: ExperimentResult) -> tuple[FigureData, FigureData]:
+    """Fig. 6 panels (a) cost and (b) time from a cost-min experiment."""
+    _require_objective(result, Criterion.COST, "figure6")
+    summary = summarize(result)
+    panel_a = FigureData(
+        name="fig6a_cost",
+        measured={"ALP": summary.alp.mean_job_cost, "AMP": summary.amp.mean_job_cost},
+        reference=PAPER_REFERENCE["fig6a_cost"],
+    )
+    panel_b = FigureData(
+        name="fig6b_time",
+        measured={"ALP": summary.alp.mean_job_time, "AMP": summary.amp.mean_job_time},
+        reference=PAPER_REFERENCE["fig6b_time"],
+    )
+    return panel_a, panel_b
+
+
+def _render_panel(panel: FigureData, title: str, unit: str = "") -> str:
+    chart = bar_chart(dict(panel.measured), title=title, unit=unit)
+    if not panel.reference:
+        return chart
+    reference = ", ".join(
+        f"{label} {value:.2f}" for label, value in panel.reference.items()
+    )
+    return f"{chart}\n(paper reference: {reference})"
+
+
+def render_figure4(result: ExperimentResult) -> str:
+    """ASCII rendering of both Fig. 4 panels."""
+    panel_a, panel_b = figure4(result)
+    return "\n\n".join(
+        [
+            _render_panel(panel_a, "Fig. 4 (a) — average job execution time (time min.)"),
+            _render_panel(panel_b, "Fig. 4 (b) — average job execution cost (time min.)"),
+        ]
+    )
+
+
+def render_figure5(result: ExperimentResult, *, first_n: int = 300) -> str:
+    """ASCII rendering of the Fig. 5 comparison series."""
+    panel = figure5(result, first_n=first_n)
+    assert panel.series is not None
+    chart = line_chart(
+        dict(panel.series),
+        title=f"Fig. 5 — average job execution time, first {first_n} experiments",
+    )
+    return (
+        f"{chart}\n"
+        f"series means: ALP {panel.measured['ALP']:.2f}, "
+        f"AMP {panel.measured['AMP']:.2f}"
+    )
+
+
+def render_figure6(result: ExperimentResult) -> str:
+    """ASCII rendering of both Fig. 6 panels."""
+    panel_a, panel_b = figure6(result)
+    return "\n\n".join(
+        [
+            _render_panel(panel_a, "Fig. 6 (a) — average job execution cost (cost min.)"),
+            _render_panel(panel_b, "Fig. 6 (b) — average job execution time (cost min.)"),
+        ]
+    )
+
+
+def summary_table(summary: ExperimentSummary) -> str:
+    """The in-text statistics as a text table ("Table S1")."""
+    rows = [list(row) for row in summary.as_rows()]
+    rows.append(
+        ["slots per experiment", f"{summary.mean_slots_per_experiment:.2f}", "-"]
+    )
+    rows.append(
+        [
+            "jobs per counted experiment",
+            f"{summary.mean_jobs_per_counted_experiment:.2f}",
+            "-",
+        ]
+    )
+    rows.append(
+        [
+            "experiments counted",
+            f"{summary.counted}/{summary.attempted}",
+            f"dropped: {summary.dropped_uncovered} uncovered, "
+            f"{summary.dropped_infeasible} infeasible",
+        ]
+    )
+    return table(rows, header=["metric", "ALP", "AMP"])

@@ -1,0 +1,110 @@
+"""ASCII Gantt charts of slot lists and scheduled windows.
+
+Renders the paper's Fig. 2 / Fig. 3 style resource-line charts in plain
+text: one row per resource, time flowing left to right, with distinct
+glyphs for vacant slots, owner-local busy time, and scheduled windows.
+Used by ``examples/paper_example.py`` and the CLI's ``example`` command.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.errors import InvalidRequestError
+from repro.core.resource import Resource
+from repro.core.slot import SlotList
+from repro.core.window import Window
+
+__all__ = ["GanttChart"]
+
+_VACANT = "."
+_WINDOW_GLYPHS = "123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+class GanttChart:
+    """Builds a text chart over a fixed horizon.
+
+    Args:
+        horizon: ``(start, end)`` of the rendered time span.
+        width: Number of character columns the span maps onto.
+    """
+
+    def __init__(self, horizon: tuple[float, float], *, width: int = 78) -> None:
+        start, end = horizon
+        if end <= start:
+            raise InvalidRequestError(f"horizon must be non-empty, got {horizon!r}")
+        if width < 10:
+            raise InvalidRequestError(f"width must be >= 10, got {width!r}")
+        self.start = start
+        self.end = end
+        self.width = width
+        self._rows: dict[int, tuple[str, list[str]]] = {}
+        self._legend: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Painting                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _row(self, resource: Resource) -> list[str]:
+        if resource.uid not in self._rows:
+            label = f"{resource.name} (C={resource.price:g})"
+            self._rows[resource.uid] = (label, [" "] * self.width)
+        return self._rows[resource.uid][1]
+
+    def _columns(self, start: float, end: float) -> range:
+        span = self.end - self.start
+        first = int((max(start, self.start) - self.start) / span * self.width)
+        last = int((min(end, self.end) - self.start) / span * self.width)
+        first = max(0, min(first, self.width - 1))
+        last = max(first + 1, min(last, self.width))
+        return range(first, last)
+
+    def paint_slots(self, slots: SlotList | Iterable) -> None:
+        """Paint vacant slots as ``.`` runs."""
+        for slot in slots:
+            row = self._row(slot.resource)
+            for column in self._columns(slot.start, slot.end):
+                if row[column] == " ":
+                    row[column] = _VACANT
+
+    def paint_windows(
+        self, windows: Mapping[str, Window] | Sequence[tuple[str, Window]]
+    ) -> None:
+        """Paint labelled windows, one glyph per window (``1``, ``2``, …)."""
+        items = windows.items() if isinstance(windows, Mapping) else windows
+        for index, (label, window) in enumerate(items):
+            glyph = _WINDOW_GLYPHS[index % len(_WINDOW_GLYPHS)]
+            self._legend.append(
+                f"{glyph} = {label}: [{window.start:g}, {window.end:g}) on "
+                + ",".join(resource.name for resource in window.resources())
+                + f", cost {window.cost:g}"
+            )
+            for allocation in window.allocations:
+                row = self._row(allocation.resource)
+                for column in self._columns(allocation.start, allocation.end):
+                    row[column] = glyph
+
+    # ------------------------------------------------------------------ #
+    # Rendering                                                          #
+    # ------------------------------------------------------------------ #
+
+    def render(self, *, title: str = "") -> str:
+        """Assemble the chart: axis, rows sorted by resource name, legend."""
+        lines = [title] if title else []
+        if not self._rows:
+            lines.append("(no resources painted)")
+            return "\n".join(lines)
+        label_width = max(len(label) for label, _ in self._rows.values())
+        rows = sorted(self._rows.values(), key=lambda pair: pair[0])
+        for label, cells in rows:
+            lines.append(f"{label:<{label_width}} |{''.join(cells)}|")
+        axis_values = f"{self.start:g}"
+        axis_pad = self.width - len(axis_values) - len(f"{self.end:g}")
+        lines.append(
+            " " * (label_width + 2) + axis_values + " " * max(1, axis_pad) + f"{self.end:g}"
+        )
+        if self._legend:
+            lines.append("")
+            lines.extend(self._legend)
+        lines.append(f"legend: '{_VACANT}' vacant slot, blank = busy/unpublished")
+        return "\n".join(lines)

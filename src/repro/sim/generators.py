@@ -1,0 +1,219 @@
+"""Slot and job generators with the paper's Section 5 parameters.
+
+The paper's simulation study does not model a whole distributed system;
+it generates the *ordered list of vacant slots* and the *job batch*
+directly, with published parameter ranges ("SlotGenerator" and
+"JobGenerator").  This module reproduces both.  Every range below
+defaults to the value printed in Section 5; all draws are uniform inside
+their ranges, as the paper states.
+
+One parameter is **not** published: the jobs' maximum price ``C`` (the
+worked example has explicit per-job cost limits, the simulation section
+lists none).  We derive it as
+``C = price_cap_factor × base^(min performance)`` — the user agrees to
+pay up to a premium over the *nominal* price of the slowest node that
+satisfies the request — with ``price_cap_factor`` drawn uniformly from
+``price_cap_factor_range``.  The default range ``[0.9, 1.3]`` is the
+calibrated free parameter documented in DESIGN.md: it reproduces the
+paper's ALP/AMP ratios, not its absolute numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.errors import InvalidRequestError
+from repro.core.job import Batch, Job, ResourceRequest
+from repro.core.pricing import ExponentialPricing
+from repro.core.resource import Resource
+from repro.core.slot import Slot, SlotList
+
+__all__ = [
+    "SlotGeneratorConfig",
+    "SlotGenerator",
+    "JobGeneratorConfig",
+    "JobGenerator",
+]
+
+
+def _check_range(name: str, bounds: tuple[float, float], *, minimum: float | None = None) -> None:
+    low, high = bounds
+    if low > high:
+        raise InvalidRequestError(f"{name} must satisfy low <= high, got {bounds!r}")
+    if minimum is not None and low < minimum:
+        raise InvalidRequestError(f"{name} must start at >= {minimum}, got {bounds!r}")
+
+
+@dataclass(frozen=True)
+class SlotGeneratorConfig:
+    """Section 5 "SlotGenerator" parameters.
+
+    Attributes:
+        slot_count_range: Number of slots in the ordered list
+            (paper: ``[120, 150]``).
+        slot_length_range: Individual slot length (paper: ``[50, 300]``).
+        performance_range: Node performance rates (paper: ``[1, 3]`` —
+            "the environment is relatively homogeneous").
+        same_start_probability: Probability that a slot reuses the
+            previous slot's start time (paper: 0.4 — resources released
+            in cluster bursts).
+        start_gap_range: Gap between distinct consecutive start times
+            (paper: ``[0, 10]`` — "at each moment of time we have at
+            least five different slots ready for utilization").
+        pricing: Price law; paper: ``[0.75p, 1.25p]`` with
+            ``p = 1.7^performance``.
+    """
+
+    slot_count_range: tuple[int, int] = (120, 150)
+    slot_length_range: tuple[float, float] = (50.0, 300.0)
+    performance_range: tuple[float, float] = (1.0, 3.0)
+    same_start_probability: float = 0.4
+    start_gap_range: tuple[float, float] = (0.0, 10.0)
+    pricing: ExponentialPricing = field(default_factory=ExponentialPricing)
+
+    def __post_init__(self) -> None:
+        _check_range("slot_count_range", self.slot_count_range, minimum=1)
+        _check_range("slot_length_range", self.slot_length_range, minimum=0.0)
+        _check_range("performance_range", self.performance_range)
+        if self.performance_range[0] <= 0:
+            raise InvalidRequestError(
+                f"performance_range must be positive, got {self.performance_range!r}"
+            )
+        if not 0 <= self.same_start_probability <= 1:
+            raise InvalidRequestError(
+                "same_start_probability must be in [0, 1], got "
+                f"{self.same_start_probability!r}"
+            )
+        _check_range("start_gap_range", self.start_gap_range, minimum=0.0)
+
+
+class SlotGenerator:
+    """Generates the ordered list of vacant slots for one iteration."""
+
+    def __init__(self, config: SlotGeneratorConfig | None = None, *, seed: int | None = None) -> None:
+        self.config = config or SlotGeneratorConfig()
+        self._rng = random.Random(seed)
+        self._node_counter = 0
+
+    @property
+    def rng(self) -> random.Random:
+        """The generator's RNG (shared with JobGenerator in experiments)."""
+        return self._rng
+
+    def generate(self) -> SlotList:
+        """Draw one slot list.
+
+        Every slot lives on a fresh resource: the list is a snapshot of
+        *currently vacant* spans, and in the paper's generator each entry
+        is an independent release.
+        """
+        config = self.config
+        rng = self._rng
+        count = rng.randint(*config.slot_count_range)
+        slots = []
+        start = 0.0
+        for _ in range(count):
+            if slots and rng.random() < config.same_start_probability:
+                pass  # reuse the previous start: a synchronized release
+            else:
+                start += rng.uniform(*config.start_gap_range)
+            performance = rng.uniform(*config.performance_range)
+            price = config.pricing.sample(performance, rng)
+            self._node_counter += 1
+            node = Resource(
+                f"sim-n{self._node_counter}", performance=performance, price=price
+            )
+            length = rng.uniform(*config.slot_length_range)
+            slots.append(Slot(node, start, start + length))
+        return SlotList(slots)
+
+
+@dataclass(frozen=True)
+class JobGeneratorConfig:
+    """Section 5 "JobGenerator" parameters.
+
+    Attributes:
+        job_count_range: Jobs per batch (paper: ``[3, 7]``).
+        node_count_range: Required concurrent nodes (paper: ``[1, 6]``).
+        volume_range: Job length/complexity at etalon performance
+            (paper: ``[50, 150]``).
+        min_performance_range: Required minimum node performance
+            (paper: ``[1, 2]`` — "a factor of job heterogeneity").
+        price_cap_factor_range: The unpublished price-cap parameter (see
+            module docstring).
+        price_base: Base of the price law the cap is expressed against.
+    """
+
+    job_count_range: tuple[int, int] = (3, 7)
+    node_count_range: tuple[int, int] = (1, 6)
+    volume_range: tuple[float, float] = (50.0, 150.0)
+    min_performance_range: tuple[float, float] = (1.0, 2.0)
+    price_cap_factor_range: tuple[float, float] = (0.9, 1.3)
+    price_base: float = 1.7
+
+    def __post_init__(self) -> None:
+        _check_range("job_count_range", self.job_count_range, minimum=1)
+        _check_range("node_count_range", self.node_count_range, minimum=1)
+        _check_range("volume_range", self.volume_range)
+        if self.volume_range[0] <= 0:
+            raise InvalidRequestError(
+                f"volume_range must be positive, got {self.volume_range!r}"
+            )
+        _check_range("min_performance_range", self.min_performance_range)
+        if self.min_performance_range[0] <= 0:
+            raise InvalidRequestError(
+                "min_performance_range must be positive, got "
+                f"{self.min_performance_range!r}"
+            )
+        _check_range("price_cap_factor_range", self.price_cap_factor_range)
+        if self.price_cap_factor_range[0] <= 0:
+            raise InvalidRequestError(
+                "price_cap_factor_range must be positive, got "
+                f"{self.price_cap_factor_range!r}"
+            )
+        if self.price_base <= 0:
+            raise InvalidRequestError(f"price_base must be positive, got {self.price_base!r}")
+
+
+class JobGenerator:
+    """Generates one job batch per scheduling iteration."""
+
+    def __init__(
+        self,
+        config: JobGeneratorConfig | None = None,
+        *,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if seed is not None and rng is not None:
+            raise InvalidRequestError("pass either seed or rng, not both")
+        self.config = config or JobGeneratorConfig()
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._batch_counter = 0
+
+    def generate_request(self) -> ResourceRequest:
+        """Draw one job's resource request."""
+        config = self.config
+        rng = self._rng
+        min_performance = rng.uniform(*config.min_performance_range)
+        factor = rng.uniform(*config.price_cap_factor_range)
+        return ResourceRequest(
+            node_count=rng.randint(*config.node_count_range),
+            volume=rng.uniform(*config.volume_range),
+            min_performance=min_performance,
+            max_price=factor * config.price_base**min_performance,
+        )
+
+    def generate(self) -> Batch:
+        """Draw one batch; priority follows generation order."""
+        self._batch_counter += 1
+        count = self._rng.randint(*self.config.job_count_range)
+        return Batch(
+            Job(
+                self.generate_request(),
+                name=f"b{self._batch_counter}-j{index}",
+                priority=index,
+            )
+            for index in range(count)
+        )

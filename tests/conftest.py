@@ -1,0 +1,43 @@
+"""Shared fixtures and builders for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Resource, Slot, SlotList
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests that need randomness."""
+    return random.Random(0xC0FFEE)
+
+
+def make_resource(
+    name: str = "node",
+    performance: float = 1.0,
+    price: float = 1.0,
+) -> Resource:
+    """A fresh resource with a unique uid."""
+    return Resource(name, performance=performance, price=price)
+
+
+def make_uniform_slots(
+    count: int,
+    *,
+    start: float = 0.0,
+    length: float = 100.0,
+    performance: float = 1.0,
+    price: float = 1.0,
+) -> SlotList:
+    """``count`` identical slots, each on its own resource."""
+    return SlotList(
+        Slot(
+            make_resource(f"node{i}", performance=performance, price=price),
+            start,
+            start + length,
+        )
+        for i in range(count)
+    )

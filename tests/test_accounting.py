@@ -1,0 +1,107 @@
+"""Tests for economic accounting (repro.grid.accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BatchScheduler,
+    InfeasiblePolicy,
+    InvalidRequestError,
+    Job,
+    ResourceRequest,
+    SchedulerConfig,
+)
+from repro.grid import (
+    Cluster,
+    ComputeNode,
+    JobState,
+    Metascheduler,
+    VOEnvironment,
+    WorkloadTrace,
+    owner_statement,
+    user_statement,
+)
+
+
+def _environment() -> VOEnvironment:
+    alpha = Cluster(
+        "alpha", [ComputeNode(f"a{i}", performance=1.0, price=2.0) for i in range(2)]
+    )
+    beta = Cluster(
+        "beta", [ComputeNode(f"b{i}", performance=1.0, price=4.0) for i in range(2)]
+    )
+    return VOEnvironment([alpha, beta])
+
+
+class TestOwnerStatement:
+    def test_empty_period_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            owner_statement(_environment(), 100.0, 100.0)
+
+    def test_income_and_time_split(self):
+        environment = _environment()
+        nodes = {node.name: node for node in environment.nodes()}
+        nodes["a0"].reserve_for("jobX", 0.0, 50.0)  # income 100 on alpha
+        nodes["a1"].run_local_job(0.0, 30.0)        # local time on alpha
+        nodes["b0"].reserve_for("jobY", 0.0, 25.0)  # income 100 on beta
+        statement = owner_statement(environment, 0.0, 100.0)
+        by_cluster = {line.cluster: line for line in statement.lines}
+        alpha, beta = by_cluster["alpha"], by_cluster["beta"]
+        assert alpha.income == pytest.approx(100.0)
+        assert alpha.reserved_time == pytest.approx(50.0)
+        assert alpha.local_time == pytest.approx(30.0)
+        assert alpha.global_share == pytest.approx(50.0 / 80.0)
+        assert beta.income == pytest.approx(100.0)
+        assert statement.total_income == pytest.approx(200.0)
+
+    def test_idle_cluster_zero_share(self):
+        statement = owner_statement(_environment(), 0.0, 100.0)
+        assert all(line.global_share == 0.0 for line in statement.lines)
+        assert statement.total_income == 0.0
+
+    def test_render_contains_total(self):
+        text = owner_statement(_environment(), 0.0, 100.0).render()
+        assert "TOTAL" in text
+        assert "alpha" in text and "beta" in text
+
+
+class TestUserStatement:
+    def _run_vo(self):
+        environment = _environment()
+        scheduler = BatchScheduler(
+            SchedulerConfig(infeasible_policy=InfeasiblePolicy.EARLIEST)
+        )
+        meta = Metascheduler(environment, scheduler, period=50.0, horizon=400.0)
+        meta.submit(Job(ResourceRequest(2, 50.0, max_price=5.0), name="paid"))
+        meta.submit(Job(ResourceRequest(9, 50.0, max_price=5.0), name="unplaceable"))
+        meta.run(until=200.0)
+        return environment, meta
+
+    def test_lines_cover_all_jobs(self):
+        _, meta = self._run_vo()
+        statement = user_statement(meta.trace)
+        by_name = {line.job_name: line for line in statement.lines}
+        assert set(by_name) == {"paid", "unplaceable"}
+        assert by_name["paid"].cost is not None
+        assert by_name["paid"].wait_time is not None
+        assert by_name["unplaceable"].cost is None
+        assert by_name["unplaceable"].state is JobState.PENDING
+
+    def test_user_spend_equals_owner_income(self):
+        """Money conservation: what users pay is what owners earn."""
+        environment, meta = self._run_vo()
+        statement = user_statement(meta.trace)
+        owners = owner_statement(environment, 0.0, 10_000.0)
+        assert statement.total_spend == pytest.approx(owners.total_income)
+
+    def test_empty_trace(self):
+        statement = user_statement(WorkloadTrace())
+        assert statement.total_spend == 0.0
+        assert "TOTAL" in statement.render()
+
+    def test_render_shapes(self):
+        _, meta = self._run_vo()
+        text = user_statement(meta.trace).render()
+        assert "paid" in text
+        assert "pending" in text

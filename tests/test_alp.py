@@ -1,0 +1,234 @@
+"""Unit and property tests for the ALP slot-search algorithm."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Resource,
+    ResourceRequest,
+    Slot,
+    SlotList,
+    WindowNotFoundError,
+)
+from repro.core.alp import ForwardScan, find_window, require_window, slot_is_suited
+
+from tests.conftest import make_resource, make_uniform_slots
+
+
+class TestSlotIsSuited:
+    def test_performance_condition(self):
+        request = ResourceRequest(node_count=1, volume=10.0, min_performance=2.0)
+        slow = Slot(make_resource(performance=1.5), 0.0, 100.0)
+        fast = Slot(make_resource(performance=2.0), 0.0, 100.0)
+        assert not slot_is_suited(slow, request, check_price=True)
+        assert slot_is_suited(fast, request, check_price=True)
+
+    def test_price_condition_toggles(self):
+        request = ResourceRequest(node_count=1, volume=10.0, max_price=3.0)
+        pricey = Slot(make_resource(price=5.0), 0.0, 100.0)
+        assert not slot_is_suited(pricey, request, check_price=True)
+        assert slot_is_suited(pricey, request, check_price=False)
+
+    def test_length_condition_uses_node_runtime(self):
+        request = ResourceRequest(node_count=1, volume=100.0)
+        short_fast = Slot(make_resource(performance=2.0), 0.0, 50.0)
+        short_slow = Slot(make_resource(performance=1.0), 0.0, 50.0)
+        assert slot_is_suited(short_fast, request, check_price=True)
+        assert not slot_is_suited(short_slow, request, check_price=True)
+
+
+class TestForwardScan:
+    def test_expiry_on_advance(self):
+        request = ResourceRequest(node_count=2, volume=50.0)
+        scan = ForwardScan(request)
+        early = Slot(make_resource("early"), 0.0, 60.0)
+        late = Slot(make_resource("late"), 30.0, 100.0)
+        assert scan.offer(early)
+        # At T_last = 30, 'early' has only 30 < 50 remaining -> expires.
+        assert scan.offer(late)
+        assert [slot.resource.name for slot in scan.candidates] == ["late"]
+
+    def test_cannot_move_backwards(self):
+        scan = ForwardScan(ResourceRequest(node_count=1, volume=10.0))
+        scan.advance_to(50.0)
+        with pytest.raises(ValueError):
+            scan.advance_to(40.0)
+
+    def test_build_window_uses_latest_chosen_start(self):
+        request = ResourceRequest(node_count=2, volume=20.0)
+        scan = ForwardScan(request)
+        scan.offer(Slot(make_resource("a"), 0.0, 100.0))
+        scan.offer(Slot(make_resource("b"), 10.0, 100.0))
+        window = scan.build_window()
+        assert window.start == 10.0
+
+
+class TestFindWindow:
+    def test_simple_concurrent_window(self):
+        slots = make_uniform_slots(3, length=100.0)
+        request = ResourceRequest(node_count=3, volume=50.0)
+        window = find_window(slots, request)
+        assert window is not None
+        assert window.start == 0.0
+        assert window.length == pytest.approx(50.0)
+        assert window.slots_number == 3
+
+    def test_none_when_not_enough_slots(self):
+        slots = make_uniform_slots(2, length=100.0)
+        request = ResourceRequest(node_count=3, volume=50.0)
+        assert find_window(slots, request) is None
+
+    def test_price_cap_excludes_expensive_nodes(self):
+        cheap = Slot(make_resource("cheap", price=2.0), 0.0, 100.0)
+        pricey = Slot(make_resource("pricey", price=9.0), 0.0, 100.0)
+        late_cheap = Slot(make_resource("late", price=2.0), 50.0, 200.0)
+        slots = SlotList([cheap, pricey, late_cheap])
+        request = ResourceRequest(node_count=2, volume=40.0, max_price=3.0)
+        window = find_window(slots, request)
+        assert window is not None
+        assert window.start == 50.0
+        assert {r.name for r in window.resources()} == {"cheap", "late"}
+
+    def test_check_price_false_uses_expensive_node(self):
+        cheap = Slot(make_resource("cheap", price=2.0), 0.0, 100.0)
+        pricey = Slot(make_resource("pricey", price=9.0), 0.0, 100.0)
+        slots = SlotList([cheap, pricey])
+        request = ResourceRequest(node_count=2, volume=40.0, max_price=3.0)
+        window = find_window(slots, request, check_price=False)
+        assert window is not None
+        assert window.start == 0.0
+
+    def test_earliest_window_wins(self):
+        # Two feasible windows; ALP must return the earlier one.
+        a = Slot(make_resource("a"), 0.0, 100.0)
+        b = Slot(make_resource("b"), 10.0, 100.0)
+        c = Slot(make_resource("c"), 200.0, 300.0)
+        d = Slot(make_resource("d"), 200.0, 300.0)
+        slots = SlotList([a, b, c, d])
+        request = ResourceRequest(node_count=2, volume=30.0)
+        window = find_window(slots, request)
+        assert window is not None
+        assert window.start == 10.0
+
+    def test_window_on_heterogeneous_performance(self):
+        slow = Slot(make_resource("slow", performance=1.0), 0.0, 100.0)
+        fast = Slot(make_resource("fast", performance=2.0), 0.0, 60.0)
+        slots = SlotList([slow, fast])
+        request = ResourceRequest(node_count=2, volume=100.0)
+        window = find_window(slots, request)
+        assert window is not None
+        # Rough right edge: 100 on the slow node, 50 on the fast one.
+        assert window.length == pytest.approx(100.0)
+
+    def test_single_resource_cannot_host_two_tasks(self):
+        # Vacant slots on one resource never overlap, so a 2-node job
+        # must fail on a single-node environment.
+        node = make_resource()
+        slots = SlotList([Slot(node, 0.0, 100.0), Slot(node, 150.0, 300.0)])
+        request = ResourceRequest(node_count=2, volume=20.0)
+        assert find_window(slots, request) is None
+
+    def test_expired_candidate_replaced_later(self):
+        # 'a' expires when the scan reaches 'b' (only 30 of it remains);
+        # the window forms at 80 from b + c.
+        a = Slot(make_resource("a"), 0.0, 60.0)
+        b = Slot(make_resource("b"), 30.0, 200.0)
+        c = Slot(make_resource("c"), 80.0, 200.0)
+        slots = SlotList([a, b, c])
+        request = ResourceRequest(node_count=2, volume=50.0)
+        window = find_window(slots, request)
+        assert window is not None
+        assert window.start == 80.0
+        assert {r.name for r in window.resources()} == {"b", "c"}
+
+    def test_input_list_not_modified(self):
+        slots = make_uniform_slots(3, length=100.0)
+        before = list(slots)
+        find_window(slots, ResourceRequest(node_count=2, volume=50.0))
+        assert list(slots) == before
+
+    def test_empty_list(self):
+        assert find_window(SlotList(), ResourceRequest(node_count=1, volume=10.0)) is None
+
+
+class TestRequireWindow:
+    def test_returns_window_on_success(self):
+        slots = make_uniform_slots(1, length=100.0)
+        request = ResourceRequest(node_count=1, volume=50.0)
+        assert require_window(slots, request) is not None
+
+    def test_raises_with_job_name(self):
+        request = ResourceRequest(node_count=1, volume=50.0)
+        with pytest.raises(WindowNotFoundError) as excinfo:
+            require_window(SlotList(), request, job_name="job42")
+        assert excinfo.value.job_name == "job42"
+
+
+# --------------------------------------------------------------------- #
+# Property-based invariants                                             #
+# --------------------------------------------------------------------- #
+
+
+def _random_slot_list(seed: int, count: int) -> SlotList:
+    rng = random.Random(seed)
+    slots = []
+    start = 0.0
+    for i in range(count):
+        if rng.random() > 0.4:
+            start += rng.uniform(0.0, 10.0)
+        performance = rng.uniform(1.0, 3.0)
+        node = Resource(f"n{i}", performance=performance, price=rng.uniform(1.0, 6.0))
+        slots.append(Slot(node, start, start + rng.uniform(50.0, 300.0)))
+    return SlotList(slots)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    node_count=st.integers(min_value=1, max_value=5),
+    volume=st.floats(min_value=10.0, max_value=200.0),
+    min_performance=st.floats(min_value=1.0, max_value=2.0),
+    max_price=st.floats(min_value=1.0, max_value=7.0),
+)
+def test_alp_window_always_satisfies_request(seed, node_count, volume, min_performance, max_price):
+    """Whatever ALP returns is a valid window: N distinct nodes, enough
+    performance, per-slot price cap, synchronous start inside every
+    source slot."""
+    slots = _random_slot_list(seed, 40)
+    request = ResourceRequest(
+        node_count=node_count,
+        volume=volume,
+        min_performance=min_performance,
+        max_price=max_price,
+    )
+    window = find_window(slots, request)
+    if window is None:
+        return
+    assert window.satisfies(request)
+    for allocation in window.allocations:
+        assert allocation.source in slots
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_alp_monotone_in_node_count(seed):
+    """Needing more concurrent nodes can only delay (or lose) the window."""
+    slots = _random_slot_list(seed, 40)
+    starts = []
+    for node_count in (1, 2, 3):
+        request = ResourceRequest(node_count=node_count, volume=60.0)
+        window = find_window(slots, request)
+        starts.append(None if window is None else window.start)
+    seen: list[float] = []
+    for start in starts:
+        if start is None:
+            # Once infeasible, larger requests stay infeasible on the
+            # same list.
+            continue
+        seen.append(start)
+    assert seen == sorted(seen)

@@ -1,0 +1,200 @@
+"""Unit and property tests for the AMP slot-search algorithm."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Resource,
+    ResourceRequest,
+    Slot,
+    SlotList,
+    WindowNotFoundError,
+)
+from repro.core import alp, amp
+
+from tests.conftest import make_resource, make_uniform_slots
+
+
+class TestCheapestSubset:
+    def test_picks_n_cheapest_by_total_cost(self):
+        request = ResourceRequest(node_count=2, volume=100.0)
+        # Fast+expensive node is cheaper in total than slow+cheap one:
+        # 4*50=200 < 3*100=300.
+        fast = Slot(make_resource("fast", performance=2.0, price=4.0), 0.0, 200.0)
+        slow = Slot(make_resource("slow", performance=1.0, price=3.0), 0.0, 200.0)
+        mid = Slot(make_resource("mid", performance=1.0, price=2.5), 0.0, 200.0)
+        chosen, total = amp.cheapest_subset([fast, slow, mid], request)
+        names = {slot.resource.name for slot in chosen}
+        assert names == {"fast", "mid"}
+        assert total == pytest.approx(200.0 + 250.0)
+
+    def test_requires_enough_candidates(self):
+        request = ResourceRequest(node_count=3, volume=10.0)
+        with pytest.raises(ValueError):
+            amp.cheapest_subset([Slot(make_resource(), 0.0, 100.0)], request)
+
+
+class TestFindWindow:
+    def test_within_budget_first_window(self):
+        slots = make_uniform_slots(2, length=100.0, price=3.0)
+        request = ResourceRequest(node_count=2, volume=50.0, max_price=4.0)
+        window = amp.find_window(slots, request)
+        assert window is not None
+        assert window.start == 0.0
+        assert window.cost <= request.budget
+
+    def test_over_budget_advances_to_cheaper_window(self):
+        pricey_a = Slot(make_resource("pa", price=10.0), 0.0, 500.0)
+        pricey_b = Slot(make_resource("pb", price=10.0), 0.0, 500.0)
+        cheap_a = Slot(make_resource("ca", price=1.0), 100.0, 500.0)
+        cheap_b = Slot(make_resource("cb", price=1.0), 120.0, 500.0)
+        slots = SlotList([pricey_a, pricey_b, cheap_a, cheap_b])
+        request = ResourceRequest(node_count=2, volume=50.0, max_price=2.0)  # S = 200
+        window = amp.find_window(slots, request)
+        assert window is not None
+        assert window.start == 120.0
+        assert {r.name for r in window.resources()} == {"ca", "cb"}
+
+    def test_mixes_expensive_and_cheap_within_budget(self):
+        # ALP (cap 3) can never use 'gold'; AMP can because the cheap
+        # partner leaves budget headroom: (1+5)*50=300 <= S=300.
+        gold = Slot(make_resource("gold", price=5.0), 0.0, 500.0)
+        dirt = Slot(make_resource("dirt", price=1.0), 0.0, 500.0)
+        slots = SlotList([gold, dirt])
+        request = ResourceRequest(node_count=2, volume=50.0, max_price=3.0)
+        assert alp.find_window(slots, request) is None
+        window = amp.find_window(slots, request)
+        assert window is not None
+        assert {r.name for r in window.resources()} == {"gold", "dirt"}
+
+    def test_budget_boundary_is_inclusive(self):
+        a = Slot(make_resource("a", price=5.0), 0.0, 100.0)
+        b = Slot(make_resource("b", price=5.0), 0.0, 100.0)
+        slots = SlotList([a, b])
+        # S = 5*80*2 = 800 = exact window cost, as in the paper's W1.
+        request = ResourceRequest(node_count=2, volume=80.0, max_price=5.0)
+        window = amp.find_window(slots, request)
+        assert window is not None
+        assert window.cost == pytest.approx(request.budget)
+
+    def test_explicit_budget_overrides_request(self):
+        slots = make_uniform_slots(2, length=100.0, price=4.0)
+        request = ResourceRequest(node_count=2, volume=50.0, max_price=4.0)
+        # Shrunk budget rho=0.5 -> 200 < cost 400: infeasible anywhere.
+        assert amp.find_window(slots, request, budget=request.scaled_budget(0.5)) is None
+
+    def test_no_price_cap_means_infinite_budget(self):
+        slots = make_uniform_slots(2, length=100.0, price=1000.0)
+        request = ResourceRequest(node_count=2, volume=50.0)
+        window = amp.find_window(slots, request)
+        assert window is not None
+        assert math.isinf(request.budget)
+
+    def test_keeps_extra_candidates_out_of_window(self):
+        # Three concurrent slots but N=2: the two cheapest form the
+        # window, the third "is returned to the source slot list" (it was
+        # never removed — the input list is untouched).
+        slots = make_uniform_slots(3, length=100.0, price=2.0)
+        request = ResourceRequest(node_count=2, volume=50.0, max_price=2.0)
+        before = list(slots)
+        window = amp.find_window(slots, request)
+        assert window is not None
+        assert window.slots_number == 2
+        assert list(slots) == before
+
+    def test_performance_requirement_still_applies(self):
+        slow = Slot(make_resource("slow", performance=1.0, price=1.0), 0.0, 500.0)
+        fast = Slot(make_resource("fast", performance=2.0, price=1.0), 0.0, 500.0)
+        slots = SlotList([slow, fast])
+        request = ResourceRequest(node_count=1, volume=50.0, min_performance=1.5, max_price=10.0)
+        window = amp.find_window(slots, request)
+        assert window is not None
+        assert window.resources()[0].name == "fast"
+
+    def test_failure_returns_none(self):
+        slots = make_uniform_slots(1, length=100.0)
+        request = ResourceRequest(node_count=2, volume=50.0, max_price=10.0)
+        assert amp.find_window(slots, request) is None
+
+    def test_require_window_raises(self):
+        request = ResourceRequest(node_count=1, volume=50.0, max_price=1.0)
+        with pytest.raises(WindowNotFoundError) as excinfo:
+            amp.require_window(SlotList(), request, job_name="j")
+        assert excinfo.value.job_name == "j"
+
+
+# --------------------------------------------------------------------- #
+# Property-based invariants                                             #
+# --------------------------------------------------------------------- #
+
+
+def _random_slot_list(seed: int, count: int) -> SlotList:
+    rng = random.Random(seed)
+    slots = []
+    start = 0.0
+    for i in range(count):
+        if rng.random() > 0.4:
+            start += rng.uniform(0.0, 10.0)
+        performance = rng.uniform(1.0, 3.0)
+        node = Resource(f"n{i}", performance=performance, price=rng.uniform(1.0, 6.0))
+        slots.append(Slot(node, start, start + rng.uniform(50.0, 300.0)))
+    return SlotList(slots)
+
+
+_request_strategy = st.builds(
+    ResourceRequest,
+    node_count=st.integers(min_value=1, max_value=5),
+    volume=st.floats(min_value=10.0, max_value=200.0),
+    min_performance=st.floats(min_value=1.0, max_value=2.0),
+    max_price=st.floats(min_value=1.0, max_value=8.0),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), request=_request_strategy)
+def test_amp_window_fits_budget_and_request(seed, request):
+    slots = _random_slot_list(seed, 40)
+    window = amp.find_window(slots, request)
+    if window is None:
+        return
+    assert window.satisfies(request, budget=request.budget)
+    for allocation in window.allocations:
+        assert allocation.source in slots
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), request=_request_strategy)
+def test_amp_never_later_than_alp(seed, request):
+    """Section 6: any ALP window is also an AMP window, so AMP's earliest
+    start can never come after ALP's."""
+    slots = _random_slot_list(seed, 40)
+    alp_window = alp.find_window(slots, request)
+    if alp_window is None:
+        return
+    amp_window = amp.find_window(slots, request)
+    assert amp_window is not None, "AMP must succeed whenever ALP does"
+    assert amp_window.start <= alp_window.start + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    request=_request_strategy,
+    rho=st.floats(min_value=0.3, max_value=1.0),
+)
+def test_amp_budget_shrink_monotone(seed, request, rho):
+    """A shrunk budget can only delay (or lose) the window, never make
+    it cheaper than the budget allows."""
+    slots = _random_slot_list(seed, 40)
+    full = amp.find_window(slots, request)
+    shrunk = amp.find_window(slots, request, budget=request.scaled_budget(rho))
+    if shrunk is not None:
+        assert shrunk.cost <= request.scaled_budget(rho) + 1e-9
+        assert full is not None
+        assert full.start <= shrunk.start + 1e-9

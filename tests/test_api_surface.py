@@ -1,0 +1,76 @@
+"""API-surface contract tests.
+
+Every name a package advertises in ``__all__`` must resolve, and every
+public class/function must carry a docstring — the deliverable is a
+library, and an advertised-but-broken or undocumented symbol is a bug
+like any other.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = ["repro", "repro.core", "repro.grid", "repro.baselines", "repro.sim"]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} must declare __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_no_duplicate_all_entries(package_name):
+    package = importlib.import_module(package_name)
+    names = list(package.__all__)
+    assert len(names) == len(set(names)), f"duplicates in {package_name}.__all__"
+
+
+def _walk_modules():
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(module_info.name)
+
+
+def test_every_module_has_docstring():
+    for module in _walk_modules():
+        assert module.__doc__, f"module {module.__name__} lacks a docstring"
+
+
+def test_public_classes_and_functions_documented():
+    undocumented = []
+    for module in _walk_modules():
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if obj.__doc__ is None:
+                    undocumented.append(f"{module.__name__}.{name}")
+    assert not undocumented, f"undocumented public symbols: {undocumented}"
+
+
+def test_public_methods_documented():
+    missing = []
+    for module in _walk_modules():
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if not inspect.isclass(obj):
+                continue
+            for method_name, method in inspect.getmembers(obj, inspect.isfunction):
+                if method_name.startswith("_"):
+                    continue
+                if method.__qualname__.split(".")[0] != obj.__name__:
+                    continue  # inherited from elsewhere
+                if method.__doc__ is None:
+                    missing.append(f"{module.__name__}.{name}.{method_name}")
+    assert not missing, f"undocumented public methods: {missing}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,77 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InvalidRequestError
+from repro.sim import bar_chart, line_chart, table
+
+
+class TestBarChart:
+    def test_scales_to_maximum(self):
+        text = bar_chart({"ALP": 50.0, "AMP": 25.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_title_and_unit(self):
+        text = bar_chart({"x": 1.0}, title="Demo", unit="s")
+        assert text.startswith("Demo")
+        assert "1.00s" in text
+
+    def test_empty_data(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_all_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "█" not in text
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(InvalidRequestError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestLineChart:
+    def test_contains_series_glyphs_and_legend(self):
+        text = line_chart({"ALP": [1.0, 2.0, 3.0], "AMP": [3.0, 2.0, 1.0]}, width=20, height=5)
+        assert "*" in text and "o" in text
+        assert "* ALP" in text and "o AMP" in text
+
+    def test_y_range_labels(self):
+        text = line_chart({"s": [10.0, 20.0]}, width=10, height=4)
+        assert "20.00" in text
+        assert "10.00" in text
+
+    def test_flat_series(self):
+        text = line_chart({"s": [5.0, 5.0, 5.0]}, width=10, height=4)
+        assert "(no data)" not in text
+
+    def test_single_point_series(self):
+        text = line_chart({"s": [5.0]}, width=10, height=4)
+        assert "*" in text
+
+    def test_empty(self):
+        assert "(no data)" in line_chart({})
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(InvalidRequestError):
+            line_chart({"s": [1.0]}, width=1, height=5)
+
+
+class TestTable:
+    def test_alignment_and_header(self):
+        text = table(
+            [["a", "1"], ["long-label", "22"]], header=["name", "value"]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_ragged_rows_padded(self):
+        text = table([["a"], ["b", "2"]])
+        assert len(text.splitlines()) == 2
+
+    def test_empty(self):
+        assert table([]) == "(empty table)"

@@ -1,0 +1,152 @@
+"""Tests for the schedule auditor (repro.core.audit)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AuditError,
+    Batch,
+    BatchScheduler,
+    Job,
+    ResourceRequest,
+    SchedulerConfig,
+    Slot,
+    SlotList,
+    SlotSearchAlgorithm,
+    TaskAllocation,
+    Window,
+    audit_outcome,
+    audit_windows,
+    require_valid,
+)
+
+from tests.conftest import make_resource, make_uniform_slots
+
+
+def _window(node, slot_span, alloc_span, volume) -> Window:
+    slot = Slot(node, *slot_span)
+    request = ResourceRequest(node_count=1, volume=volume)
+    return Window(request, [TaskAllocation(slot, *alloc_span)])
+
+
+def _job(volume=10.0, max_price=None) -> Job:
+    kwargs = {} if max_price is None else {"max_price": max_price}
+    return Job(ResourceRequest(1, volume, **kwargs))
+
+
+class TestContractCheck:
+    def test_clean_assignment_passes(self):
+        node = make_resource(price=2.0)
+        job = _job(volume=10.0, max_price=3.0)
+        window = _window(node, (0.0, 100.0), (0.0, 10.0), 10.0)
+        windows = {job: window}
+        assert audit_windows(windows, algorithm=SlotSearchAlgorithm.ALP) == []
+
+    def test_alp_price_violation_flagged(self):
+        node = make_resource(price=9.0)
+        job = _job(volume=10.0, max_price=3.0)
+        window = _window(node, (0.0, 100.0), (0.0, 10.0), 10.0)
+        violations = audit_windows({job: window}, algorithm=SlotSearchAlgorithm.ALP)
+        assert [v.kind for v in violations] == ["contract"]
+        assert violations[0].job_name == job.name
+
+    def test_amp_budget_tolerates_expensive_slot(self):
+        node = make_resource(price=9.0)
+        job = _job(volume=10.0, max_price=10.0)  # budget 100 >= cost 90
+        window = _window(node, (0.0, 100.0), (0.0, 10.0), 10.0)
+        assert audit_windows({job: window}, algorithm=SlotSearchAlgorithm.AMP) == []
+
+    def test_no_algorithm_skips_price_checks(self):
+        node = make_resource(price=9.0)
+        job = _job(volume=10.0, max_price=1.0)
+        window = _window(node, (0.0, 100.0), (0.0, 10.0), 10.0)
+        assert audit_windows({job: window}, algorithm=None) == []
+
+
+class TestOverlapCheck:
+    def test_overlap_flagged(self):
+        node = make_resource()
+        job_a, job_b = _job(), _job()
+        first = _window(node, (0.0, 100.0), (0.0, 10.0), 10.0)
+        second = _window(node, (0.0, 100.0), (5.0, 15.0), 10.0)
+        violations = audit_windows({job_a: first, job_b: second})
+        assert any(v.kind == "overlap" for v in violations)
+
+    def test_disjoint_passes(self):
+        node = make_resource()
+        job_a, job_b = _job(), _job()
+        first = _window(node, (0.0, 100.0), (0.0, 10.0), 10.0)
+        second = _window(node, (0.0, 100.0), (10.0, 20.0), 10.0)
+        assert audit_windows({job_a: first, job_b: second}) == []
+
+
+class TestContainmentCheck:
+    def test_placement_outside_vacancy_flagged(self):
+        node = make_resource()
+        job = _job()
+        window = _window(node, (0.0, 100.0), (0.0, 10.0), 10.0)
+        # Reference list where the node is only vacant later.
+        reference = SlotList([Slot(node, 50.0, 100.0)])
+        violations = audit_windows({job: window}, slot_list=reference)
+        assert [v.kind for v in violations] == ["containment"]
+
+    def test_placement_inside_vacancy_passes(self):
+        node = make_resource()
+        job = _job()
+        window = _window(node, (0.0, 100.0), (0.0, 10.0), 10.0)
+        reference = SlotList([Slot(node, 0.0, 100.0)])
+        assert audit_windows({job: window}, slot_list=reference) == []
+
+
+class TestConstraintCheck:
+    def test_budget_violation_flagged(self):
+        node = make_resource(price=5.0)
+        job = _job()
+        window = _window(node, (0.0, 100.0), (0.0, 10.0), 10.0)  # cost 50
+        violations = audit_windows({job: window}, budget_limit=30.0)
+        assert [v.kind for v in violations] == ["constraint"]
+
+    def test_quota_violation_flagged(self):
+        node = make_resource()
+        job = _job()
+        window = _window(node, (0.0, 100.0), (0.0, 10.0), 10.0)  # time 10
+        violations = audit_windows({job: window}, time_quota=5.0)
+        assert [v.kind for v in violations] == ["constraint"]
+
+    def test_within_limits_passes(self):
+        node = make_resource(price=5.0)
+        job = _job()
+        window = _window(node, (0.0, 100.0), (0.0, 10.0), 10.0)
+        assert audit_windows({job: window}, budget_limit=50.0, time_quota=10.0) == []
+
+
+class TestRequireValid:
+    def test_raises_with_violations(self):
+        violations = audit_windows(
+            {_job(): _window(make_resource(price=5.0), (0.0, 100.0), (0.0, 10.0), 10.0)},
+            budget_limit=1.0,
+        )
+        with pytest.raises(AuditError) as excinfo:
+            require_valid(violations)
+        assert excinfo.value.violations == violations
+
+    def test_noop_when_clean(self):
+        require_valid([])  # must not raise
+
+
+class TestAuditOutcome:
+    def test_real_scheduler_output_is_clean(self):
+        slots = make_uniform_slots(3, length=300.0, price=2.0)
+        batch = Batch(
+            [
+                Job(ResourceRequest(2, 50.0, max_price=3.0), priority=0),
+                Job(ResourceRequest(1, 40.0, max_price=3.0), priority=1),
+            ]
+        )
+        config = SchedulerConfig(
+            algorithm=SlotSearchAlgorithm.AMP, max_alternatives_per_job=2
+        )
+        outcome = BatchScheduler(config).schedule(slots, batch)
+        violations = audit_outcome(outcome, slots, algorithm=SlotSearchAlgorithm.AMP)
+        assert violations == []

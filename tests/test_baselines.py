@@ -1,0 +1,237 @@
+"""Tests for the baseline schedulers (backfill, first-fit, greedy)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BackfillScheduler,
+    BackfillVariant,
+    backfill_find_window,
+    cheapest_find_window,
+    firstfit_find_window,
+)
+from repro.core import (
+    InvalidRequestError,
+    Job,
+    Resource,
+    ResourceRequest,
+    Slot,
+    SlotList,
+)
+from repro.core import alp, amp
+from repro.grid import Cluster, ComputeNode, VOEnvironment
+
+from tests.conftest import make_resource, make_uniform_slots
+
+
+class TestBackfillFindWindow:
+    def test_finds_rectangular_window(self):
+        slots = make_uniform_slots(3, length=100.0)
+        request = ResourceRequest(node_count=3, volume=60.0)
+        window = backfill_find_window(slots, request)
+        assert window is not None
+        assert window.start == 0.0
+        assert window.length == pytest.approx(60.0)
+        # Rectangular: every allocation spans the full volume.
+        assert all(a.runtime == pytest.approx(60.0) for a in window.allocations)
+
+    def test_ignores_prices(self):
+        pricey = Slot(make_resource("p", price=100.0), 0.0, 100.0)
+        slots = SlotList([pricey])
+        request = ResourceRequest(node_count=1, volume=50.0, max_price=1.0)
+        window = backfill_find_window(slots, request)
+        assert window is not None  # backfill is price-blind
+
+    def test_respects_performance_requirement(self):
+        slow = Slot(make_resource("slow", performance=1.0), 0.0, 100.0)
+        fast = Slot(make_resource("fast", performance=2.0), 0.0, 100.0)
+        slots = SlotList([slow, fast])
+        request = ResourceRequest(node_count=1, volume=50.0, min_performance=1.5)
+        window = backfill_find_window(slots, request)
+        assert window is not None
+        assert window.resources()[0].name == "fast"
+
+    def test_uses_etalon_duration_even_on_fast_nodes(self):
+        # Backfill's homogeneity assumption: a fast node still gets
+        # blocked for the full etalon volume.
+        fast = Slot(make_resource("fast", performance=2.0), 0.0, 100.0)
+        slots = SlotList([fast])
+        request = ResourceRequest(node_count=1, volume=60.0)
+        window = backfill_find_window(slots, request)
+        assert window is not None
+        assert window.length == pytest.approx(60.0)  # not 30
+
+    def test_probes_later_start_times(self):
+        a = Slot(make_resource("a"), 0.0, 50.0)
+        b = Slot(make_resource("b"), 40.0, 200.0)
+        c = Slot(make_resource("c"), 60.0, 200.0)
+        slots = SlotList([a, b, c])
+        request = ResourceRequest(node_count=2, volume=80.0)
+        window = backfill_find_window(slots, request)
+        assert window is not None
+        assert window.start == 60.0
+        assert {r.name for r in window.resources()} == {"b", "c"}
+
+    def test_none_when_impossible(self):
+        slots = make_uniform_slots(1, length=30.0)
+        assert backfill_find_window(slots, ResourceRequest(2, 10.0)) is None
+        assert backfill_find_window(slots, ResourceRequest(1, 50.0)) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_never_beats_firstfit_on_heterogeneous_lists(self, seed):
+        """First-fit exploits fast nodes (shorter runtimes); backfill's
+        etalon-duration assumption can only need longer slots, so its
+        window never starts earlier."""
+        rng = random.Random(seed)
+        slots = []
+        start = 0.0
+        for i in range(30):
+            start += rng.uniform(0.0, 10.0)
+            node = Resource(f"n{i}", performance=rng.uniform(1.0, 3.0), price=1.0)
+            slots.append(Slot(node, start, start + rng.uniform(50.0, 300.0)))
+        slot_list = SlotList(slots)
+        request = ResourceRequest(node_count=rng.randint(1, 3), volume=rng.uniform(30.0, 120.0))
+        backfill = backfill_find_window(slot_list, request)
+        firstfit = firstfit_find_window(slot_list, request)
+        if backfill is not None:
+            assert firstfit is not None
+            assert firstfit.start <= backfill.start + 1e-9
+
+
+class TestFirstFit:
+    def test_equals_alp_without_price(self):
+        slots = make_uniform_slots(3, length=100.0, price=50.0)
+        request = ResourceRequest(node_count=2, volume=40.0, max_price=1.0)
+        assert alp.find_window(slots, request) is None
+        window = firstfit_find_window(slots, request)
+        assert window is not None
+        assert window == alp.find_window(slots, request, check_price=False)
+
+
+class TestCheapestWindow:
+    def test_prefers_cheaper_later_window(self):
+        pricey = Slot(make_resource("pricey", price=9.0), 0.0, 200.0)
+        partner = Slot(make_resource("partner", price=1.0), 0.0, 200.0)
+        cheap = Slot(make_resource("cheap", price=1.0), 100.0, 300.0)
+        slots = SlotList([pricey, partner, cheap])
+        request = ResourceRequest(node_count=2, volume=50.0, max_price=10.0)
+        window = cheapest_find_window(slots, request)
+        assert window is not None
+        assert {r.name for r in window.resources()} == {"partner", "cheap"}
+        # AMP, by contrast, takes the earliest acceptable one.
+        earliest = amp.find_window(slots, request)
+        assert earliest is not None
+        assert earliest.start < window.start
+        assert window.cost < earliest.cost
+
+    def test_budget_respected(self):
+        slots = make_uniform_slots(2, length=100.0, price=10.0)
+        request = ResourceRequest(node_count=2, volume=50.0, max_price=4.0)
+        assert cheapest_find_window(slots, request) is None
+
+    def test_ties_resolve_to_earliest(self):
+        a = Slot(make_resource("a", price=2.0), 0.0, 100.0)
+        b = Slot(make_resource("b", price=2.0), 50.0, 150.0)
+        slots = SlotList([a, b])
+        request = ResourceRequest(node_count=1, volume=50.0, max_price=3.0)
+        window = cheapest_find_window(slots, request)
+        assert window is not None
+        assert window.start == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_never_costlier_than_amp(self, seed):
+        rng = random.Random(seed)
+        slots = []
+        start = 0.0
+        for i in range(25):
+            start += rng.uniform(0.0, 10.0)
+            node = Resource(
+                f"n{i}", performance=rng.uniform(1.0, 3.0), price=rng.uniform(1.0, 6.0)
+            )
+            slots.append(Slot(node, start, start + rng.uniform(50.0, 300.0)))
+        slot_list = SlotList(slots)
+        request = ResourceRequest(
+            node_count=rng.randint(1, 3), volume=rng.uniform(30.0, 120.0), max_price=6.0
+        )
+        amp_window = amp.find_window(slot_list, request)
+        cheapest = cheapest_find_window(slot_list, request)
+        if amp_window is None:
+            assert cheapest is None
+        else:
+            assert cheapest is not None
+            assert cheapest.cost <= amp_window.cost + 1e-9
+
+
+class TestBackfillScheduler:
+    def _nodes(self, count: int = 3) -> list[ComputeNode]:
+        return [ComputeNode(f"n{i}", performance=1.0, price=2.0) for i in range(count)]
+
+    def _jobs(self, *specs: tuple[int, float]) -> list[Job]:
+        return [
+            Job(ResourceRequest(node_count=n, volume=v), name=f"q{i}")
+            for i, (n, v) in enumerate(specs)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(InvalidRequestError):
+            BackfillScheduler([])
+        with pytest.raises(InvalidRequestError):
+            BackfillScheduler(self._nodes(), horizon=0.0)
+
+    def test_conservative_fcfs_order(self):
+        nodes = self._nodes(2)
+        jobs = self._jobs((2, 50.0), (2, 30.0))
+        assignments = BackfillScheduler(nodes).schedule(jobs)
+        assert [a.job.name for a in assignments] == ["q0", "q1"]
+        assert assignments[0].start == 0.0
+        assert assignments[1].start == pytest.approx(50.0)
+
+    def test_conservative_backfills_narrow_job_into_hole(self):
+        nodes = self._nodes(3)
+        nodes[0].run_local_job(0.0, 100.0)
+        nodes[1].run_local_job(0.0, 100.0)
+        # Wide job must wait for 3 nodes; narrow job fits node 2 now.
+        jobs = self._jobs((3, 50.0), (1, 40.0))
+        assignments = BackfillScheduler(nodes).schedule(jobs)
+        by_name = {a.job.name: a for a in assignments}
+        assert by_name["q0"].start == pytest.approx(100.0)
+        assert by_name["q1"].start == 0.0
+
+    def test_easy_does_not_delay_head(self):
+        nodes = self._nodes(3)
+        nodes[0].run_local_job(0.0, 100.0)
+        nodes[1].run_local_job(0.0, 100.0)
+        jobs = self._jobs((3, 50.0), (1, 200.0))
+        scheduler = BackfillScheduler(nodes, variant=BackfillVariant.EASY)
+        assignments = scheduler.schedule(jobs)
+        by_name = {a.job.name: a for a in assignments}
+        # The long narrow job would collide with the head's reservation
+        # on node 2; EASY therefore parks it after the head.
+        assert by_name["q0"].start == pytest.approx(100.0)
+        assert by_name["q1"].start >= by_name["q0"].start
+
+    def test_reservations_committed_to_schedules(self):
+        nodes = self._nodes(2)
+        jobs = self._jobs((2, 50.0))
+        BackfillScheduler(nodes).schedule(jobs)
+        for node in nodes:
+            assert node.schedule.busy_time(0.0, 100.0) == pytest.approx(50.0)
+
+    def test_assignment_cost(self):
+        nodes = self._nodes(2)
+        (assignment,) = BackfillScheduler(nodes).schedule(self._jobs((2, 50.0)))
+        assert assignment.cost == pytest.approx((2.0 + 2.0) * 50.0)
+        assert assignment.duration == pytest.approx(50.0)
+
+    def test_unplaceable_job_skipped(self):
+        nodes = self._nodes(1)
+        jobs = self._jobs((5, 50.0), (1, 20.0))
+        assignments = BackfillScheduler(nodes).schedule(jobs)
+        assert [a.job.name for a in assignments] == ["q1"]

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.objective == "time"
+        assert args.iterations == 1000
+        assert args.rho == 1.0
+
+    def test_figures_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures"])
+
+    def test_figures_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--figure", "7"])
+
+    def test_all_subcommands_have_handlers(self):
+        parser = build_parser()
+        extras = {
+            "figures": ["--figure", "4"],
+            "sweep": ["--parameter", "slot_count", "--values", "125"],
+        }
+        for command in (
+            "experiment", "figures", "example", "complexity", "vo", "report", "sweep",
+        ):
+            args = parser.parse_args([command] + extras.get(command, []))
+            assert callable(args.handler)
+
+    def test_sweep_requires_parameter_and_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--values", "1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--parameter", "slot_count"])
+
+
+class TestCommands:
+    def test_example_command_prints_gantt(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu6" in out
+        assert "alternatives" in out
+
+    def test_example_command_alp(self, capsys):
+        assert main(["example", "--algorithm", "alp"]) == 0
+        out = capsys.readouterr().out
+        assert "ALP" in out
+
+    def test_experiment_command_small(self, capsys):
+        assert main(["experiment", "--iterations", "12", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "alternatives per job" in out
+
+    def test_experiment_cost_objective(self, capsys):
+        assert (
+            main(["experiment", "--objective", "cost", "--iterations", "12", "--seed", "5"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+
+    def test_figures_command(self, capsys):
+        assert main(["figures", "--figure", "5", "--iterations", "12", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+
+    def test_complexity_command(self, capsys):
+        assert main(["complexity", "--sizes", "100", "200", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "backfill ms" in out
+
+    def test_sweep_command(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--parameter", "slot_count",
+                    "--values", "125",
+                    "--iterations", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "slot_count" in out
+        assert "time gain" in out
+
+    def test_vo_command(self, capsys):
+        assert main(["vo", "--until", "600", "--jobs", "4", "--nodes", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduled" in out
+        assert "utilization" in out
+
+
+class TestVoStatements:
+    def test_statements_flag_prints_billing(self, capsys):
+        assert (
+            main(
+                [
+                    "vo", "--until", "600", "--jobs", "3", "--nodes", "6",
+                    "--statements",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "owners' statement" in out
+        assert "users' statement" in out
+        assert "TOTAL" in out

@@ -1,0 +1,207 @@
+"""Tests for the whole-batch co-scheduling strategies (future work §7)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Batch,
+    BatchStrategy,
+    InvalidRequestError,
+    Job,
+    Resource,
+    ResourceRequest,
+    Slot,
+    SlotList,
+    SlotSearchAlgorithm,
+    coallocate_batch,
+)
+
+from tests.conftest import make_resource, make_uniform_slots
+
+
+def _batch(*requests: ResourceRequest) -> Batch:
+    return Batch(
+        Job(request, name=f"j{i}", priority=i) for i, request in enumerate(requests)
+    )
+
+
+class TestSequentialStrategy:
+    def test_matches_priority_order(self):
+        slots = make_uniform_slots(2, length=200.0, price=2.0)
+        batch = _batch(
+            ResourceRequest(1, 50.0, max_price=3.0),
+            ResourceRequest(1, 50.0, max_price=3.0),
+        )
+        assignment = coallocate_batch(slots, batch, strategy=BatchStrategy.SEQUENTIAL)
+        assert assignment.order == ["j0", "j1"]
+        assert not assignment.postponed
+
+    def test_postpones_unplaceable(self):
+        slots = make_uniform_slots(1, length=60.0, price=2.0)
+        batch = _batch(
+            ResourceRequest(1, 60.0, max_price=3.0),
+            ResourceRequest(1, 60.0, max_price=3.0),
+        )
+        assignment = coallocate_batch(slots, batch, strategy=BatchStrategy.SEQUENTIAL)
+        assert [job.name for job in assignment.postponed] == ["j1"]
+
+    def test_input_untouched(self):
+        slots = make_uniform_slots(2, length=200.0, price=2.0)
+        before = list(slots)
+        coallocate_batch(slots, _batch(ResourceRequest(1, 50.0, max_price=3.0)))
+        assert list(slots) == before
+
+
+class TestEarliestFirstStrategy:
+    def test_reorders_to_avoid_head_of_line_blocking(self):
+        # j0 (priority 0) needs both nodes but only after t=100; j1 fits
+        # immediately on node b.  SEQUENTIAL places j0 first anyway;
+        # EARLIEST_FIRST lets j1 jump the queue without delaying j0.
+        a = Slot(make_resource("a", price=2.0), 100.0, 400.0)
+        b = Slot(make_resource("b", price=2.0), 0.0, 400.0)
+        slots = SlotList([a, b])
+        batch = _batch(
+            ResourceRequest(2, 50.0, max_price=3.0),
+            ResourceRequest(1, 50.0, max_price=3.0),
+        )
+        assignment = coallocate_batch(
+            slots, batch, strategy=BatchStrategy.EARLIEST_FIRST
+        )
+        assert assignment.order == ["j1", "j0"]
+        windows = {job.name: window for job, window in assignment.windows.items()}
+        assert windows["j1"].start == 0.0
+        assert windows["j0"].start == 100.0
+
+    def test_earliest_first_never_starts_later_in_total(self):
+        # On identical inputs the sum of start times under EARLIEST_FIRST
+        # is never worse than SEQUENTIAL when both place all jobs.
+        rng = random.Random(5)
+        for _ in range(10):
+            slots = SlotList(
+                Slot(
+                    Resource(f"n{i}", performance=1.0, price=2.0),
+                    rng.uniform(0, 100),
+                    rng.uniform(150, 400),
+                )
+                for i in range(6)
+            )
+            batch = _batch(
+                *(
+                    ResourceRequest(rng.randint(1, 2), rng.uniform(30, 80), max_price=3.0)
+                    for _ in range(3)
+                )
+            )
+            sequential = coallocate_batch(slots, batch, strategy=BatchStrategy.SEQUENTIAL)
+            earliest = coallocate_batch(
+                slots, batch, strategy=BatchStrategy.EARLIEST_FIRST
+            )
+            if sequential.postponed or earliest.postponed:
+                continue
+            first_sequential = min(w.start for w in sequential.windows.values())
+            first_earliest = min(w.start for w in earliest.windows.values())
+            assert first_earliest <= first_sequential + 1e-9
+
+
+class TestCheapestFirstStrategy:
+    def test_prefers_cheap_commitments_first(self):
+        cheap = Slot(make_resource("cheap", price=1.0), 0.0, 300.0)
+        dear = Slot(make_resource("dear", price=4.0), 0.0, 300.0)
+        slots = SlotList([cheap, dear])
+        batch = _batch(
+            ResourceRequest(1, 50.0, max_price=5.0),
+            ResourceRequest(1, 50.0, max_price=5.0),
+        )
+        assignment = coallocate_batch(
+            slots, batch, strategy=BatchStrategy.CHEAPEST_FIRST
+        )
+        first = assignment.windows[batch[int(assignment.order[0][1])]]
+        assert first.resources()[0].name == "cheap"
+
+
+class TestAssignmentMetrics:
+    def test_totals_and_makespan(self):
+        slots = make_uniform_slots(1, length=200.0, price=2.0)
+        batch = _batch(
+            ResourceRequest(1, 50.0, max_price=3.0),
+            ResourceRequest(1, 30.0, max_price=3.0),
+        )
+        assignment = coallocate_batch(slots, batch)
+        assert assignment.total_time == pytest.approx(80.0)
+        assert assignment.total_cost == pytest.approx(2.0 * 80.0)
+        assert assignment.makespan == pytest.approx(80.0)
+
+    def test_empty_batch(self):
+        assignment = coallocate_batch(make_uniform_slots(1), Batch())
+        assert assignment.makespan == 0.0
+        assert assignment.total_time == 0.0
+
+    def test_invalid_strategy(self):
+        with pytest.raises(InvalidRequestError):
+            coallocate_batch(
+                make_uniform_slots(1),
+                _batch(ResourceRequest(1, 10.0)),
+                strategy="greedy",  # type: ignore[arg-type]
+            )
+
+
+# --------------------------------------------------------------------- #
+# Property: all strategies produce valid, disjoint assignments          #
+# --------------------------------------------------------------------- #
+
+
+def _random_environment(seed: int):
+    rng = random.Random(seed)
+    slots = []
+    start = 0.0
+    for i in range(rng.randint(12, 25)):
+        if rng.random() > 0.4:
+            start += rng.uniform(0.0, 10.0)
+        node = Resource(
+            f"n{i}", performance=rng.uniform(1.0, 3.0), price=rng.uniform(1.0, 6.0)
+        )
+        slots.append(Slot(node, start, start + rng.uniform(50.0, 300.0)))
+    requests = [
+        ResourceRequest(
+            node_count=rng.randint(1, 3),
+            volume=rng.uniform(30.0, 120.0),
+            min_performance=rng.uniform(1.0, 2.0),
+            max_price=rng.uniform(2.0, 6.0),
+        )
+        for _ in range(rng.randint(2, 4))
+    ]
+    return SlotList(slots), Batch(
+        Job(request, priority=i) for i, request in enumerate(requests)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    strategy=st.sampled_from(list(BatchStrategy)),
+    algorithm=st.sampled_from(list(SlotSearchAlgorithm)),
+)
+def test_strategy_invariants(seed, strategy, algorithm):
+    slots, batch = _random_environment(seed)
+    assignment = coallocate_batch(slots, batch, algorithm, strategy=strategy)
+    windows = list(assignment.windows.values())
+    # Every job is either scheduled or postponed, never both.
+    scheduled = set(job.uid for job in assignment.windows)
+    postponed = set(job.uid for job in assignment.postponed)
+    assert scheduled.isdisjoint(postponed)
+    assert scheduled | postponed == {job.uid for job in batch}
+    # Windows are valid and pairwise disjoint.
+    for job, window in assignment.windows.items():
+        budget = job.request.budget if algorithm is SlotSearchAlgorithm.AMP else None
+        assert window.satisfies(job.request, budget=budget)
+    for first, second in itertools.combinations(windows, 2):
+        assert not first.intersects(second)
+    # Commitment order names exactly the scheduled jobs.
+    assert sorted(assignment.order) == sorted(
+        job.name for job in assignment.windows
+    )

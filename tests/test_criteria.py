@@ -1,0 +1,83 @@
+"""Tests for the batch-level criteria (repro.core.criteria)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Criterion,
+    Job,
+    ResourceRequest,
+    Slot,
+    TaskAllocation,
+    Window,
+    criteria_vector,
+    total_cost,
+    total_time,
+)
+
+from tests.conftest import make_resource
+
+
+def _window(price: float, volume: float, start: float = 0.0) -> Window:
+    node = make_resource(price=price)
+    slot = Slot(node, start, start + volume * 4)
+    request = ResourceRequest(node_count=1, volume=volume)
+    return Window(request, [TaskAllocation(slot, start, start + volume)])
+
+
+class TestCriterion:
+    def test_cost_of_window(self):
+        window = _window(price=3.0, volume=20.0)
+        assert Criterion.COST.of(window) == pytest.approx(60.0)
+
+    def test_time_of_window(self):
+        window = _window(price=3.0, volume=20.0)
+        assert Criterion.TIME.of(window) == pytest.approx(20.0)
+
+    def test_duality(self):
+        assert Criterion.COST.dual is Criterion.TIME
+        assert Criterion.TIME.dual is Criterion.COST
+
+
+class TestTotals:
+    def test_totals_over_iterable(self):
+        windows = [_window(2.0, 10.0), _window(4.0, 30.0)]
+        assert total_cost(windows) == pytest.approx(20.0 + 120.0)
+        assert total_time(windows) == pytest.approx(40.0)
+
+    def test_totals_over_mapping(self):
+        mapping = {
+            Job(ResourceRequest(1, 10.0)): _window(2.0, 10.0),
+            Job(ResourceRequest(1, 30.0)): _window(4.0, 30.0),
+        }
+        assert total_cost(mapping) == pytest.approx(140.0)
+        assert total_time(mapping) == pytest.approx(40.0)
+
+    def test_empty(self):
+        assert total_cost([]) == 0.0
+        assert total_time([]) == 0.0
+
+
+class TestCriteriaVector:
+    def test_slacks(self):
+        windows = [_window(2.0, 10.0)]  # cost 20, time 10
+        vector = criteria_vector(windows, budget_limit=50.0, time_quota=25.0)
+        assert vector.cost == pytest.approx(20.0)
+        assert vector.time == pytest.approx(10.0)
+        assert vector.budget_slack == pytest.approx(30.0)
+        assert vector.time_slack == pytest.approx(15.0)
+        assert vector.within_budget
+        assert vector.within_quota
+
+    def test_violations_detected(self):
+        windows = [_window(2.0, 10.0)]
+        vector = criteria_vector(windows, budget_limit=10.0, time_quota=5.0)
+        assert not vector.within_budget
+        assert not vector.within_quota
+
+    def test_boundary_counts_as_within(self):
+        windows = [_window(2.0, 10.0)]
+        vector = criteria_vector(windows, budget_limit=20.0, time_quota=10.0)
+        assert vector.within_budget
+        assert vector.within_quota

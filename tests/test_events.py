@@ -1,0 +1,133 @@
+"""Tests for the discrete-event simulation driver (repro.grid.events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BatchScheduler,
+    InfeasiblePolicy,
+    InvalidRequestError,
+    Job,
+    ResourceRequest,
+    SchedulerConfig,
+)
+from repro.grid import (
+    Cluster,
+    ComputeNode,
+    EventKind,
+    JobState,
+    Metascheduler,
+    PoissonArrivals,
+    SimulationDriver,
+    VOEnvironment,
+)
+
+
+def _driver(node_count: int = 3, period: float = 50.0) -> SimulationDriver:
+    nodes = [ComputeNode(f"n{i}", performance=1.0, price=2.0) for i in range(node_count)]
+    environment = VOEnvironment([Cluster("c", nodes)])
+    scheduler = BatchScheduler(
+        SchedulerConfig(infeasible_policy=InfeasiblePolicy.EARLIEST)
+    )
+    meta = Metascheduler(environment, scheduler, period=period, horizon=400.0)
+    return SimulationDriver(meta)
+
+
+def _job(name: str, node_count: int = 1) -> Job:
+    return Job(ResourceRequest(node_count, 50.0, max_price=3.0), name=name)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        driver = _driver()
+        driver.add_ticks(0.0, 100.0)
+        driver.add_submission(_job("a"), 75.0)
+        driver.add_submission(_job("b"), 10.0)
+        events = driver.run()
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_same_time_priority_arrival_before_tick(self):
+        driver = _driver()
+        driver.add_ticks(0.0, 0.0)
+        driver.add_submission(_job("a"), 0.0)
+        events = driver.run()
+        assert [event.kind for event in events] == [EventKind.ARRIVAL, EventKind.TICK]
+        # The arrival was batched by the same-time tick.
+        tick = events[-1]
+        assert tick.report is not None
+        assert tick.report.batch_size == 1
+
+    def test_until_limits_execution(self):
+        driver = _driver(period=50.0)
+        driver.add_ticks(0.0, 200.0)
+        fired = driver.run(until=100.0)
+        assert [event.time for event in fired] == [0.0, 50.0, 100.0]
+        assert driver.pending_events() == 2
+
+    def test_tick_reports_attached(self):
+        driver = _driver()
+        driver.add_submission(_job("a"), 0.0)
+        driver.add_ticks(0.0, 50.0)
+        events = driver.run()
+        ticks = [event for event in events if event.kind is EventKind.TICK]
+        assert all(tick.report is not None for tick in ticks)
+        assert ticks[0].report.scheduled == 1
+
+    def test_rejects_negative_time_and_bad_spans(self):
+        driver = _driver()
+        with pytest.raises(InvalidRequestError):
+            driver.add_submission(_job("a"), -1.0)
+        with pytest.raises(InvalidRequestError):
+            driver.add_ticks(100.0, 0.0)
+        node = next(driver.metascheduler.environment.nodes())
+        with pytest.raises(InvalidRequestError):
+            driver.add_outage(node, 0.0, 0.0)
+
+
+class TestArrivalsIntegration:
+    def test_add_arrivals_schedules_stream(self):
+        driver = _driver()
+        count = driver.add_arrivals(PoissonArrivals(rate=0.01, seed=5), 0.0, 1000.0)
+        assert count == driver.pending_events()
+        driver.add_ticks(0.0, 1000.0)
+        driver.run()
+        assert len(driver.metascheduler.trace) == count
+
+
+class TestOutageIntegration:
+    def test_outage_resubmission_logged_and_rescheduled(self):
+        driver = _driver()
+        job = _job("victim", node_count=2)
+        driver.add_submission(job, 0.0)
+        driver.add_ticks(0.0, 200.0)
+        # Fail the first node shortly after the first tick scheduled the
+        # job; the outage covers the job's window start.
+        node = next(driver.metascheduler.environment.nodes())
+        driver.add_outage(node, 10.0, 100.0)
+        driver.run()
+        record = driver.metascheduler.trace.record_for(job)
+        outage_events = [
+            event for event in driver.log if event.kind is EventKind.OUTAGE
+        ]
+        assert len(outage_events) == 1
+        # Whether the job was hit depends on node choice; if it was, it
+        # must have been rescheduled by a later tick.
+        if "victim" in outage_events[0].description:
+            assert record.resubmissions == 1
+        assert record.state in (JobState.SCHEDULED, JobState.COMPLETED)
+
+    def test_custom_event(self):
+        driver = _driver()
+        driver.add_custom(5.0, lambda now: f"checkpoint at {now:g}")
+        (event,) = driver.run()
+        assert event.kind is EventKind.CUSTOM
+        assert event.description == "checkpoint at 5"
+
+    def test_log_accumulates_across_runs(self):
+        driver = _driver()
+        driver.add_ticks(0.0, 50.0)
+        driver.run(until=0.0)
+        driver.run()
+        assert len(driver.log) == 2

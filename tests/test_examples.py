@@ -1,0 +1,55 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Only the fast examples run here (the ρ sweep iterates hundreds of
+scheduling iterations and is exercised by its benchmark instead).
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExampleScripts:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "ALP:" in out and "AMP:" in out
+        assert "batch totals" in out
+
+    def test_paper_example(self, capsys):
+        out = _run("paper_example.py", capsys)
+        assert "Fig. 2 (a)" in out
+        assert "Fig. 3" in out
+        assert "cpu6" in out
+
+    def test_time_vs_cost(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["time_vs_cost_optimization.py"])
+        out = _run("time_vs_cost_optimization.py", capsys)
+        assert "min time" in out and "min cost" in out
+        assert "AMP" in out
+
+    def test_failure_injection(self, capsys):
+        out = _run("failure_injection.py", capsys)
+        assert "outage" in out
+        assert "resubmissions" in out
+
+    def test_contingency_strategies(self, capsys):
+        out = _run("contingency_strategies.py", capsys)
+        assert "committed version" in out
+        assert "switch to" in out or "no version survives" in out
+
+    @pytest.mark.slow
+    def test_vo_simulation(self, capsys):
+        out = _run("vo_simulation.py", capsys)
+        assert "metascheduler+AMP" in out
+        assert "EASY backfill" in out

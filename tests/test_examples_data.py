@@ -1,0 +1,83 @@
+"""Direct tests of the Section 4 example environment construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.examples_data import (
+    HORIZON,
+    LOCAL_TASKS,
+    NODE_PRICES,
+    build_example,
+    _vacant_spans,
+)
+
+
+class TestVacantSpans:
+    def test_empty_busy_list_is_whole_horizon(self):
+        assert _vacant_spans([]) == [HORIZON]
+
+    def test_busy_prefix(self):
+        assert _vacant_spans([(0.0, 150.0)]) == [(150.0, HORIZON[1])]
+
+    def test_busy_suffix(self):
+        assert _vacant_spans([(450.0, 600.0)]) == [(0.0, 450.0)]
+
+    def test_interior_busy_splits(self):
+        assert _vacant_spans([(250.0, 300.0)]) == [(0.0, 250.0), (300.0, 600.0)]
+
+    def test_multiple_busy_intervals(self):
+        spans = _vacant_spans([(0.0, 180.0), (400.0, 420.0)])
+        assert spans == [(180.0, 400.0), (420.0, 600.0)]
+
+    def test_unsorted_input_handled(self):
+        spans = _vacant_spans([(400.0, 420.0), (0.0, 180.0)])
+        assert spans == [(180.0, 400.0), (420.0, 600.0)]
+
+    def test_full_horizon_busy(self):
+        assert _vacant_spans([(0.0, 600.0)]) == []
+
+
+class TestBuildExample:
+    def test_deterministic(self):
+        one, two = build_example(), build_example()
+        assert [(s.start, s.end, s.resource.name) for s in one.slots] == [
+            (s.start, s.end, s.resource.name) for s in two.slots
+        ]
+
+    def test_prices_match_constants(self):
+        example = build_example()
+        for name, price in NODE_PRICES.items():
+            assert example.nodes[name].price == price
+
+    def test_slots_complement_local_tasks(self):
+        example = build_example()
+        for name, node in example.nodes.items():
+            busy = sum(
+                task.end - task.start for task in LOCAL_TASKS if task.node == name
+            )
+            vacant = sum(
+                slot.length for slot in example.slots if slot.resource == node
+            )
+            assert busy + vacant == pytest.approx(HORIZON[1] - HORIZON[0])
+
+    def test_job_budgets_match_paper_limits(self):
+        # S = C·t·N: 5*80*2=800, 10*30*3=900, 3*50*2=300.
+        example = build_example()
+        job1, job2, job3 = example.jobs
+        assert job1.request.budget == pytest.approx(800.0)
+        assert job2.request.budget == pytest.approx(900.0)
+        assert job3.request.budget == pytest.approx(300.0)
+
+    def test_priority_ordering(self):
+        example = build_example()
+        assert [job.name for job in example.batch] == ["job1", "job2", "job3"]
+
+    def test_local_tasks_do_not_overlap_per_node(self):
+        by_node: dict[str, list[tuple[float, float]]] = {}
+        for task in LOCAL_TASKS:
+            by_node.setdefault(task.node, []).append((task.start, task.end))
+        for spans in by_node.values():
+            spans.sort()
+            for (a_start, a_end), (b_start, _) in zip(spans, spans[1:]):
+                assert a_end <= b_start

@@ -1,0 +1,179 @@
+"""Tests for the experiment protocol, statistics, and figure regeneration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Criterion, InvalidRequestError, SlotSearchAlgorithm
+from repro.sim import (
+    ExperimentConfig,
+    ExperimentRunner,
+    JobGeneratorConfig,
+    SlotGeneratorConfig,
+    figure4,
+    figure5,
+    figure6,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    run_pipeline,
+    summarize,
+    summary_table,
+)
+from repro.sim.figures import PAPER_REFERENCE
+from repro.sim.generators import JobGenerator, SlotGenerator
+
+
+SMALL = dict(
+    iterations=40,
+    seed=1234,
+    resolution=400,
+)
+
+
+@pytest.fixture(scope="module")
+def time_result():
+    return ExperimentRunner(ExperimentConfig(objective=Criterion.TIME, **SMALL)).run()
+
+
+@pytest.fixture(scope="module")
+def cost_result():
+    return ExperimentRunner(ExperimentConfig(objective=Criterion.COST, **SMALL)).run()
+
+
+class TestRunPipeline:
+    def test_pipeline_on_generated_iteration(self):
+        slot_generator = SlotGenerator(seed=5)
+        job_generator = JobGenerator(rng=slot_generator.rng)
+        # Try a few draws: some iterations are legitimately infeasible.
+        for _ in range(10):
+            slots = slot_generator.generate()
+            batch = job_generator.generate()
+            outcome = run_pipeline(
+                slots, batch, SlotSearchAlgorithm.AMP, Criterion.TIME, resolution=400
+            )
+            if outcome is None:
+                continue
+            sample, combination = outcome
+            assert sample.mean_job_time > 0
+            assert sample.budget is not None
+            assert combination.total_cost <= sample.budget * 1.05
+            return
+        pytest.fail("no feasible iteration in 10 draws (generator regression?)")
+
+
+class TestExperimentRunner:
+    def test_accounting_adds_up(self, time_result):
+        assert (
+            time_result.counted
+            + time_result.dropped_uncovered
+            + time_result.dropped_infeasible
+            == time_result.attempted
+        )
+        assert time_result.counted > 0, "no experiments counted — calibration broke"
+
+    def test_samples_indexed_within_attempts(self, time_result):
+        for sample in time_result.samples:
+            assert 0 <= sample.index < time_result.attempted
+            assert 120 <= sample.slot_count <= 150
+            assert 3 <= sample.job_count <= 7
+
+    def test_deterministic_under_seed(self):
+        config = ExperimentConfig(objective=Criterion.TIME, iterations=10, seed=77, resolution=200)
+        first = ExperimentRunner(config).run()
+        second = ExperimentRunner(config).run()
+        assert [s.alp.mean_job_time for s in first.samples] == [
+            s.alp.mean_job_time for s in second.samples
+        ]
+
+    def test_progress_callback(self):
+        calls = []
+        config = ExperimentConfig(objective=Criterion.TIME, iterations=5, seed=3, resolution=200)
+        ExperimentRunner(config).run(progress=lambda done, counted: calls.append((done, counted)))
+        assert [done for done, _ in calls] == [1, 2, 3, 4, 5]
+
+    def test_same_drops_for_both_objectives(self, time_result, cost_result):
+        # Phase 1 is objective-independent, so the uncovered drops agree.
+        assert time_result.dropped_uncovered == cost_result.dropped_uncovered
+
+
+class TestPaperShape:
+    """The headline comparisons must reproduce the paper's *shape*."""
+
+    def test_time_minimization_amp_faster(self, time_result):
+        summary = summarize(time_result)
+        assert summary.amp.mean_job_time < summary.alp.mean_job_time
+        # The paper reports ~35 %; we accept the same sign and a broad band.
+        assert 0.10 <= summary.ratios().amp_time_gain <= 0.60
+
+    def test_time_minimization_amp_costlier(self, time_result):
+        summary = summarize(time_result)
+        assert summary.amp.mean_job_cost > summary.alp.mean_job_cost
+
+    def test_amp_finds_more_alternatives(self, time_result):
+        summary = summarize(time_result)
+        assert summary.amp.mean_alternatives_per_job > 1.5 * summary.alp.mean_alternatives_per_job
+
+    def test_cost_minimization_small_cost_premium(self, cost_result):
+        summary = summarize(cost_result)
+        ratios = summary.ratios()
+        # Paper: ALP wins cost by only ~9 %; require the premium to be
+        # positive but clearly smaller than the time-min premium band.
+        assert 0.0 <= ratios.amp_cost_premium <= 0.30
+
+    def test_cost_minimization_amp_still_faster(self, cost_result):
+        summary = summarize(cost_result)
+        assert summary.amp.mean_job_time < summary.alp.mean_job_time
+
+    def test_slots_per_experiment_near_paper(self, time_result):
+        summary = summarize(time_result)
+        assert 120 <= summary.mean_slots_per_experiment <= 150
+
+
+class TestSummary:
+    def test_as_rows_structure(self, time_result):
+        rows = summarize(time_result).as_rows()
+        assert rows[0][0] == "average job execution time"
+        assert len(rows) == 6
+
+    def test_summary_table_renders(self, time_result):
+        text = summary_table(summarize(time_result))
+        assert "metric" in text
+        assert "alternatives per job" in text
+
+
+class TestFigures:
+    def test_figure4_panels(self, time_result):
+        panel_a, panel_b = figure4(time_result)
+        assert set(panel_a.measured) == {"ALP", "AMP"}
+        assert panel_a.reference == PAPER_REFERENCE["fig4a_time"]
+        assert panel_b.reference == PAPER_REFERENCE["fig4b_cost"]
+
+    def test_figure4_rejects_cost_result(self, cost_result):
+        with pytest.raises(InvalidRequestError):
+            figure4(cost_result)
+
+    def test_figure5_series_lengths(self, time_result):
+        panel = figure5(time_result, first_n=10)
+        assert panel.series is not None
+        expected = min(10, time_result.counted)
+        assert len(panel.series["ALP"]) == expected
+        assert len(panel.series["AMP"]) == expected
+
+    def test_figure6_panels(self, cost_result):
+        panel_a, panel_b = figure6(cost_result)
+        assert panel_a.name == "fig6a_cost"
+        assert panel_b.name == "fig6b_time"
+
+    def test_figure6_rejects_time_result(self, time_result):
+        with pytest.raises(InvalidRequestError):
+            figure6(time_result)
+
+    def test_renderings_contain_both_algorithms(self, time_result, cost_result):
+        for text in (
+            render_figure4(time_result),
+            render_figure5(time_result, first_n=20),
+            render_figure6(cost_result),
+        ):
+            assert "ALP" in text
+            assert "AMP" in text

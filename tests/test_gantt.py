@@ -1,0 +1,77 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InvalidRequestError, ResourceRequest, Slot, SlotList, TaskAllocation, Window
+from repro.sim.gantt import GanttChart
+
+from tests.conftest import make_resource
+
+
+def _window(node, start: float, volume: float) -> Window:
+    slot = Slot(node, start, start + volume * 2)
+    request = ResourceRequest(node_count=1, volume=volume)
+    return Window(request, [TaskAllocation(slot, start, start + volume)])
+
+
+class TestGanttChart:
+    def test_validation(self):
+        with pytest.raises(InvalidRequestError):
+            GanttChart((100.0, 100.0))
+        with pytest.raises(InvalidRequestError):
+            GanttChart((0.0, 100.0), width=5)
+
+    def test_empty_chart(self):
+        text = GanttChart((0.0, 100.0)).render(title="empty")
+        assert "empty" in text
+        assert "(no resources painted)" in text
+
+    def test_slots_painted_as_dots(self):
+        node = make_resource("cpu1", price=5.0)
+        chart = GanttChart((0.0, 100.0), width=20)
+        chart.paint_slots(SlotList([Slot(node, 0.0, 50.0)]))
+        text = chart.render()
+        row = next(line for line in text.splitlines() if "cpu1" in line)
+        assert row.count(".") == 10  # half the horizon
+
+    def test_windows_painted_with_glyphs_and_legend(self):
+        node = make_resource("cpu1")
+        chart = GanttChart((0.0, 100.0), width=20)
+        chart.paint_windows([("jobA", _window(node, 0.0, 50.0))])
+        text = chart.render()
+        assert "1 = jobA" in text
+        assert "1" in text.splitlines()[0] or "1" in text
+
+    def test_window_overrides_vacant_glyph(self):
+        node = make_resource("cpu1")
+        slots = SlotList([Slot(node, 0.0, 100.0)])
+        chart = GanttChart((0.0, 100.0), width=20)
+        chart.paint_slots(slots)
+        chart.paint_windows([("jobA", _window(node, 0.0, 100.0))])
+        row = next(line for line in chart.render().splitlines() if "cpu1" in line)
+        assert "." not in row.split("|")[1]
+
+    def test_rows_sorted_by_resource_name(self):
+        chart = GanttChart((0.0, 100.0), width=20)
+        b = make_resource("b-node")
+        a = make_resource("a-node")
+        chart.paint_slots(SlotList([Slot(b, 0.0, 10.0), Slot(a, 0.0, 10.0)]))
+        lines = [line for line in chart.render().splitlines() if "-node" in line]
+        assert lines[0].startswith("a-node")
+
+    def test_axis_labels(self):
+        chart = GanttChart((50.0, 650.0), width=20)
+        chart.paint_slots(SlotList([Slot(make_resource("x"), 50.0, 100.0)]))
+        text = chart.render()
+        assert "50" in text and "650" in text
+
+    def test_out_of_horizon_spans_clipped(self):
+        node = make_resource("cpu1")
+        chart = GanttChart((0.0, 100.0), width=20)
+        chart.paint_slots(SlotList([Slot(node, 90.0, 500.0)]))
+        row = next(line for line in chart.render().splitlines() if "cpu1" in line)
+        cells = row.split("|")[1]
+        assert len(cells) == 20
+        assert cells.rstrip(".").count(".") == 0  # dots only at the tail

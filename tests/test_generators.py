@@ -1,0 +1,158 @@
+"""Tests for the Section 5 slot/job generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InvalidRequestError
+from repro.sim import (
+    JobGenerator,
+    JobGeneratorConfig,
+    SlotGenerator,
+    SlotGeneratorConfig,
+)
+
+
+class TestSlotGeneratorConfigValidation:
+    def test_defaults_are_paper_values(self):
+        config = SlotGeneratorConfig()
+        assert config.slot_count_range == (120, 150)
+        assert config.slot_length_range == (50.0, 300.0)
+        assert config.performance_range == (1.0, 3.0)
+        assert config.same_start_probability == 0.4
+        assert config.start_gap_range == (0.0, 10.0)
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(InvalidRequestError):
+            SlotGeneratorConfig(slot_count_range=(10, 5))
+        with pytest.raises(InvalidRequestError):
+            SlotGeneratorConfig(slot_count_range=(0, 5))
+        with pytest.raises(InvalidRequestError):
+            SlotGeneratorConfig(performance_range=(0.0, 3.0))
+        with pytest.raises(InvalidRequestError):
+            SlotGeneratorConfig(same_start_probability=1.5)
+        with pytest.raises(InvalidRequestError):
+            SlotGeneratorConfig(start_gap_range=(-1.0, 10.0))
+
+
+class TestSlotGenerator:
+    def test_output_within_published_ranges(self):
+        generator = SlotGenerator(seed=1)
+        slots = generator.generate()
+        assert 120 <= len(slots) <= 150
+        for slot in slots:
+            assert 50.0 <= slot.length <= 300.0
+            assert 1.0 <= slot.performance <= 3.0
+            low, high = generator.config.pricing.bounds(slot.performance)
+            assert low <= slot.price <= high
+
+    def test_sorted_by_start(self):
+        slots = SlotGenerator(seed=2).generate()
+        assert slots.is_sorted()
+
+    def test_synchronized_starts_present(self):
+        # With p=0.4 over >=119 transitions, repeated starts are certain
+        # for any reasonable seed.
+        slots = SlotGenerator(seed=3).generate()
+        starts = [slot.start for slot in slots]
+        assert len(set(starts)) < len(starts)
+
+    def test_gap_bound_between_distinct_starts(self):
+        slots = SlotGenerator(seed=4).generate()
+        distinct = sorted(set(slot.start for slot in slots))
+        for earlier, later in zip(distinct, distinct[1:]):
+            assert later - earlier <= 10.0 + 1e-9
+
+    def test_deterministic_under_seed(self):
+        one = SlotGenerator(seed=5).generate()
+        two = SlotGenerator(seed=5).generate()
+        assert [(s.start, s.end, s.price) for s in one] == [
+            (s.start, s.end, s.price) for s in two
+        ]
+
+    def test_fresh_resources_every_slot(self):
+        slots = SlotGenerator(seed=6).generate()
+        uids = [slot.resource.uid for slot in slots]
+        assert len(set(uids)) == len(uids)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_zero_same_start_probability_strictly_interleaves(self, seed):
+        config = SlotGeneratorConfig(
+            same_start_probability=0.0, start_gap_range=(1.0, 10.0)
+        )
+        slots = SlotGenerator(config, seed=seed).generate()
+        starts = [slot.start for slot in slots]
+        assert all(later > earlier for earlier, later in zip(starts, starts[1:]))
+
+
+class TestJobGeneratorConfigValidation:
+    def test_defaults_are_paper_values(self):
+        config = JobGeneratorConfig()
+        assert config.job_count_range == (3, 7)
+        assert config.node_count_range == (1, 6)
+        assert config.volume_range == (50.0, 150.0)
+        assert config.min_performance_range == (1.0, 2.0)
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(InvalidRequestError):
+            JobGeneratorConfig(job_count_range=(0, 3))
+        with pytest.raises(InvalidRequestError):
+            JobGeneratorConfig(volume_range=(0.0, 10.0))
+        with pytest.raises(InvalidRequestError):
+            JobGeneratorConfig(min_performance_range=(0.0, 2.0))
+        with pytest.raises(InvalidRequestError):
+            JobGeneratorConfig(price_cap_factor_range=(0.0, 1.0))
+        with pytest.raises(InvalidRequestError):
+            JobGeneratorConfig(price_base=0.0)
+
+
+class TestJobGenerator:
+    def test_batch_within_published_ranges(self):
+        generator = JobGenerator(seed=1)
+        batch = generator.generate()
+        assert 3 <= len(batch) <= 7
+        for job in batch:
+            request = job.request
+            assert 1 <= request.node_count <= 6
+            assert 50.0 <= request.volume <= 150.0
+            assert 1.0 <= request.min_performance <= 2.0
+
+    def test_price_cap_derivation(self):
+        config = JobGeneratorConfig(price_cap_factor_range=(1.0, 1.0))
+        generator = JobGenerator(config, seed=2)
+        request = generator.generate_request()
+        assert request.max_price == pytest.approx(1.7**request.min_performance)
+
+    def test_priorities_follow_generation_order(self):
+        batch = JobGenerator(seed=3).generate()
+        assert [job.priority for job in batch] == list(range(len(batch)))
+
+    def test_deterministic_under_seed(self):
+        spec = lambda b: [
+            (j.request.node_count, j.request.volume, j.request.max_price) for j in b
+        ]
+        assert spec(JobGenerator(seed=4).generate()) == spec(
+            JobGenerator(seed=4).generate()
+        )
+
+    def test_seed_and_rng_mutually_exclusive(self):
+        import random
+
+        with pytest.raises(InvalidRequestError):
+            JobGenerator(seed=1, rng=random.Random(1))
+
+    def test_shared_rng_with_slot_generator(self):
+        slot_generator = SlotGenerator(seed=9)
+        job_generator = JobGenerator(rng=slot_generator.rng)
+        slots = slot_generator.generate()
+        batch = job_generator.generate()
+        # Re-running with the same master seed replays both draws.
+        slot_generator2 = SlotGenerator(seed=9)
+        job_generator2 = JobGenerator(rng=slot_generator2.rng)
+        slots2 = slot_generator2.generate()
+        batch2 = job_generator2.generate()
+        assert [(s.start, s.price) for s in slots] == [(s.start, s.price) for s in slots2]
+        assert [j.request.volume for j in batch] == [j.request.volume for j in batch2]

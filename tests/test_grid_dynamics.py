@@ -1,0 +1,204 @@
+"""Tests for the Section 7 dynamics: arrivals and node failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BatchScheduler,
+    InfeasiblePolicy,
+    InvalidRequestError,
+    Job,
+    ResourceRequest,
+    SchedulerConfig,
+    SlotListError,
+)
+from repro.grid import (
+    BurstyArrivals,
+    Cluster,
+    ComputeNode,
+    JobState,
+    Metascheduler,
+    PoissonArrivals,
+    VOEnvironment,
+)
+from repro.sim import JobGenerator
+
+
+def _environment(node_count: int = 3) -> VOEnvironment:
+    nodes = [ComputeNode(f"n{i}", performance=1.0, price=2.0) for i in range(node_count)]
+    return VOEnvironment([Cluster("c", nodes)])
+
+
+class TestClearSpan:
+    def test_evicts_overlapping_only(self):
+        node = ComputeNode("n")
+        node.run_local_job(0.0, 10.0, "a")
+        node.run_local_job(20.0, 30.0, "b")
+        node.run_local_job(40.0, 50.0, "c")
+        evicted = node.schedule.clear_span(25.0, 45.0)
+        assert sorted(iv.start for iv in evicted) == [20.0, 40.0]
+        assert [iv.start for iv in node.schedule] == [0.0]
+
+    def test_empty_span_is_noop(self):
+        node = ComputeNode("n")
+        node.run_local_job(0.0, 10.0)
+        assert node.schedule.clear_span(5.0, 5.0) == []
+        assert len(node.schedule) == 1
+
+
+class TestInjectOutage:
+    def test_kills_overlapping_reservation_everywhere(self):
+        environment = _environment()
+        nodes = list(environment.nodes())
+        nodes[0].reserve_for("jobA", 0.0, 50.0)
+        nodes[1].reserve_for("jobA", 0.0, 50.0)
+        nodes[2].reserve_for("jobB", 0.0, 50.0)
+        killed = environment.inject_outage(nodes[0], 25.0, 75.0)
+        assert killed == ["jobA"]
+        # jobA lost BOTH reservations; jobB untouched.
+        assert nodes[1].schedule.busy_time(0.0, 100.0) == 0.0
+        assert nodes[2].schedule.busy_time(0.0, 100.0) == pytest.approx(50.0)
+
+    def test_outage_blocks_future_slots(self):
+        environment = _environment(node_count=1)
+        node = next(environment.nodes())
+        environment.inject_outage(node, 10.0, 60.0)
+        slots = environment.vacant_slot_list(0.0, 100.0)
+        spans = [(slot.start, slot.end) for slot in slots]
+        assert spans == [(0.0, 10.0), (60.0, 100.0)]
+
+    def test_local_jobs_die_silently(self):
+        environment = _environment(node_count=1)
+        node = next(environment.nodes())
+        node.run_local_job(0.0, 100.0, "p1")
+        killed = environment.inject_outage(node, 40.0, 50.0)
+        assert killed == []
+        assert node.schedule.busy_time(0.0, 100.0) == pytest.approx(10.0)  # outage only
+
+    def test_foreign_node_rejected(self):
+        environment = _environment()
+        stranger = ComputeNode("stranger")
+        with pytest.raises(SlotListError):
+            environment.inject_outage(stranger, 0.0, 10.0)
+
+    def test_empty_span_rejected(self):
+        environment = _environment()
+        node = next(environment.nodes())
+        with pytest.raises(SlotListError):
+            environment.inject_outage(node, 10.0, 10.0)
+
+
+class TestMetaschedulerOutage:
+    def _meta(self) -> Metascheduler:
+        scheduler = BatchScheduler(
+            SchedulerConfig(infeasible_policy=InfeasiblePolicy.EARLIEST)
+        )
+        return Metascheduler(_environment(), scheduler, period=50.0, horizon=400.0)
+
+    def test_outage_resubmits_job_and_it_reschedules(self):
+        meta = self._meta()
+        job = Job(ResourceRequest(2, 60.0, max_price=3.0), name="g1")
+        meta.submit(job)
+        meta.run_iteration(0.0)
+        record = meta.trace.record_for(job)
+        assert record.state is JobState.SCHEDULED
+        victim_node = meta.environment.node_for(
+            record.window.allocations[0].resource.uid
+        )
+        resubmitted = meta.inject_outage(
+            victim_node, record.window.start, record.window.end
+        )
+        assert [j.name for j in resubmitted] == ["g1"]
+        assert record.state is JobState.PENDING
+        assert record.resubmissions == 1
+        # The next iteration finds it a new window avoiding the outage.
+        meta.run_iteration(50.0)
+        assert record.state is JobState.SCHEDULED
+        assert record.window is not None
+        outage_span = (record.window.start, record.window.end)
+        assert meta.environment.cancel_job("g1") == 2  # sanity: it was committed
+        assert outage_span is not None
+
+    def test_outage_missing_everything_resubmits_nothing(self):
+        meta = self._meta()
+        job = Job(ResourceRequest(1, 50.0, max_price=3.0), name="g1")
+        meta.submit(job)
+        meta.run_iteration(0.0)
+        record = meta.trace.record_for(job)
+        other_nodes = [
+            node
+            for node in meta.environment.nodes()
+            if node.resource.uid != record.window.allocations[0].resource.uid
+        ]
+        assert meta.inject_outage(other_nodes[0], 0.0, 500.0) == []
+        assert record.state is JobState.SCHEDULED
+
+
+class TestPoissonArrivals:
+    def test_arrivals_sorted_and_bounded(self):
+        process = PoissonArrivals(rate=0.05, seed=3)
+        stream = list(process.stream(0.0, 1000.0))
+        times = [time for time, _ in stream]
+        assert times == sorted(times)
+        assert all(0.0 <= time < 1000.0 for time in times)
+
+    def test_rate_controls_volume(self):
+        slow = len(list(PoissonArrivals(rate=0.01, seed=1).stream(0.0, 5000.0)))
+        fast = len(list(PoissonArrivals(rate=0.05, seed=1).stream(0.0, 5000.0)))
+        assert fast > slow
+
+    def test_unique_job_names(self):
+        stream = list(PoissonArrivals(rate=0.05, seed=2).stream(0.0, 2000.0))
+        names = [job.name for _, job in stream]
+        assert len(set(names)) == len(names)
+
+    def test_validation(self):
+        with pytest.raises(InvalidRequestError):
+            PoissonArrivals(rate=0.0)
+        process = PoissonArrivals(rate=1.0, seed=1)
+        with pytest.raises(InvalidRequestError):
+            list(process.stream(10.0, 0.0))
+
+    def test_custom_generator_used(self):
+        generator = JobGenerator(seed=9)
+        process = PoissonArrivals(rate=0.05, generator=generator, seed=9)
+        _, job = next(iter(process.stream(0.0, 10_000.0)))
+        assert 50.0 <= job.request.volume <= 150.0
+
+
+class TestBurstyArrivals:
+    def test_bursts_raise_density(self):
+        process = BurstyArrivals(
+            base_rate=0.01,
+            burst_factor=10.0,
+            burst_period=500.0,
+            burst_length=100.0,
+            seed=4,
+        )
+        stream = list(process.stream(0.0, 20_000.0))
+        in_burst = sum(1 for time, _ in stream if time % 500.0 < 100.0)
+        out_burst = len(stream) - in_burst
+        # Burst windows are 1/5 of the time but (at 10x rate) should carry
+        # well over half the arrivals.
+        assert in_burst > out_burst
+
+    def test_validation(self):
+        with pytest.raises(InvalidRequestError):
+            BurstyArrivals(base_rate=0.0)
+        with pytest.raises(InvalidRequestError):
+            BurstyArrivals(base_rate=1.0, burst_factor=0.5)
+        with pytest.raises(InvalidRequestError):
+            BurstyArrivals(base_rate=1.0, burst_length=600.0, burst_period=500.0)
+
+    def test_feeds_metascheduler(self):
+        environment = _environment()
+        scheduler = BatchScheduler(
+            SchedulerConfig(infeasible_policy=InfeasiblePolicy.EARLIEST)
+        )
+        meta = Metascheduler(environment, scheduler, period=100.0, horizon=600.0)
+        for time, job in PoissonArrivals(rate=0.005, seed=6).stream(0.0, 1000.0):
+            meta.submit(job, at_time=time)
+        meta.run(until=1500.0)
+        summary = meta.trace.summary()
+        assert summary.submitted == len(meta.trace)

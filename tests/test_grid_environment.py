@@ -1,0 +1,171 @@
+"""Tests for repro.grid.local and repro.grid.environment."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    InvalidRequestError,
+    ResourceRequest,
+    SlotListError,
+)
+from repro.core import amp
+from repro.grid import (
+    Cluster,
+    ClusterSpec,
+    ComputeNode,
+    LocalJobFlow,
+    LocalLoadModel,
+    VOEnvironment,
+)
+
+
+def _small_environment() -> VOEnvironment:
+    nodes = [ComputeNode(f"n{i}", performance=1.0, price=2.0) for i in range(3)]
+    return VOEnvironment([Cluster("c", nodes)])
+
+
+class TestLocalJobFlow:
+    def test_occupies_within_horizon(self):
+        cluster = ClusterSpec("c", node_count=5).build(random.Random(3))
+        flow = LocalJobFlow(seed=3)
+        created = flow.occupy(cluster, 0.0, 2000.0)
+        assert created > 0
+        for node in cluster:
+            for interval in node.schedule:
+                assert 0.0 <= interval.start < interval.end <= 2000.0
+                assert interval.label.startswith("local:")
+
+    def test_leaves_vacant_gaps_in_model_range(self):
+        model = LocalLoadModel(vacant_length_range=(50.0, 300.0))
+        cluster = ClusterSpec("c", node_count=8).build(random.Random(5))
+        LocalJobFlow(model, seed=5).occupy(cluster, 0.0, 3000.0)
+        for node in cluster:
+            spans = node.schedule.vacant_spans(0.0, 3000.0)
+            # Interior gaps respect the configured vacancy range; the
+            # final gap is clipped by the horizon and may be shorter or
+            # merged, so only interior ones are checked.
+            for start, end in spans[:-1]:
+                assert end - start >= 50.0 - 1e-9
+
+    def test_deterministic_under_seed(self):
+        spans = []
+        for _ in range(2):
+            cluster = ClusterSpec("c", node_count=4).build(random.Random(11))
+            LocalJobFlow(seed=11).occupy(cluster, 0.0, 1500.0)
+            spans.append(
+                [
+                    (iv.start, iv.end)
+                    for node in cluster
+                    for iv in node.schedule
+                ]
+            )
+        assert spans[0] == spans[1]
+
+    def test_rejects_empty_horizon(self):
+        cluster = ClusterSpec("c", node_count=1).build(random.Random(0))
+        with pytest.raises(InvalidRequestError):
+            LocalJobFlow().occupy(cluster, 100.0, 100.0)
+
+    def test_model_validation(self):
+        with pytest.raises(InvalidRequestError):
+            LocalLoadModel(busy_length_range=(10.0, 5.0))
+        with pytest.raises(InvalidRequestError):
+            LocalLoadModel(synchronized_release_probability=1.5)
+
+
+class TestVOEnvironment:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidRequestError):
+            VOEnvironment([])
+
+    def test_rejects_shared_nodes(self):
+        node = ComputeNode("shared")
+        with pytest.raises(InvalidRequestError):
+            VOEnvironment([Cluster("a", [node]), Cluster("b", [node])])
+
+    def test_generate_from_specs(self):
+        environment = VOEnvironment.generate(
+            [ClusterSpec("a", node_count=3), ClusterSpec("b", node_count=2)], seed=1
+        )
+        assert environment.node_count() == 5
+        assert {cluster.name for cluster in environment.clusters} == {"a", "b"}
+
+    def test_vacant_slot_list_sorted_across_nodes(self):
+        environment = _small_environment()
+        nodes = list(environment.nodes())
+        nodes[0].run_local_job(0.0, 100.0)
+        nodes[1].run_local_job(0.0, 40.0)
+        slots = environment.vacant_slot_list(0.0, 500.0)
+        assert slots.is_sorted()
+        assert len(slots) == 3
+        assert slots[0].start == 0.0  # the never-busy node
+
+    def test_price_multiplier(self):
+        environment = _small_environment()
+        base = environment.vacant_slot_list(0.0, 100.0)
+        surged = environment.vacant_slot_list(0.0, 100.0, price_multiplier=1.5)
+        for cheap, dear in zip(base, surged):
+            assert dear.price == pytest.approx(1.5 * cheap.price)
+        with pytest.raises(InvalidRequestError):
+            environment.vacant_slot_list(0.0, 100.0, price_multiplier=0.0)
+
+    def test_commit_window_roundtrip(self):
+        environment = _small_environment()
+        slots = environment.vacant_slot_list(0.0, 500.0)
+        request = ResourceRequest(node_count=2, volume=50.0, max_price=3.0)
+        window = amp.find_window(slots, request)
+        assert window is not None
+        environment.commit_window("jobA", window)
+        # The committed spans disappear from the next slot list.
+        remaining = environment.vacant_slot_list(0.0, 500.0)
+        assert remaining.total_vacant_time() == pytest.approx(
+            slots.total_vacant_time() - sum(a.runtime for a in window.allocations)
+        )
+        # And can be cancelled again.
+        assert environment.cancel_job("jobA") == 2
+        restored = environment.vacant_slot_list(0.0, 500.0)
+        assert restored.total_vacant_time() == pytest.approx(slots.total_vacant_time())
+
+    def test_commit_window_rolls_back_on_conflict(self):
+        environment = _small_environment()
+        slots = environment.vacant_slot_list(0.0, 500.0)
+        request = ResourceRequest(node_count=2, volume=50.0, max_price=3.0)
+        window = amp.find_window(slots, request)
+        assert window is not None
+        # Occupy one of the window's spans behind the scheduler's back.
+        victim = window.allocations[-1]
+        environment.node_for(victim.resource.uid).run_local_job(
+            victim.start, victim.end, "sneaky"
+        )
+        with pytest.raises(SlotListError):
+            environment.commit_window("jobA", window)
+        # Nothing of jobA must remain reserved.
+        assert environment.cancel_job("jobA") == 0
+
+    def test_commit_foreign_window_rejected(self):
+        environment = _small_environment()
+        other = _small_environment()
+        slots = other.vacant_slot_list(0.0, 500.0)
+        window = amp.find_window(slots, ResourceRequest(node_count=1, volume=50.0))
+        assert window is not None
+        with pytest.raises(SlotListError):
+            environment.commit_window("jobA", window)
+
+    def test_utilization_and_income(self):
+        environment = _small_environment()
+        nodes = list(environment.nodes())
+        nodes[0].run_local_job(0.0, 100.0)
+        nodes[1].reserve_for("jobZ", 0.0, 50.0)
+        assert environment.utilization(0.0, 100.0) == pytest.approx((1.0 + 0.5) / 3)
+        assert environment.total_income(0.0, 100.0) == pytest.approx(100.0)
+
+    def test_prune_before(self):
+        environment = _small_environment()
+        nodes = list(environment.nodes())
+        nodes[0].run_local_job(0.0, 10.0)
+        nodes[1].run_local_job(0.0, 10.0)
+        nodes[1].run_local_job(20.0, 30.0)
+        assert environment.prune_before(15.0) == 2

@@ -1,0 +1,126 @@
+"""Tests for repro.grid.node and repro.grid.cluster."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import InvalidRequestError
+from repro.core.pricing import ExponentialPricing
+from repro.grid import Cluster, ClusterSpec, ComputeNode, total_income
+
+
+class TestComputeNode:
+    def test_delegated_attributes(self):
+        node = ComputeNode("cpu1", performance=2.0, price=3.5)
+        assert node.name == "cpu1"
+        assert node.performance == 2.0
+        assert node.price == 3.5
+
+    def test_vacant_slots_reflect_occupancy(self):
+        node = ComputeNode("cpu1")
+        node.run_local_job(0.0, 50.0, "p1")
+        slots = node.vacant_slots(0.0, 200.0)
+        assert [(slot.start, slot.end) for slot in slots] == [(50.0, 200.0)]
+        assert slots[0].resource == node.resource
+        assert slots[0].price == node.price
+
+    def test_min_length_suppresses_fragments(self):
+        node = ComputeNode("cpu1")
+        node.run_local_job(10.0, 200.0)
+        assert node.vacant_slots(0.0, 200.0, min_length=20.0) == []
+        assert len(node.vacant_slots(0.0, 200.0, min_length=5.0)) == 1
+        with pytest.raises(InvalidRequestError):
+            node.vacant_slots(0.0, 200.0, min_length=-1.0)
+
+    def test_reservation_lifecycle(self):
+        node = ComputeNode("cpu1")
+        node.reserve_for("jobA", 10.0, 30.0)
+        node.reserve_for("jobA", 50.0, 60.0)
+        node.reserve_for("jobB", 70.0, 80.0)
+        assert node.cancel_reservations("jobA") == 2
+        spans = [(iv.start, iv.end) for iv in node.schedule]
+        assert spans == [(70.0, 80.0)]
+
+    def test_local_share(self):
+        node = ComputeNode("cpu1")
+        node.run_local_job(0.0, 30.0)
+        node.reserve_for("jobA", 50.0, 60.0)
+        assert node.local_share(0.0, 100.0) == pytest.approx(30.0 / 40.0)
+
+    def test_local_share_idle_node(self):
+        assert ComputeNode("cpu1").local_share(0.0, 100.0) == 0.0
+
+    def test_income_counts_only_reservations(self):
+        node = ComputeNode("cpu1", price=2.0)
+        node.run_local_job(0.0, 50.0)
+        node.reserve_for("jobA", 60.0, 80.0)
+        assert node.income(0.0, 100.0) == pytest.approx(40.0)
+
+    def test_total_income_helper(self):
+        a = ComputeNode("a", price=1.0)
+        b = ComputeNode("b", price=3.0)
+        a.reserve_for("j", 0.0, 10.0)
+        b.reserve_for("j", 0.0, 10.0)
+        assert total_income([a, b], 0.0, 100.0) == pytest.approx(40.0)
+
+
+class TestClusterSpec:
+    def test_validation(self):
+        with pytest.raises(InvalidRequestError):
+            ClusterSpec("c", node_count=0)
+        with pytest.raises(InvalidRequestError):
+            ClusterSpec("c", node_count=2, performance_range=(3.0, 1.0))
+        with pytest.raises(InvalidRequestError):
+            ClusterSpec("c", node_count=2, performance_range=(0.0, 1.0))
+
+    def test_build_samples_within_ranges(self):
+        spec = ClusterSpec(
+            "alpha",
+            node_count=20,
+            performance_range=(1.0, 3.0),
+            pricing=ExponentialPricing(),
+        )
+        cluster = spec.build(random.Random(1))
+        assert len(cluster) == 20
+        for node in cluster:
+            assert 1.0 <= node.performance <= 3.0
+            low, high = spec.pricing.bounds(node.performance)
+            assert low <= node.price <= high
+            assert node.name.startswith("alpha-n")
+
+    def test_build_deterministic_under_seed(self):
+        spec = ClusterSpec("alpha", node_count=5)
+        one = spec.build(random.Random(7))
+        two = spec.build(random.Random(7))
+        assert [n.performance for n in one] == [n.performance for n in two]
+        assert [n.price for n in one] == [n.price for n in two]
+
+
+class TestCluster:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidRequestError):
+            Cluster("empty", [])
+
+    def test_container_protocol(self):
+        nodes = [ComputeNode(f"n{i}") for i in range(3)]
+        cluster = Cluster("c", nodes)
+        assert len(cluster) == 3
+        assert cluster[0] is nodes[0]
+        assert list(cluster) == nodes
+        assert cluster.nodes == tuple(nodes)
+
+    def test_utilization_mean(self):
+        busy = ComputeNode("busy")
+        busy.run_local_job(0.0, 100.0)
+        idle = ComputeNode("idle")
+        cluster = Cluster("c", [busy, idle])
+        assert cluster.utilization(0.0, 100.0) == pytest.approx(0.5)
+
+    def test_income_sums_nodes(self):
+        a = ComputeNode("a", price=2.0)
+        a.reserve_for("j", 0.0, 10.0)
+        b = ComputeNode("b", price=1.0)
+        cluster = Cluster("c", [a, b])
+        assert cluster.income(0.0, 100.0) == pytest.approx(20.0)

@@ -1,0 +1,162 @@
+"""Tests for repro.grid.occupancy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SlotListError
+from repro.grid import BusyInterval, OccupancySchedule
+
+
+class TestBusyInterval:
+    def test_length(self):
+        assert BusyInterval(10.0, 25.0).length == pytest.approx(15.0)
+
+    def test_rejects_empty_or_negative(self):
+        with pytest.raises(SlotListError):
+            BusyInterval(10.0, 10.0)
+        with pytest.raises(SlotListError):
+            BusyInterval(10.0, 5.0)
+
+
+class TestReserve:
+    def test_reserve_and_iterate_sorted(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(50.0, 60.0)
+        schedule.reserve(0.0, 10.0)
+        schedule.reserve(20.0, 30.0)
+        assert [iv.start for iv in schedule] == [0.0, 20.0, 50.0]
+
+    def test_double_booking_rejected(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(10.0, 30.0)
+        for span in [(15.0, 20.0), (5.0, 15.0), (25.0, 40.0), (0.0, 50.0)]:
+            with pytest.raises(SlotListError):
+                schedule.reserve(*span)
+
+    def test_adjacent_reservations_allowed(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(10.0, 20.0)
+        schedule.reserve(20.0, 30.0)  # touching is fine (half-open spans)
+        schedule.reserve(0.0, 10.0)
+        assert len(schedule) == 3
+
+    def test_is_free(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(10.0, 20.0)
+        assert schedule.is_free(0.0, 10.0)
+        assert schedule.is_free(20.0, 25.0)
+        assert not schedule.is_free(15.0, 16.0)
+        assert not schedule.is_free(5.0, 11.0)
+        assert schedule.is_free(5.0, 5.0)  # empty span
+
+    def test_release(self):
+        schedule = OccupancySchedule()
+        interval = schedule.reserve(10.0, 20.0)
+        schedule.release(interval)
+        assert len(schedule) == 0
+        with pytest.raises(SlotListError):
+            schedule.release(interval)
+
+    def test_release_label(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(0.0, 10.0, "job:a")
+        schedule.reserve(20.0, 30.0, "job:a")
+        schedule.reserve(40.0, 50.0, "job:b")
+        assert schedule.release_label("job:a") == 2
+        assert [iv.label for iv in schedule] == ["job:b"]
+
+
+class TestVacantSpans:
+    def test_empty_schedule_is_one_gap(self):
+        schedule = OccupancySchedule()
+        assert schedule.vacant_spans(0.0, 100.0) == [(0.0, 100.0)]
+
+    def test_gaps_between_busy_intervals(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(10.0, 20.0)
+        schedule.reserve(50.0, 60.0)
+        assert schedule.vacant_spans(0.0, 100.0) == [
+            (0.0, 10.0),
+            (20.0, 50.0),
+            (60.0, 100.0),
+        ]
+
+    def test_busy_clipped_to_horizon(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(0.0, 30.0)
+        schedule.reserve(90.0, 150.0)
+        assert schedule.vacant_spans(10.0, 100.0) == [(30.0, 90.0)]
+
+    def test_fully_busy_horizon(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(0.0, 100.0)
+        assert schedule.vacant_spans(20.0, 80.0) == []
+
+    def test_degenerate_horizon(self):
+        schedule = OccupancySchedule()
+        assert schedule.vacant_spans(50.0, 50.0) == []
+        with pytest.raises(SlotListError):
+            schedule.vacant_spans(60.0, 50.0)
+
+
+class TestAccounting:
+    def test_busy_time_with_labels(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(0.0, 10.0, "local:x")
+        schedule.reserve(20.0, 50.0, "job:y")
+        assert schedule.busy_time(0.0, 100.0) == pytest.approx(40.0)
+        assert schedule.busy_time(0.0, 100.0, label_prefix="local:") == pytest.approx(10.0)
+        assert schedule.busy_time(0.0, 100.0, label_prefix="job:") == pytest.approx(30.0)
+
+    def test_busy_time_clipping(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(0.0, 100.0)
+        assert schedule.busy_time(40.0, 60.0) == pytest.approx(20.0)
+
+    def test_utilization(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(0.0, 25.0)
+        assert schedule.utilization(0.0, 100.0) == pytest.approx(0.25)
+        assert schedule.utilization(50.0, 50.0) == 0.0
+
+    def test_prune_before(self):
+        schedule = OccupancySchedule()
+        schedule.reserve(0.0, 10.0)
+        schedule.reserve(20.0, 30.0)
+        schedule.reserve(40.0, 50.0)
+        assert schedule.prune_before(30.0) == 2
+        assert [iv.start for iv in schedule] == [40.0]
+
+
+# --------------------------------------------------------------------- #
+# Property: vacant spans and busy intervals tile the horizon            #
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=900.0),
+            st.floats(min_value=1.0, max_value=100.0),
+        ),
+        max_size=15,
+    )
+)
+def test_vacancy_complements_busy(spans):
+    schedule = OccupancySchedule()
+    for start, length in spans:
+        try:
+            schedule.reserve(start, start + length)
+        except SlotListError:
+            pass  # overlapping draws are simply skipped
+    horizon = (0.0, 1000.0)
+    vacant = sum(end - start for start, end in schedule.vacant_spans(*horizon))
+    busy = schedule.busy_time(*horizon)
+    assert vacant + busy == pytest.approx(1000.0)
+    # Vacant spans never overlap a busy interval.
+    for start, end in schedule.vacant_spans(*horizon):
+        assert schedule.is_free(start, end)

@@ -1,0 +1,173 @@
+"""Unit tests for repro.core.job (ResourceRequest, Job, Batch)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Batch, InvalidRequestError, Job, ResourceRequest, Slot
+
+from tests.conftest import make_resource
+
+
+class TestResourceRequestValidation:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(InvalidRequestError):
+            ResourceRequest(node_count=0, volume=10.0)
+
+    def test_rejects_zero_volume(self):
+        with pytest.raises(InvalidRequestError):
+            ResourceRequest(node_count=1, volume=0.0)
+
+    def test_rejects_nonpositive_performance(self):
+        with pytest.raises(InvalidRequestError):
+            ResourceRequest(node_count=1, volume=10.0, min_performance=0.0)
+
+    def test_rejects_nonpositive_price(self):
+        with pytest.raises(InvalidRequestError):
+            ResourceRequest(node_count=1, volume=10.0, max_price=0.0)
+
+    def test_defaults(self):
+        request = ResourceRequest(node_count=2, volume=50.0)
+        assert request.min_performance == 1.0
+        assert request.max_price == math.inf
+
+
+class TestBudget:
+    def test_budget_is_ctn(self):
+        request = ResourceRequest(node_count=3, volume=30.0, max_price=10.0)
+        # S = C·t·N (paper Section 3).
+        assert request.budget == pytest.approx(900.0)
+
+    def test_budget_infinite_without_price_cap(self):
+        request = ResourceRequest(node_count=3, volume=30.0)
+        assert math.isinf(request.budget)
+
+    def test_scaled_budget(self):
+        request = ResourceRequest(node_count=2, volume=80.0, max_price=5.0)
+        assert request.scaled_budget(0.8) == pytest.approx(0.8 * 800.0)
+
+    def test_scaled_budget_identity_at_one(self):
+        request = ResourceRequest(node_count=2, volume=80.0, max_price=5.0)
+        assert request.scaled_budget(1.0) == pytest.approx(request.budget)
+
+    @pytest.mark.parametrize("rho", [0.0, -0.5, 1.2])
+    def test_scaled_budget_rejects_bad_rho(self, rho):
+        request = ResourceRequest(node_count=2, volume=80.0, max_price=5.0)
+        with pytest.raises(InvalidRequestError):
+            request.scaled_budget(rho)
+
+
+class TestAdmission:
+    def test_runtime_on_resource(self):
+        request = ResourceRequest(node_count=1, volume=100.0)
+        assert request.runtime_on(make_resource(performance=2.0)) == pytest.approx(50.0)
+
+    def test_admits_performance_boundary(self):
+        request = ResourceRequest(node_count=1, volume=10.0, min_performance=2.0)
+        assert request.admits_performance(make_resource(performance=2.0))
+        assert not request.admits_performance(make_resource(performance=1.9))
+
+    def test_admits_price_boundary(self):
+        request = ResourceRequest(node_count=1, volume=10.0, max_price=5.0)
+        assert request.admits_price(Slot(make_resource(price=5.0), 0.0, 50.0))
+        assert not request.admits_price(Slot(make_resource(price=5.1), 0.0, 50.0))
+
+    def test_fits_length_at_window_start(self):
+        request = ResourceRequest(node_count=1, volume=40.0)
+        slot = Slot(make_resource(), 0.0, 100.0)
+        assert request.fits_length(slot, 60.0)
+        assert not request.fits_length(slot, 61.0)
+
+    def test_fits_length_rejects_future_slot(self):
+        # A slot that starts after the window start cannot join it: tasks
+        # must start synchronously.
+        request = ResourceRequest(node_count=1, volume=10.0)
+        slot = Slot(make_resource(), 50.0, 100.0)
+        assert not request.fits_length(slot, 40.0)
+
+    def test_fits_length_accounts_for_performance(self):
+        request = ResourceRequest(node_count=1, volume=100.0)
+        fast = Slot(make_resource(performance=2.0), 0.0, 60.0)
+        # Runtime on the fast node is 50 <= 60.
+        assert request.fits_length(fast, 0.0)
+        slow = Slot(make_resource(performance=1.0), 0.0, 60.0)
+        assert not request.fits_length(slow, 0.0)
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    def test_runtime_inverse_performance_property(self, performance):
+        request = ResourceRequest(node_count=1, volume=120.0)
+        runtime = request.runtime_on(make_resource(performance=performance))
+        assert runtime * performance == pytest.approx(120.0)
+
+
+class TestJob:
+    def test_auto_name_and_uid(self):
+        job = Job(ResourceRequest(node_count=1, volume=10.0))
+        assert job.name.startswith("job")
+        assert job.uid > 0
+
+    def test_uids_unique(self):
+        request = ResourceRequest(node_count=1, volume=10.0)
+        assert Job(request).uid != Job(request).uid
+
+    def test_equality_by_uid(self):
+        request = ResourceRequest(node_count=1, volume=10.0)
+        job = Job(request, name="a")
+        assert job == job
+        assert job != Job(request, name="a")
+
+    def test_hashable(self):
+        job = Job(ResourceRequest(node_count=1, volume=10.0))
+        assert {job: 1}[job] == 1
+
+
+class TestBatch:
+    def _job(self, priority: int, name: str = "") -> Job:
+        return Job(ResourceRequest(node_count=1, volume=10.0), name=name, priority=priority)
+
+    def test_orders_by_priority(self):
+        low = self._job(5, "low")
+        high = self._job(0, "high")
+        batch = Batch([low, high])
+        assert [job.name for job in batch] == ["high", "low"]
+
+    def test_stable_within_equal_priority(self):
+        first = self._job(1, "first")
+        second = self._job(1, "second")
+        batch = Batch([first, second])
+        assert [job.name for job in batch] == ["first", "second"]
+
+    def test_rejects_duplicate_jobs(self):
+        job = self._job(0)
+        with pytest.raises(InvalidRequestError):
+            Batch([job, job])
+
+    def test_len_iter_getitem_contains(self):
+        jobs = [self._job(i) for i in range(3)]
+        batch = Batch(jobs)
+        assert len(batch) == 3
+        assert batch[1] == jobs[1]
+        assert jobs[2] in batch
+
+    def test_without(self):
+        jobs = [self._job(i, f"j{i}") for i in range(3)]
+        batch = Batch(jobs)
+        smaller = batch.without([jobs[1]])
+        assert [job.name for job in smaller] == ["j0", "j2"]
+        assert len(batch) == 3  # original untouched
+
+    def test_total_volume(self):
+        jobs = [
+            Job(ResourceRequest(node_count=2, volume=50.0)),
+            Job(ResourceRequest(node_count=3, volume=10.0)),
+        ]
+        assert Batch(jobs).total_volume() == pytest.approx(130.0)
+
+    def test_empty_batch(self):
+        batch = Batch()
+        assert len(batch) == 0
+        assert batch.total_volume() == 0.0

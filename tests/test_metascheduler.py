@@ -1,0 +1,239 @@
+"""Tests for the iterative metascheduler and workload trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BatchScheduler,
+    InfeasiblePolicy,
+    InvalidRequestError,
+    Job,
+    ResourceRequest,
+    SchedulerConfig,
+)
+from repro.grid import (
+    Cluster,
+    ComputeNode,
+    JobState,
+    Metascheduler,
+    VOEnvironment,
+    WorkloadTrace,
+)
+
+
+def _environment(node_count: int = 4) -> VOEnvironment:
+    nodes = [ComputeNode(f"n{i}", performance=1.0, price=2.0) for i in range(node_count)]
+    return VOEnvironment([Cluster("c", nodes)])
+
+
+def _scheduler() -> BatchScheduler:
+    return BatchScheduler(
+        SchedulerConfig(infeasible_policy=InfeasiblePolicy.EARLIEST)
+    )
+
+
+def _job(node_count: int = 1, volume: float = 50.0, name: str = "") -> Job:
+    return Job(
+        ResourceRequest(node_count=node_count, volume=volume, max_price=3.0), name=name
+    )
+
+
+class TestWorkloadTrace:
+    def test_lifecycle(self):
+        trace = WorkloadTrace()
+        job = _job(name="a")
+        record = trace.add(job, submit_time=5.0)
+        assert record.state is JobState.PENDING
+        trace.mark_postponed(job)
+        assert record.postponements == 1
+        assert record.wait_time is None
+
+    def test_summary_empty(self):
+        summary = WorkloadTrace().summary()
+        assert summary.submitted == 0
+        assert summary.mean_wait_time is None
+        assert summary.makespan is None
+        assert summary.total_cost == 0.0
+
+
+class TestMetaschedulerValidation:
+    def test_rejects_bad_parameters(self):
+        environment = _environment()
+        with pytest.raises(InvalidRequestError):
+            Metascheduler(environment, period=0.0)
+        with pytest.raises(InvalidRequestError):
+            Metascheduler(environment, horizon=-1.0)
+        with pytest.raises(InvalidRequestError):
+            Metascheduler(environment, max_batch_size=0)
+
+    def test_run_rejects_reversed_span(self):
+        scheduler = Metascheduler(_environment(), _scheduler())
+        with pytest.raises(InvalidRequestError):
+            scheduler.run(until=-10.0)
+
+
+class TestSingleIteration:
+    def test_schedules_submitted_job(self):
+        environment = _environment()
+        meta = Metascheduler(environment, _scheduler(), horizon=400.0)
+        job = _job(node_count=2, name="g1")
+        meta.submit(job)
+        report = meta.run_iteration(0.0)
+        assert report.scheduled == 1
+        assert report.postponed == 0
+        record = meta.trace.record_for(job)
+        assert record.state is JobState.SCHEDULED
+        assert record.window is not None
+        # The reservation really landed in the environment.
+        assert environment.total_income(0.0, 400.0) > 0.0
+
+    def test_future_submission_not_batched(self):
+        meta = Metascheduler(_environment(), _scheduler())
+        meta.submit(_job(), at_time=100.0)
+        report = meta.run_iteration(0.0)
+        assert report.batch_size == 0
+        assert meta.backlog() == 1
+
+    def test_impossible_job_postponed_each_iteration(self):
+        meta = Metascheduler(_environment(node_count=1), _scheduler(), horizon=300.0)
+        job = _job(node_count=3, name="huge")  # needs 3 nodes, VO has 1
+        meta.submit(job)
+        for index in range(3):
+            report = meta.run_iteration(float(index) * 60.0)
+            assert report.postponed == 1
+        assert meta.trace.record_for(job).postponements == 3
+
+    def test_postponement_limit_rejects(self):
+        meta = Metascheduler(
+            _environment(node_count=1),
+            _scheduler(),
+            max_postponements=1,
+        )
+        job = _job(node_count=3, name="huge")
+        meta.submit(job)
+        meta.run_iteration(0.0)
+        report = meta.run_iteration(60.0)
+        assert report.rejected == 1
+        assert meta.trace.record_for(job).state is JobState.REJECTED
+        assert meta.backlog() == 0
+
+    def test_max_batch_size_defers_overflow(self):
+        meta = Metascheduler(_environment(), _scheduler(), max_batch_size=1)
+        first, second = _job(name="a"), _job(name="b")
+        meta.submit(first)
+        meta.submit(second)
+        report = meta.run_iteration(0.0)
+        assert report.batch_size == 1
+        assert report.scheduled == 1
+        # The overflow job is neither postponed nor rejected — it waits.
+        assert meta.trace.record_for(second).postponements == 0
+        assert meta.backlog() == 1
+
+
+class TestRun:
+    def test_periodic_ticks(self):
+        meta = Metascheduler(_environment(), _scheduler(), period=50.0)
+        reports = meta.run(until=200.0)
+        assert [report.time for report in reports] == [0.0, 50.0, 100.0, 150.0, 200.0]
+
+    def test_eventually_drains_queue(self):
+        environment = _environment(node_count=2)
+        meta = Metascheduler(environment, _scheduler(), period=100.0, horizon=500.0)
+        for index in range(6):
+            meta.submit(_job(node_count=2, volume=100.0, name=f"g{index}"), at_time=0.0)
+        meta.run(until=2000.0)
+        summary = meta.trace.summary()
+        assert summary.scheduled == 6
+        assert meta.backlog() == 0
+
+    def test_completions_marked(self):
+        meta = Metascheduler(_environment(), _scheduler(), period=100.0, horizon=400.0)
+        meta.submit(_job(volume=50.0, name="quick"))
+        meta.run(until=1000.0)
+        assert meta.completed_jobs() == 1
+
+    def test_windows_of_different_jobs_disjoint_in_environment(self):
+        environment = _environment(node_count=2)
+        meta = Metascheduler(environment, _scheduler(), period=50.0, horizon=600.0)
+        for index in range(5):
+            meta.submit(_job(node_count=1, volume=80.0, name=f"g{index}"))
+        meta.run(until=600.0)
+        # If any two committed windows overlapped, commit_window would
+        # have raised; additionally the schedules must be clean.
+        for node in environment.nodes():
+            intervals = node.schedule.intervals()
+            for left, right in zip(intervals, intervals[1:]):
+                assert left.end <= right.start
+
+    def test_trace_summary_metrics(self):
+        meta = Metascheduler(_environment(), _scheduler(), period=50.0, horizon=400.0)
+        meta.submit(_job(volume=50.0, name="a"), at_time=0.0)
+        meta.submit(_job(volume=50.0, name="b"), at_time=25.0)
+        meta.run(until=300.0)
+        summary = meta.trace.summary()
+        assert summary.submitted == 2
+        assert summary.scheduled == 2
+        assert summary.mean_wait_time is not None and summary.mean_wait_time >= 0.0
+        assert summary.total_cost > 0.0
+        assert summary.makespan is not None
+
+
+class TestDemandPricing:
+    """Section 7 future work: supply-and-demand pricing in the cycle."""
+
+    def _busy_environment(self):
+        environment = _environment(node_count=2)
+        for node in environment.nodes():
+            node.run_local_job(0.0, 80.0)  # 80% busy over the first period
+        return environment
+
+    def test_surge_raises_job_costs(self):
+        from repro.core import DemandAdjustedPricing
+
+        job_costs = {}
+        for sensitivity in (None, 2.0):
+            environment = self._busy_environment()
+            pricing = (
+                None
+                if sensitivity is None
+                else DemandAdjustedPricing(sensitivity=sensitivity)
+            )
+            meta = Metascheduler(
+                environment,
+                _scheduler(),
+                period=100.0,
+                horizon=400.0,
+                demand_pricing=pricing,
+            )
+            # Generous price cap: the surged price must stay affordable,
+            # otherwise the job is postponed instead of repriced.
+            job = Job(
+                ResourceRequest(node_count=1, volume=50.0, max_price=10.0),
+                name=f"g-{sensitivity}",
+            )
+            meta.submit(job)
+            meta.run_iteration(0.0)
+            record = meta.trace.record_for(job)
+            assert record.window is not None
+            job_costs[sensitivity] = record.window.cost
+        assert job_costs[2.0] > job_costs[None]
+
+    def test_idle_environment_no_surge(self):
+        from repro.core import DemandAdjustedPricing
+
+        environment = _environment(node_count=2)
+        meta = Metascheduler(
+            environment,
+            _scheduler(),
+            period=100.0,
+            horizon=400.0,
+            demand_pricing=DemandAdjustedPricing(sensitivity=5.0),
+        )
+        job = _job(volume=50.0, name="idle-job")
+        meta.submit(job)
+        meta.run_iteration(0.0)
+        record = meta.trace.record_for(job)
+        assert record.window is not None
+        # Zero utilization -> multiplier 1 -> base price 2.0 per unit.
+        assert record.window.cost == pytest.approx(2.0 * 50.0)

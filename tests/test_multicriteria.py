@@ -1,0 +1,197 @@
+"""Tests for vector-criteria optimization (Pareto front, scalarization)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    InfeasibleConstraintError,
+    InvalidRequestError,
+    Job,
+    OptimizationError,
+    ResourceRequest,
+    Slot,
+    TaskAllocation,
+    Window,
+    minimize_weighted,
+    pareto_front,
+)
+from repro.core.multicriteria import ParetoPoint
+
+from tests.conftest import make_resource
+
+
+def _window(price: float, volume: float, start: float = 0.0) -> Window:
+    node = make_resource(price=price)
+    slot = Slot(node, start, start + volume)
+    request = ResourceRequest(node_count=1, volume=volume)
+    return Window(request, [TaskAllocation(slot, start, start + volume)])
+
+
+def _job(name: str) -> Job:
+    return Job(ResourceRequest(1, 10.0), name=name)
+
+
+def _alts(spec: dict[str, list[tuple[float, float]]]):
+    mapping = {}
+    cursor = 0.0
+    for name, pairs in spec.items():
+        windows = []
+        for price, volume in pairs:
+            windows.append(_window(price, volume, start=cursor))
+            cursor += volume + 1.0
+        mapping[_job(name)] = windows
+    return mapping
+
+
+class TestParetoPoint:
+    def test_dominance(self):
+        a = ParetoPoint(10.0, 100.0, {})
+        b = ParetoPoint(20.0, 200.0, {})
+        c = ParetoPoint(10.0, 100.0, {})
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c)  # equal points do not dominate
+
+
+class TestParetoFront:
+    def test_single_job_front(self):
+        # (time, cost): fast-pricey (10, 100), slow-cheap (30, 30),
+        # dominated middle (30, 60).
+        alts = _alts({"a": [(10.0, 10.0), (1.0, 30.0), (2.0, 30.0)]})
+        front = pareto_front(alts)
+        points = [(p.total_time, p.total_cost) for p in front]
+        assert points == [(10.0, 100.0), (30.0, 30.0)]
+
+    def test_front_sorted_and_nondominated(self):
+        alts = _alts(
+            {
+                "a": [(10.0, 10.0), (1.0, 30.0)],
+                "b": [(5.0, 10.0), (1.0, 20.0)],
+            }
+        )
+        front = pareto_front(alts)
+        times = [p.total_time for p in front]
+        costs = [p.total_cost for p in front]
+        assert times == sorted(times)
+        assert costs == sorted(costs, reverse=True)
+        for first, second in itertools.combinations(front, 2):
+            assert not first.dominates(second)
+            assert not second.dominates(first)
+
+    def test_empty(self):
+        assert pareto_front({}) == []
+
+    def test_space_cap(self):
+        alts = _alts({chr(97 + i): [(1.0, 10.0)] * 10 for i in range(7)})
+        with pytest.raises(OptimizationError):
+            pareto_front(alts, max_combinations=100)
+
+    def test_uncovered_job_raises(self):
+        alts = _alts({"a": [(1.0, 10.0)]})
+        alts[_job("empty")] = []
+        with pytest.raises(OptimizationError):
+            pareto_front(alts)
+
+
+class TestMinimizeWeighted:
+    def test_unconstrained_separates_per_job(self):
+        alts = _alts({"a": [(10.0, 10.0), (1.0, 30.0)]})  # weighted: t + c
+        # time_weight=1, cost_weight=1: fast = 10+100=110, slow = 30+30=60.
+        combo = minimize_weighted(alts, time_weight=1.0, cost_weight=1.0)
+        assert combo.total_time == pytest.approx(30.0)
+
+    def test_pure_time_weight_picks_fastest(self):
+        alts = _alts({"a": [(10.0, 10.0), (1.0, 30.0)]})
+        combo = minimize_weighted(alts, time_weight=1.0, cost_weight=0.0)
+        assert combo.total_time == pytest.approx(10.0)
+
+    def test_pure_cost_weight_picks_cheapest(self):
+        alts = _alts({"a": [(10.0, 10.0), (1.0, 30.0)]})
+        combo = minimize_weighted(alts, time_weight=0.0, cost_weight=1.0)
+        assert combo.total_cost == pytest.approx(30.0)
+
+    def test_budget_constraint_enforced(self):
+        alts = _alts({"a": [(10.0, 10.0), (1.0, 30.0)]})
+        combo = minimize_weighted(
+            alts, time_weight=1.0, cost_weight=0.0, budget=50.0, resolution=50
+        )
+        # The fast option costs 100 > 50, so the slow one wins.
+        assert combo.total_time == pytest.approx(30.0)
+
+    def test_quota_constraint_enforced(self):
+        alts = _alts({"a": [(10.0, 10.0), (1.0, 30.0)]})
+        combo = minimize_weighted(
+            alts, time_weight=0.0, cost_weight=1.0, quota=15.0, resolution=15
+        )
+        assert combo.total_cost == pytest.approx(100.0)
+
+    def test_infeasible_constraint_raises(self):
+        alts = _alts({"a": [(10.0, 10.0)]})
+        with pytest.raises(InfeasibleConstraintError):
+            minimize_weighted(alts, budget=50.0, resolution=50)
+
+    def test_validation(self):
+        alts = _alts({"a": [(1.0, 10.0)]})
+        with pytest.raises(InvalidRequestError):
+            minimize_weighted(alts, time_weight=-1.0)
+        with pytest.raises(InvalidRequestError):
+            minimize_weighted(alts, time_weight=0.0, cost_weight=0.0)
+        with pytest.raises(InvalidRequestError):
+            minimize_weighted(alts, budget=10.0, quota=10.0)
+
+    def test_empty(self):
+        combo = minimize_weighted({})
+        assert combo.selection == {}
+
+
+# --------------------------------------------------------------------- #
+# Cross-validation properties                                           #
+# --------------------------------------------------------------------- #
+
+
+def _random_alts(seed: int):
+    rng = random.Random(seed)
+    return _alts(
+        {
+            f"job{i}": [
+                (float(rng.randint(1, 6)), float(rng.randint(5, 40)))
+                for _ in range(rng.randint(1, 4))
+            ]
+            for i in range(rng.randint(1, 3))
+        }
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=50_000),
+    time_weight=st.floats(min_value=0.1, max_value=5.0),
+    cost_weight=st.floats(min_value=0.1, max_value=5.0),
+)
+def test_unconstrained_weighted_optimum_lies_on_pareto_front(seed, time_weight, cost_weight):
+    """Any *strictly* positive-weight scalarized optimum is
+    Pareto-optimal (with a zero weight only weak optimality holds: the
+    per-job argmin may tie on the weighted axis and lose on the other)."""
+    alts = _random_alts(seed)
+    combo = minimize_weighted(alts, time_weight=time_weight, cost_weight=cost_weight)
+    front = pareto_front(alts)
+    point = ParetoPoint(combo.total_time, combo.total_cost, {})
+    assert not any(candidate.dominates(point) for candidate in front)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_front_extremes_match_pure_weights(seed):
+    """The front's endpoints are the pure time- and cost-optima."""
+    alts = _random_alts(seed)
+    front = pareto_front(alts)
+    fastest = minimize_weighted(alts, time_weight=1.0, cost_weight=0.0)
+    cheapest = minimize_weighted(alts, time_weight=0.0, cost_weight=1.0)
+    assert front[0].total_time == pytest.approx(fastest.total_time)
+    assert front[-1].total_cost == pytest.approx(cheapest.total_cost)

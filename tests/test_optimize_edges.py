@@ -1,0 +1,154 @@
+"""Edge-case tests for the DP optimizer beyond the main suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    Criterion,
+    InfeasibleConstraintError,
+    Job,
+    OptimizationError,
+    ResourceRequest,
+    Slot,
+    TaskAllocation,
+    Window,
+)
+from repro.core.optimize import (
+    brute_force,
+    minimize_cost,
+    minimize_time,
+    optimize,
+    time_quota,
+    vo_budget,
+)
+
+from tests.conftest import make_resource
+
+
+def _window(price: float, volume: float, start: float = 0.0) -> Window:
+    node = make_resource(price=price)
+    slot = Slot(node, start, start + volume)
+    request = ResourceRequest(node_count=1, volume=volume)
+    return Window(request, [TaskAllocation(slot, start, start + volume)])
+
+
+def _job(name: str) -> Job:
+    return Job(ResourceRequest(1, 10.0), name=name)
+
+
+class TestDegenerateLimits:
+    def test_zero_budget_with_free_window(self):
+        # A zero-cost window under a zero budget is feasible.
+        alts = {_job("free"): [_window(0.0, 10.0)]}
+        combo = minimize_time(alts, budget_limit=0.0, resolution=10)
+        assert combo.total_cost == 0.0
+        assert combo.total_time == pytest.approx(10.0)
+
+    def test_zero_budget_with_paid_window_infeasible(self):
+        alts = {_job("paid"): [_window(2.0, 10.0)]}
+        with pytest.raises(InfeasibleConstraintError):
+            minimize_time(alts, budget_limit=0.0, resolution=10)
+
+    def test_negative_limit_rejected(self):
+        alts = {_job("a"): [_window(1.0, 10.0)]}
+        with pytest.raises(InfeasibleConstraintError):
+            minimize_time(alts, budget_limit=-5.0)
+
+    def test_resolution_one_still_sound(self):
+        # Coarsest possible grid: feasibility must still be conservative
+        # in the documented direction (floor weights never reject a
+        # feasible combination).
+        alts = {_job("a"): [_window(1.0, 10.0)]}  # cost 10 == limit
+        combo = minimize_time(alts, budget_limit=10.0, resolution=1)
+        assert combo.total_time == pytest.approx(10.0)
+
+    def test_invalid_resolution_rejected(self):
+        alts = {_job("a"): [_window(1.0, 10.0)]}
+        with pytest.raises(OptimizationError):
+            minimize_time(alts, budget_limit=10.0, resolution=0)
+
+
+class TestSingleAlternative:
+    def test_forced_choice(self):
+        alts = {_job("only"): [_window(2.0, 30.0)]}
+        combo = minimize_cost(alts, quota=30.0, resolution=30)
+        assert combo.total_cost == pytest.approx(60.0)
+        (window,) = combo.selection.values()
+        assert window.length == pytest.approx(30.0)
+
+    def test_quota_from_single_alternative_is_exact(self):
+        alts = {_job("only"): [_window(2.0, 30.0)]}
+        assert time_quota(alts) == pytest.approx(30.0)  # floor(30/1)
+
+    def test_budget_from_single_alternative(self):
+        alts = {_job("only"): [_window(2.0, 30.0)]}
+        assert vo_budget(alts) == pytest.approx(60.0)
+
+
+class TestManyIdenticalAlternatives:
+    def test_floor_quota_infeasibility(self):
+        # Three identical 10-unit alternatives: quota = 3*floor(10/3)=9.
+        alts = {_job("a"): [_window(1.0, 10.0) for _ in range(3)]}
+        assert time_quota(alts) == pytest.approx(9.0)
+        with pytest.raises(InfeasibleConstraintError):
+            minimize_cost(alts, quota=time_quota(alts), resolution=9)
+
+    def test_divisible_duration_feasible(self):
+        # Two 10-unit alternatives: quota = 2*floor(10/2) = 10 = duration.
+        alts = {_job("a"): [_window(1.0, 10.0) for _ in range(2)]}
+        combo = minimize_cost(alts, quota=time_quota(alts), resolution=10)
+        assert combo.total_time == pytest.approx(10.0)
+
+
+class TestObjectiveTies:
+    def test_equal_times_pick_some_valid_window(self):
+        windows = [_window(5.0, 20.0), _window(1.0, 20.0)]
+        alts = {_job("a"): windows}
+        combo = minimize_time(alts, budget_limit=200.0, resolution=200)
+        assert combo.total_time == pytest.approx(20.0)
+        assert combo.selection[next(iter(alts))] in windows
+
+    def test_cost_tie_broken_consistently(self):
+        windows = [_window(2.0, 10.0), _window(1.0, 20.0)]  # both cost 20
+        alts = {_job("a"): windows}
+        combo = minimize_cost(alts, quota=20.0, resolution=20)
+        assert combo.total_cost == pytest.approx(20.0)
+
+
+class TestCombinationViews:
+    def test_means_empty_combination(self):
+        combo = optimize({}, Criterion.TIME, 10.0)
+        assert combo.mean_job_time == 0.0
+        assert combo.mean_job_cost == 0.0
+
+    def test_limit_recorded(self):
+        alts = {_job("a"): [_window(1.0, 10.0)]}
+        combo = minimize_time(alts, budget_limit=42.0, resolution=42)
+        assert combo.limit == 42.0
+        assert combo.objective is Criterion.TIME
+
+
+class TestBruteForceEdges:
+    def test_empty_mapping(self):
+        combo = brute_force({}, Criterion.COST, 10.0)
+        assert combo is not None
+        assert combo.selection == {}
+
+    def test_exact_boundary_feasible(self):
+        alts = {_job("a"): [_window(1.0, 10.0)]}  # time exactly 10
+        combo = brute_force(alts, Criterion.COST, 10.0)
+        assert combo is not None
+
+    def test_agrees_with_dp_on_boundary(self):
+        alts = {
+            _job("a"): [_window(1.0, 10.0), _window(3.0, 4.0)],
+            _job("b"): [_window(2.0, 6.0)],
+        }
+        limit = 16.0  # exactly time(10) + time(6)
+        reference = brute_force(alts, Criterion.COST, limit)
+        combo = minimize_cost(alts, quota=limit, resolution=16)
+        assert reference is not None
+        assert combo.total_cost == pytest.approx(reference.total_cost)

@@ -1,0 +1,98 @@
+"""Tests for the pricing mechanisms (repro.core.pricing)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BudgetPolicy,
+    DemandAdjustedPricing,
+    ExponentialPricing,
+    InvalidRequestError,
+    Resource,
+    ResourceRequest,
+)
+
+
+class TestExponentialPricing:
+    def test_nominal_follows_paper_law(self):
+        pricing = ExponentialPricing()
+        assert pricing.nominal(1.0) == pytest.approx(1.7)
+        assert pricing.nominal(3.0) == pytest.approx(1.7**3)
+
+    def test_mean_is_midpoint(self):
+        pricing = ExponentialPricing()
+        assert pricing.mean(2.0) == pytest.approx(1.7**2)  # (0.75+1.25)/2 = 1
+
+    def test_sample_within_bounds(self, rng):
+        pricing = ExponentialPricing()
+        for _ in range(200):
+            performance = rng.uniform(1.0, 3.0)
+            low, high = pricing.bounds(performance)
+            assert low <= pricing.sample(performance, rng) <= high
+
+    def test_validation(self):
+        with pytest.raises(InvalidRequestError):
+            ExponentialPricing(base=0.0)
+        with pytest.raises(InvalidRequestError):
+            ExponentialPricing(low_factor=1.5, high_factor=1.0)
+        with pytest.raises(InvalidRequestError):
+            ExponentialPricing().nominal(-1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=4.0))
+    def test_price_grows_with_performance(self, performance):
+        pricing = ExponentialPricing()
+        assert pricing.nominal(performance + 0.1) > pricing.nominal(performance)
+
+
+class TestBudgetPolicy:
+    def test_default_is_plain_amp(self):
+        request = ResourceRequest(2, 80.0, max_price=5.0)
+        assert BudgetPolicy().budget_for(request) == pytest.approx(request.budget)
+
+    def test_shrinks_budget(self):
+        request = ResourceRequest(2, 80.0, max_price=5.0)
+        assert BudgetPolicy(rho=0.8).budget_for(request) == pytest.approx(640.0)
+
+    @pytest.mark.parametrize("rho", [0.0, 1.0001, -1.0])
+    def test_rejects_bad_rho(self, rho):
+        with pytest.raises(InvalidRequestError):
+            BudgetPolicy(rho=rho)
+
+
+class TestDemandAdjustedPricing:
+    def test_multiplier_bounds(self):
+        pricing = DemandAdjustedPricing(sensitivity=0.5)
+        assert pricing.multiplier(0.0) == pytest.approx(1.0)
+        assert pricing.multiplier(1.0) == pytest.approx(1.5)
+
+    def test_multiplier_rejects_bad_utilization(self):
+        pricing = DemandAdjustedPricing()
+        with pytest.raises(InvalidRequestError):
+            pricing.multiplier(1.5)
+        with pytest.raises(InvalidRequestError):
+            pricing.multiplier(-0.1)
+
+    def test_rejects_negative_sensitivity(self):
+        with pytest.raises(InvalidRequestError):
+            DemandAdjustedPricing(sensitivity=-1.0)
+
+    def test_sample_scales_with_demand(self, rng):
+        pricing = DemandAdjustedPricing(
+            base=ExponentialPricing(low_factor=1.0, high_factor=1.0), sensitivity=1.0
+        )
+        idle = pricing.sample(2.0, 0.0, rng)
+        busy = pricing.sample(2.0, 1.0, rng)
+        assert busy == pytest.approx(2 * idle)
+
+    def test_price_resource_keeps_identity_fields(self, rng):
+        pricing = DemandAdjustedPricing()
+        node = Resource("cpu1", performance=2.0, price=1.0)
+        repriced = pricing.price_resource(node, 0.5, rng)
+        assert repriced.name == node.name
+        assert repriced.performance == node.performance
+        assert repriced.price > 0
+        assert repriced.uid != node.uid  # a new resource identity

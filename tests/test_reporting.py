@@ -1,0 +1,52 @@
+"""Tests for the EXPERIMENTS.md report generator (repro.sim.reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.reporting import complexity_sweep, experiments_report
+
+
+class TestComplexitySweep:
+    def test_points_cover_grid(self):
+        points = complexity_sweep(sizes=(100, 200), repeats=1)
+        combos = {(point.algorithm, point.slots) for point in points}
+        assert combos == {
+            (name, size)
+            for name in ("ALP", "AMP", "backfill")
+            for size in (100, 200)
+        }
+        assert all(point.seconds > 0 for point in points)
+
+
+class TestExperimentsReport:
+    @pytest.fixture(scope="class")
+    def report(self) -> str:
+        # Tiny run: checks structure, not statistics.
+        return experiments_report(iterations=25, seed=77)
+
+    def test_has_every_experiment_section(self, report):
+        for section in (
+            "EXP-T1 / Fig. 4",
+            "EXP-T1 / Fig. 5",
+            "EXP-T2 / Fig. 6",
+            "EXP-ALT",
+            "EXP-EX / Figs. 2-3",
+            "EXP-CPLX",
+            "EXP-RHO",
+            "EXP-GRID",
+        ):
+            assert section in report, f"missing section {section!r}"
+
+    def test_quotes_paper_reference_values(self, report):
+        for value in ("59.85", "39.01", "313.09", "343.30", "34.28", "135.11"):
+            assert value in report
+
+    def test_worked_example_facts_present(self, report):
+        assert "unit cost 10" in report
+        assert "[150, 230]" in report
+        assert "ALP: 0" in report  # cpu6 untouchable by ALP
+
+    def test_is_markdown(self, report):
+        assert report.startswith("# EXPERIMENTS")
+        assert "| panel | metric |" in report

@@ -1,0 +1,102 @@
+"""Unit tests for repro.core.resource."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DEFAULT_PRICE_BASE,
+    InvalidRequestError,
+    Resource,
+    price_of_performance,
+)
+
+
+class TestPriceOfPerformance:
+    def test_etalon_node_price_is_base(self):
+        assert price_of_performance(1.0) == pytest.approx(DEFAULT_PRICE_BASE)
+
+    def test_follows_exponential_law(self):
+        assert price_of_performance(3.0) == pytest.approx(1.7**3)
+
+    def test_custom_base(self):
+        assert price_of_performance(2.0, base=2.0) == pytest.approx(4.0)
+
+    def test_rejects_zero_performance(self):
+        with pytest.raises(InvalidRequestError):
+            price_of_performance(0.0)
+
+    def test_rejects_negative_performance(self):
+        with pytest.raises(InvalidRequestError):
+            price_of_performance(-1.0)
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    def test_monotone_in_performance(self, p):
+        assert price_of_performance(p + 0.5) > price_of_performance(p)
+
+
+class TestResourceValidation:
+    def test_rejects_zero_performance(self):
+        with pytest.raises(InvalidRequestError):
+            Resource("bad", performance=0.0)
+
+    def test_rejects_negative_price(self):
+        with pytest.raises(InvalidRequestError):
+            Resource("bad", price=-1.0)
+
+    def test_accepts_zero_price(self):
+        assert Resource("free", price=0.0).price == 0.0
+
+
+class TestResourceIdentity:
+    def test_uids_are_unique(self):
+        a = Resource("x")
+        b = Resource("x")
+        assert a.uid != b.uid
+        assert a != b
+
+    def test_explicit_uid_equality(self):
+        a = Resource("x", uid=42)
+        b = Resource("y", uid=42)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_usable_as_dict_key(self):
+        a = Resource("x")
+        table = {a: 1}
+        assert table[a] == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Resource("x") != "x"
+
+
+class TestResourceEconomics:
+    def test_runtime_scales_inversely_with_performance(self):
+        fast = Resource("fast", performance=2.0)
+        assert fast.runtime_of(100.0) == pytest.approx(50.0)
+
+    def test_etalon_runtime_is_volume(self):
+        assert Resource("etalon", performance=1.0).runtime_of(80.0) == pytest.approx(80.0)
+
+    def test_runtime_rejects_negative_volume(self):
+        with pytest.raises(InvalidRequestError):
+            Resource("n").runtime_of(-1.0)
+
+    def test_cost_is_price_times_runtime(self):
+        node = Resource("n", performance=2.0, price=6.0)
+        # Section 6: C·t/P = 6 * 100 / 2.
+        assert node.cost_of(100.0) == pytest.approx(300.0)
+
+    def test_price_quality_ratio(self):
+        node = Resource("n", performance=2.0, price=5.0)
+        assert node.price_quality == pytest.approx(2.5)
+
+    @given(
+        st.floats(min_value=0.5, max_value=4.0),
+        st.floats(min_value=0.0, max_value=300.0),
+    )
+    def test_cost_non_negative(self, performance, volume):
+        node = Resource("n", performance=performance, price=1.3)
+        assert node.cost_of(volume) >= 0.0

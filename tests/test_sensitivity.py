@@ -1,0 +1,64 @@
+"""Tests for the parameter-sensitivity harness (repro.sim.sensitivity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Criterion, InvalidRequestError
+from repro.sim import SWEEPABLE_PARAMETERS, render_sweep, sweep
+
+
+class TestSweepValidation:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            sweep("unknown_knob", [1.0], iterations=1)
+
+    def test_builders_validate_values(self):
+        with pytest.raises(InvalidRequestError):
+            SWEEPABLE_PARAMETERS["performance_ceiling"](0.5)
+        with pytest.raises(InvalidRequestError):
+            SWEEPABLE_PARAMETERS["slot_count"](0)
+        with pytest.raises(InvalidRequestError):
+            SWEEPABLE_PARAMETERS["price_cap_ceiling"](0.0)
+
+    def test_all_advertised_parameters_build(self):
+        values = {
+            "performance_ceiling": 2.0,
+            "same_start_probability": 0.5,
+            "slot_count": 130,
+            "price_cap_ceiling": 1.5,
+        }
+        for name, builder in SWEEPABLE_PARAMETERS.items():
+            config = builder(values[name])
+            assert config.slot_config is not None
+            assert config.job_config is not None
+
+
+class TestSweepExecution:
+    def test_points_carry_parameter_and_value(self):
+        points = sweep("slot_count", [125, 145], iterations=6, seed=3)
+        assert [point.value for point in points] == [125, 145]
+        assert all(point.parameter == "slot_count" for point in points)
+        for point in points:
+            assert point.summary.attempted == 6
+
+    def test_slot_count_reflected_in_summary(self):
+        points = sweep("slot_count", [125], iterations=4, seed=3)
+        assert points[0].summary.mean_slots_per_experiment == pytest.approx(125.0)
+
+    def test_objective_forwarded(self):
+        (point,) = sweep(
+            "same_start_probability", [0.4], objective=Criterion.COST, iterations=4
+        )
+        assert point.summary.objective is Criterion.COST
+
+
+class TestRenderSweep:
+    def test_renders_table(self):
+        points = sweep("slot_count", [125], iterations=4, seed=3)
+        text = render_sweep(points)
+        assert "slot_count" in text
+        assert "time gain" in text
+
+    def test_empty(self):
+        assert render_sweep([]) == "(empty sweep)"

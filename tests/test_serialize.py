@@ -1,0 +1,159 @@
+"""Round-trip tests for scenario serialization (repro.core.serialize)."""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Batch,
+    InvalidRequestError,
+    Job,
+    ResourceRequest,
+    SlotSearchAlgorithm,
+    find_alternatives,
+)
+from repro.core.serialize import (
+    FORMAT,
+    Scenario,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.sim import JobGenerator, SlotGenerator
+
+
+def _scenario(seed: int = 4, with_assignment: bool = True) -> Scenario:
+    slot_generator = SlotGenerator(seed=seed)
+    job_generator = JobGenerator(rng=slot_generator.rng)
+    slots = slot_generator.generate()
+    batch = job_generator.generate()
+    assignment = {}
+    if with_assignment:
+        result = find_alternatives(
+            slots, batch, SlotSearchAlgorithm.AMP, max_alternatives_per_job=1
+        )
+        assignment = {
+            job: windows[0] for job, windows in result.alternatives.items() if windows
+        }
+    return Scenario(slots, batch, assignment)
+
+
+class TestRoundTrip:
+    def test_slots_survive(self):
+        scenario = _scenario(with_assignment=False)
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        assert len(restored.slots) == len(scenario.slots)
+        for original, copy in zip(scenario.slots, restored.slots):
+            assert (original.start, original.end, original.price) == (
+                copy.start,
+                copy.end,
+                copy.price,
+            )
+            assert original.resource.uid == copy.resource.uid
+            assert original.resource.performance == copy.resource.performance
+
+    def test_jobs_survive(self):
+        scenario = _scenario(with_assignment=False)
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        assert len(restored.batch) == len(scenario.batch)
+        for original, copy in zip(scenario.batch, restored.batch):
+            assert original.uid == copy.uid
+            assert original.name == copy.name
+            assert original.request == copy.request
+
+    def test_assignment_survives(self):
+        scenario = _scenario()
+        assert scenario.assignment, "fixture should produce an assignment"
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        assert len(restored.assignment) == len(scenario.assignment)
+        by_uid = {job.uid: window for job, window in restored.assignment.items()}
+        for job, window in scenario.assignment.items():
+            copy = by_uid[job.uid]
+            assert copy.start == window.start
+            assert copy.cost == pytest.approx(window.cost)
+            assert [r.uid for r in copy.resources()] == [
+                r.uid for r in window.resources()
+            ]
+
+    def test_resource_identity_interned(self):
+        scenario = _scenario()
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        seen: dict[int, object] = {}
+        for slot in restored.slots:
+            previous = seen.setdefault(slot.resource.uid, slot.resource)
+            assert previous is slot.resource  # same object, not just equal
+
+    def test_infinite_max_price_encoded_as_null(self):
+        batch = Batch([Job(ResourceRequest(1, 10.0))])
+        scenario = Scenario(_scenario(with_assignment=False).slots, batch)
+        data = scenario_to_dict(scenario)
+        assert data["jobs"][0]["request"]["max_price"] is None
+        restored = scenario_from_dict(data)
+        assert math.isinf(restored.batch[0].request.max_price)
+
+    def test_document_is_valid_json(self):
+        data = scenario_to_dict(_scenario())
+        json.dumps(data)  # must not raise
+        assert data["format"] == FORMAT
+
+
+class TestFileHelpers:
+    def test_save_and_load(self, tmp_path):
+        scenario = _scenario()
+        path = save_scenario(scenario, tmp_path / "scenario.json")
+        restored = load_scenario(path)
+        assert len(restored.slots) == len(scenario.slots)
+        assert len(restored.assignment) == len(scenario.assignment)
+
+
+class TestValidation:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            scenario_from_dict({"format": "repro/999"})
+
+    def test_missing_resource_reference_rejected(self):
+        data = scenario_to_dict(_scenario(with_assignment=False))
+        data["resources"] = []
+        with pytest.raises(InvalidRequestError):
+            scenario_from_dict(data)
+
+    def test_missing_job_reference_rejected(self):
+        data = scenario_to_dict(_scenario())
+        data["jobs"] = []
+        with pytest.raises(InvalidRequestError):
+            scenario_from_dict(data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_roundtrip_preserves_search_results(seed):
+    """Property: searching on a restored slot list gives identical
+    windows to searching on the original."""
+    scenario = _scenario(seed=seed, with_assignment=False)
+    restored = scenario_from_dict(scenario_to_dict(scenario))
+    from repro.core import amp
+
+    rng = random.Random(seed)
+    request = ResourceRequest(
+        node_count=rng.randint(1, 4),
+        volume=rng.uniform(30.0, 120.0),
+        max_price=rng.uniform(2.0, 6.0),
+    )
+    original = amp.find_window(scenario.slots, request)
+    copy = amp.find_window(restored.slots, request)
+    if original is None:
+        assert copy is None
+    else:
+        assert copy is not None
+        assert copy.start == original.start
+        assert copy.cost == pytest.approx(original.cost)
+        assert [r.uid for r in copy.resources()] == [
+            r.uid for r in original.resources()
+        ]

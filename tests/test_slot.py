@@ -1,0 +1,278 @@
+"""Unit and property tests for repro.core.slot (Slot and SlotList)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Resource, Slot, SlotList, SlotListError
+
+from tests.conftest import make_resource
+
+
+class TestSlot:
+    def test_length(self):
+        slot = Slot(make_resource(), 10.0, 35.0)
+        assert slot.length == pytest.approx(25.0)
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(SlotListError):
+            Slot(make_resource(), 10.0, 5.0)
+
+    def test_zero_length_allowed_as_value(self):
+        # Zero-length slots are legal values; SlotList.insert drops them.
+        slot = Slot(make_resource(), 5.0, 5.0)
+        assert slot.length == 0.0
+
+    def test_price_defaults_to_resource_price(self):
+        slot = Slot(make_resource(price=7.5), 0.0, 10.0)
+        assert slot.price == 7.5
+
+    def test_price_override(self):
+        slot = Slot(make_resource(price=7.5), 0.0, 10.0, price=3.0)
+        assert slot.price == 3.0
+
+    def test_price_rejects_negative(self):
+        with pytest.raises(SlotListError):
+            Slot(make_resource(), 0.0, 10.0, price=-2.0)
+
+    def test_performance_proxies_resource(self):
+        slot = Slot(make_resource(performance=2.5), 0.0, 10.0)
+        assert slot.performance == 2.5
+
+    def test_runtime_and_cost(self):
+        slot = Slot(make_resource(performance=2.0, price=4.0), 0.0, 100.0)
+        assert slot.runtime_of(50.0) == pytest.approx(25.0)
+        assert slot.cost_of(50.0) == pytest.approx(100.0)
+
+    def test_remaining_from_before_start(self):
+        slot = Slot(make_resource(), 10.0, 30.0)
+        assert slot.remaining_from(0.0) == pytest.approx(20.0)
+
+    def test_remaining_from_inside(self):
+        slot = Slot(make_resource(), 10.0, 30.0)
+        assert slot.remaining_from(25.0) == pytest.approx(5.0)
+
+    def test_remaining_from_after_end_is_negative(self):
+        slot = Slot(make_resource(), 10.0, 30.0)
+        assert slot.remaining_from(40.0) == pytest.approx(-10.0)
+
+    def test_contains_span(self):
+        slot = Slot(make_resource(), 10.0, 30.0)
+        assert slot.contains_span(10.0, 30.0)
+        assert slot.contains_span(15.0, 20.0)
+        assert not slot.contains_span(5.0, 20.0)
+        assert not slot.contains_span(15.0, 35.0)
+
+    def test_overlap_same_resource(self):
+        node = make_resource()
+        assert Slot(node, 0.0, 10.0).overlaps(Slot(node, 5.0, 15.0))
+        assert not Slot(node, 0.0, 10.0).overlaps(Slot(node, 10.0, 15.0))
+
+    def test_no_overlap_across_resources(self):
+        a, b = make_resource("a"), make_resource("b")
+        assert not Slot(a, 0.0, 10.0).overlaps(Slot(b, 0.0, 10.0))
+
+
+class TestSlotListBasics:
+    def test_constructor_sorts_by_start(self):
+        node = make_resource()
+        slots = SlotList([Slot(node, 50.0, 60.0), Slot(node, 0.0, 10.0), Slot(node, 20.0, 30.0)])
+        assert [slot.start for slot in slots] == [0.0, 20.0, 50.0]
+
+    def test_insert_keeps_order(self):
+        node = make_resource()
+        slots = SlotList([Slot(node, 0.0, 10.0), Slot(node, 50.0, 60.0)])
+        slots.insert(Slot(node, 20.0, 30.0))
+        assert [slot.start for slot in slots] == [0.0, 20.0, 50.0]
+
+    def test_insert_drops_zero_length(self):
+        slots = SlotList()
+        slots.insert(Slot(make_resource(), 5.0, 5.0))
+        assert len(slots) == 0
+
+    def test_contains(self):
+        node = make_resource()
+        inside = Slot(node, 0.0, 10.0)
+        slots = SlotList([inside])
+        assert inside in slots
+        assert Slot(node, 0.0, 11.0) not in slots
+
+    def test_remove(self):
+        node = make_resource()
+        a, b = Slot(node, 0.0, 10.0), Slot(node, 20.0, 30.0)
+        slots = SlotList([a, b])
+        slots.remove(a)
+        assert list(slots) == [b]
+
+    def test_remove_missing_raises(self):
+        slots = SlotList()
+        with pytest.raises(SlotListError):
+            slots.remove(Slot(make_resource(), 0.0, 10.0))
+
+    def test_copy_is_independent(self):
+        node = make_resource()
+        original = SlotList([Slot(node, 0.0, 10.0)])
+        clone = original.copy()
+        clone.insert(Slot(node, 20.0, 30.0))
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_equal_start_slots_ordered_deterministically(self):
+        a = make_resource("a")
+        b = make_resource("b")
+        one = SlotList([Slot(a, 0.0, 10.0), Slot(b, 0.0, 20.0)])
+        two = SlotList([Slot(b, 0.0, 20.0), Slot(a, 0.0, 10.0)])
+        assert list(one) == list(two)
+
+    def test_resources_first_seen_order(self):
+        a, b = make_resource("a"), make_resource("b")
+        slots = SlotList([Slot(a, 0.0, 10.0), Slot(b, 5.0, 15.0), Slot(a, 20.0, 30.0)])
+        assert slots.resources() == [a, b]
+
+    def test_total_vacant_time(self):
+        node = make_resource()
+        slots = SlotList([Slot(node, 0.0, 10.0), Slot(node, 20.0, 50.0)])
+        assert slots.total_vacant_time() == pytest.approx(40.0)
+
+    def test_horizon(self):
+        node = make_resource()
+        slots = SlotList([Slot(node, 5.0, 100.0), Slot(node, 200.0, 210.0)])
+        assert slots.horizon() == (5.0, 210.0)
+
+    def test_horizon_empty_raises(self):
+        with pytest.raises(SlotListError):
+            SlotList().horizon()
+
+    def test_slots_on(self):
+        a, b = make_resource("a"), make_resource("b")
+        slots = SlotList([Slot(a, 0.0, 10.0), Slot(b, 0.0, 10.0), Slot(a, 20.0, 30.0)])
+        assert [slot.start for slot in slots.slots_on(a)] == [0.0, 20.0]
+
+
+class TestSubtraction:
+    """The paper's Fig. 1 (b) slot subtraction."""
+
+    def test_middle_cut_produces_two_remainders(self):
+        node = make_resource()
+        slots = SlotList([Slot(node, 0.0, 100.0)])
+        removed = slots.subtract(node, 30.0, 60.0)
+        assert removed == Slot(node, 0.0, 100.0)
+        assert [(slot.start, slot.end) for slot in slots] == [(0.0, 30.0), (60.0, 100.0)]
+
+    def test_prefix_cut_leaves_suffix(self):
+        node = make_resource()
+        slots = SlotList([Slot(node, 0.0, 100.0)])
+        slots.subtract(node, 0.0, 40.0)
+        assert [(slot.start, slot.end) for slot in slots] == [(40.0, 100.0)]
+
+    def test_suffix_cut_leaves_prefix(self):
+        node = make_resource()
+        slots = SlotList([Slot(node, 0.0, 100.0)])
+        slots.subtract(node, 60.0, 100.0)
+        assert [(slot.start, slot.end) for slot in slots] == [(0.0, 60.0)]
+
+    def test_exact_cut_removes_slot(self):
+        node = make_resource()
+        slots = SlotList([Slot(node, 0.0, 100.0)])
+        slots.subtract(node, 0.0, 100.0)
+        assert len(slots) == 0
+
+    def test_remainders_keep_price_override(self):
+        node = make_resource(price=5.0)
+        slots = SlotList([Slot(node, 0.0, 100.0, price=2.0)])
+        slots.subtract(node, 30.0, 60.0)
+        assert all(slot.price == 2.0 for slot in slots)
+
+    def test_subtract_picks_correct_resource(self):
+        a, b = make_resource("a"), make_resource("b")
+        slots = SlotList([Slot(a, 0.0, 100.0), Slot(b, 0.0, 100.0)])
+        slots.subtract(b, 0.0, 50.0)
+        spans = {(slot.resource.name, slot.start, slot.end) for slot in slots}
+        assert spans == {("a", 0.0, 100.0), ("b", 50.0, 100.0)}
+
+    def test_subtract_uncontained_span_raises(self):
+        node = make_resource()
+        slots = SlotList([Slot(node, 0.0, 100.0)])
+        with pytest.raises(SlotListError):
+            slots.subtract(node, 90.0, 120.0)
+
+    def test_subtract_spanning_two_slots_raises(self):
+        # The span is vacant overall but crosses a busy gap: no single
+        # slot contains it, exactly as the paper's subtraction requires.
+        node = make_resource()
+        slots = SlotList([Slot(node, 0.0, 50.0), Slot(node, 60.0, 100.0)])
+        with pytest.raises(SlotListError):
+            slots.subtract(node, 40.0, 70.0)
+
+    def test_subtract_negative_span_raises(self):
+        node = make_resource()
+        slots = SlotList([Slot(node, 0.0, 100.0)])
+        with pytest.raises(SlotListError):
+            slots.subtract(node, 60.0, 30.0)
+
+
+# --------------------------------------------------------------------- #
+# Property-based invariants                                             #
+# --------------------------------------------------------------------- #
+
+_spans = st.tuples(
+    st.floats(min_value=0.0, max_value=1000.0),
+    st.floats(min_value=1.0, max_value=300.0),
+).map(lambda pair: (pair[0], pair[0] + pair[1]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_spans, min_size=1, max_size=25))
+def test_slotlist_always_sorted(spans):
+    node = Resource("prop")
+    slots = SlotList()
+    for start, end in spans:
+        slots.insert(Slot(node, start, end, price=1.0))
+    assert slots.is_sorted()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=0.9),
+            st.floats(min_value=0.01, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_subtraction_preserves_invariants(cuts):
+    """Arbitrary nested subtractions keep the list sorted, disjoint, and
+    conserve total vacant time."""
+    node = Resource("prop")
+    slots = SlotList([Slot(node, 0.0, 1000.0)])
+    removed_total = 0.0
+    for fraction, width in cuts:
+        # Find the widest current slot and cut a sub-span of it.
+        target = max(slots, key=lambda slot: slot.length, default=None)
+        if target is None or target.length < 2.0:
+            break
+        start = target.start + fraction * (target.length - 1.0)
+        end = min(start + width * (target.end - start), target.end)
+        if end <= start:
+            continue
+        slots.subtract(node, start, end)
+        removed_total += end - start
+        assert slots.is_sorted()
+        assert slots.check_no_overlap()
+    assert slots.total_vacant_time() == pytest.approx(1000.0 - removed_total, rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_spans, min_size=1, max_size=15), st.integers(min_value=0, max_value=14))
+def test_remove_then_insert_roundtrip(spans, index):
+    node = Resource("prop")
+    slots = SlotList(Slot(node, start, end) for start, end in spans)
+    before = list(slots)
+    victim = before[index % len(before)]
+    slots.remove(victim)
+    slots.insert(victim)
+    assert list(slots) == before

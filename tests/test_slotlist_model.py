@@ -1,0 +1,129 @@
+"""Model-based stress test: SlotList vs a naive reference container.
+
+Hypothesis drives random sequences of insert / remove / subtract
+operations against both the production :class:`SlotList` and a dumb
+reference model (an unsorted list with linear scans).  After every
+operation the two must agree on the full slot multiset and on the core
+queries — the strongest guard against ordering/bisection bugs in the
+sorted-container code.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Resource, Slot, SlotList, SlotListError
+
+
+class ReferenceModel:
+    """Naive slot container with the same semantics as SlotList."""
+
+    def __init__(self) -> None:
+        self.slots: list[Slot] = []
+
+    def insert(self, slot: Slot) -> None:
+        if slot.length > 0:
+            self.slots.append(slot)
+
+    def remove(self, slot: Slot) -> bool:
+        if slot in self.slots:
+            self.slots.remove(slot)
+            return True
+        return False
+
+    def subtract(self, resource: Resource, start: float, end: float) -> bool:
+        for index, candidate in enumerate(self.slots):
+            if candidate.resource == resource and candidate.contains_span(start, end):
+                del self.slots[index]
+                self.insert(Slot(candidate.resource, candidate.start, start, candidate.price))
+                self.insert(Slot(candidate.resource, end, candidate.end, candidate.price))
+                return True
+        return False
+
+    def canonical(self) -> list[tuple[float, float, int, float]]:
+        return sorted(
+            (slot.start, slot.end, slot.resource.uid, slot.price) for slot in self.slots
+        )
+
+
+_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove", "subtract"]),
+        st.integers(min_value=0, max_value=3),      # resource index
+        st.floats(min_value=0.0, max_value=0.9),    # position fraction
+        st.floats(min_value=0.05, max_value=1.0),   # width fraction
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=_operations)
+def test_slotlist_agrees_with_reference_model(operations):
+    resources = [Resource(f"m{i}", performance=1.0, price=float(i + 1)) for i in range(4)]
+    production = SlotList()
+    model = ReferenceModel()
+    for action, resource_index, position, width in operations:
+        resource = resources[resource_index]
+        if action == "insert":
+            # Insert a fresh span on a clear region: use the current
+            # maximum end on this resource as the base to avoid overlap.
+            existing = [s for s in model.slots if s.resource == resource]
+            base = max((s.end for s in existing), default=0.0) + 1.0
+            slot = Slot(resource, base, base + 10.0 + 100.0 * width)
+            production.insert(slot)
+            model.insert(slot)
+        elif action == "remove":
+            targets = [s for s in model.slots if s.resource == resource]
+            if not targets:
+                continue
+            victim = targets[int(position * len(targets)) % len(targets)]
+            assert model.remove(victim)
+            production.remove(victim)
+        else:  # subtract
+            targets = [
+                s for s in model.slots if s.resource == resource and s.length > 2.0
+            ]
+            if not targets:
+                continue
+            host = targets[int(position * len(targets)) % len(targets)]
+            cut_start = host.start + position * (host.length - 1.0)
+            cut_end = min(host.end, cut_start + width * (host.end - cut_start))
+            if cut_end <= cut_start:
+                continue
+            assert model.subtract(resource, cut_start, cut_end)
+            production.subtract(resource, cut_start, cut_end)
+        # After every operation, full agreement.
+        assert (
+            sorted(
+                (s.start, s.end, s.resource.uid, s.price) for s in production
+            )
+            == model.canonical()
+        )
+        assert production.is_sorted()
+        assert production.check_no_overlap()
+        assert len(production) == len(model.slots)
+        assert production.total_vacant_time() == pytest.approx(
+            sum(s.length for s in model.slots)
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(operations=_operations)
+def test_failed_operations_raise_identically(operations):
+    """Removing/subtracting things that are not there must raise, and
+    leave the container untouched."""
+    resource = Resource("lonely", performance=1.0, price=1.0)
+    production = SlotList([Slot(resource, 0.0, 100.0)])
+    before = list(production)
+    stranger = Resource("stranger", performance=1.0, price=1.0)
+    with pytest.raises(SlotListError):
+        production.remove(Slot(stranger, 0.0, 100.0))
+    with pytest.raises(SlotListError):
+        production.subtract(stranger, 10.0, 20.0)
+    with pytest.raises(SlotListError):
+        production.subtract(resource, 90.0, 110.0)
+    assert list(production) == before

@@ -1,0 +1,146 @@
+"""Tests for schedule strategies / versions (paper Section 7, refs [13,14])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Batch,
+    Criterion,
+    InfeasiblePolicy,
+    InvalidRequestError,
+    Job,
+    ResourceRequest,
+    SchedulerConfig,
+    SlotSearchAlgorithm,
+)
+from repro.core.strategy import ScheduleStrategy, build_strategy
+
+from tests.conftest import make_uniform_slots
+
+
+def _configs() -> dict[str, SchedulerConfig]:
+    base = dict(
+        infeasible_policy=InfeasiblePolicy.EARLIEST,
+        max_alternatives_per_job=4,
+    )
+    return {
+        "amp-time": SchedulerConfig(algorithm=SlotSearchAlgorithm.AMP,
+                                    objective=Criterion.TIME, **base),
+        "amp-cost": SchedulerConfig(algorithm=SlotSearchAlgorithm.AMP,
+                                    objective=Criterion.COST, **base),
+        "alp-time": SchedulerConfig(algorithm=SlotSearchAlgorithm.ALP,
+                                    objective=Criterion.TIME, **base),
+    }
+
+
+def _batch() -> Batch:
+    return Batch(
+        [
+            Job(ResourceRequest(2, 40.0, max_price=3.0), name="j0", priority=0),
+            Job(ResourceRequest(1, 60.0, max_price=3.0), name="j1", priority=1),
+        ]
+    )
+
+
+@pytest.fixture
+def strategy():
+    slots = make_uniform_slots(4, length=400.0, price=2.0)
+    return build_strategy(slots, _batch(), _configs())
+
+
+class TestConstruction:
+    def test_one_version_per_config(self, strategy):
+        assert len(strategy) == 3
+        assert {version.name for version in strategy} == set(_configs())
+
+    def test_lookup_by_name(self, strategy):
+        assert strategy.version("amp-time").name == "amp-time"
+        with pytest.raises(KeyError):
+            strategy.version("missing")
+
+    def test_empty_configs_rejected(self):
+        slots = make_uniform_slots(2)
+        with pytest.raises(InvalidRequestError):
+            build_strategy(slots, _batch(), {})
+
+    def test_duplicate_names_rejected(self, strategy):
+        version = strategy.versions[0]
+        with pytest.raises(InvalidRequestError):
+            ScheduleStrategy([version, version])
+
+    def test_empty_versions_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            ScheduleStrategy([])
+
+    def test_versions_schedule_all_jobs(self, strategy):
+        for version in strategy:
+            assert version.scheduled_count == 2
+            assert not version.outcome.postponed
+
+
+class TestBest:
+    def test_best_time_has_minimal_time(self, strategy):
+        best = strategy.best(Criterion.TIME)
+        assert best.total_time == min(v.total_time for v in strategy)
+
+    def test_best_cost_has_minimal_cost(self, strategy):
+        best = strategy.best(Criterion.COST)
+        assert best.total_cost == min(v.total_cost for v in strategy)
+
+    def test_coverage_dominates_criterion(self):
+        # One node: the 2-node job cannot be placed, but the 1-node job
+        # can; all versions place 1 of 2 jobs -> coverage ties, then the
+        # criterion decides.  (The coverage-dominance rule itself is
+        # exercised in TestSurvival below via differing coverage.)
+        slots = make_uniform_slots(1, length=400.0, price=2.0)
+        strategy = build_strategy(slots, _batch(), _configs())
+        best = strategy.best(Criterion.TIME)
+        assert best.scheduled_count == 1
+
+    def test_require_full_coverage(self):
+        slots = make_uniform_slots(1, length=400.0, price=2.0)
+        strategy = build_strategy(slots, _batch(), _configs())
+        with pytest.raises(InvalidRequestError):
+            strategy.best(require_full_coverage=True)
+
+
+class TestSurvival:
+    def test_survives_unrelated_failure(self, strategy):
+        # Fail a resource no version uses (fresh uid far from any node).
+        assert strategy.surviving([10**9]) == list(strategy.versions)
+
+    def test_failed_node_kills_versions_using_it(self, strategy):
+        version = strategy.versions[0]
+        used_uid = next(iter(version.outcome.scheduled_jobs.values())).resources()[0].uid
+        survivors = strategy.surviving([used_uid])
+        assert version not in survivors
+
+    def test_best_surviving_prefers_intact_version(self, strategy):
+        # Kill nodes of the current best until a different version (or
+        # None) must be selected; the survivor never uses failed nodes.
+        best = strategy.best(Criterion.TIME)
+        failed = [
+            allocation.resource.uid
+            for window in best.outcome.scheduled_jobs.values()
+            for allocation in window.allocations
+        ]
+        survivor = strategy.best_surviving(failed)
+        if survivor is not None:
+            assert survivor.survives(failed)
+            assert survivor.name != best.name
+
+    def test_all_versions_hit_returns_none(self, strategy):
+        all_uids = {
+            allocation.resource.uid
+            for version in strategy
+            for window in version.outcome.scheduled_jobs.values()
+            for allocation in window.allocations
+        }
+        assert strategy.best_surviving(all_uids) is None
+
+    def test_survives_accepts_resources_and_uids(self, strategy):
+        version = strategy.versions[0]
+        resource = next(iter(version.outcome.scheduled_jobs.values())).resources()[0]
+        assert not version.survives([resource])
+        assert not version.survives([resource.uid])

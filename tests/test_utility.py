@@ -1,0 +1,131 @@
+"""Tests for the utility-function slot-selection baseline (ref. [7] style)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    cheapest_find_window,
+    deadline_utility,
+    earliness_utility,
+    firstfit_find_window,
+    utility_find_window,
+)
+from repro.core import (
+    InvalidRequestError,
+    Resource,
+    ResourceRequest,
+    Slot,
+    SlotList,
+)
+from repro.core import amp
+
+from tests.conftest import make_resource
+
+
+def _slots():
+    pricey_early = Slot(make_resource("pricey", price=8.0), 0.0, 300.0)
+    cheap_late = Slot(make_resource("cheap", price=1.0), 100.0, 400.0)
+    return SlotList([pricey_early, cheap_late])
+
+
+class TestStockUtilities:
+    def test_earliness_validation(self):
+        with pytest.raises(InvalidRequestError):
+            earliness_utility(start_weight=-1.0)
+        with pytest.raises(InvalidRequestError):
+            earliness_utility(start_weight=0.0, cost_weight=0.0)
+
+    def test_deadline_validation(self):
+        with pytest.raises(InvalidRequestError):
+            deadline_utility(100.0, value=0.0)
+        with pytest.raises(InvalidRequestError):
+            deadline_utility(100.0, decay=0.0)
+        with pytest.raises(InvalidRequestError):
+            deadline_utility(100.0, cost_weight=-1.0)
+
+    def test_deadline_decay_shape(self):
+        node = make_resource(price=0.0)
+        utility = deadline_utility(100.0, value=500.0, decay=2.0, cost_weight=0.0)
+        request = ResourceRequest(1, 50.0)
+        early = amp.find_window(SlotList([Slot(node, 0.0, 200.0)]), request)
+        late = amp.find_window(SlotList([Slot(node, 80.0, 300.0)]), request)
+        assert early is not None and late is not None
+        assert utility(early) == pytest.approx(500.0)  # ends at 50 <= 100
+        assert utility(late) == pytest.approx(500.0 - 2.0 * 30.0)  # ends at 130
+
+
+class TestUtilityFindWindow:
+    def test_pure_start_weight_matches_firstfit_start(self):
+        slots = _slots()
+        request = ResourceRequest(1, 50.0, max_price=10.0)
+        chosen = utility_find_window(slots, request, earliness_utility(start_weight=1.0))
+        reference = firstfit_find_window(slots, request)
+        assert chosen is not None and reference is not None
+        assert chosen.start == reference.start == 0.0
+
+    def test_pure_cost_weight_matches_cheapest(self):
+        slots = _slots()
+        request = ResourceRequest(1, 50.0, max_price=10.0)
+        chosen = utility_find_window(
+            slots, request, earliness_utility(start_weight=0.0, cost_weight=1.0)
+        )
+        reference = cheapest_find_window(slots, request)
+        assert chosen is not None and reference is not None
+        assert chosen.cost == pytest.approx(reference.cost)
+        assert chosen.resources()[0].name == "cheap"
+
+    def test_budget_respected(self):
+        slots = _slots()
+        # Budget 300: the pricey window costs 400 and is excluded even
+        # though it maximizes earliness.
+        request = ResourceRequest(1, 50.0, max_price=6.0)
+        chosen = utility_find_window(slots, request, earliness_utility(start_weight=1.0))
+        assert chosen is not None
+        assert chosen.resources()[0].name == "cheap"
+
+    def test_none_when_infeasible(self):
+        slots = _slots()
+        request = ResourceRequest(3, 50.0, max_price=10.0)
+        assert utility_find_window(slots, request, earliness_utility()) is None
+
+    def test_deadline_prefers_meeting_deadline_over_price(self):
+        slots = _slots()
+        request = ResourceRequest(1, 50.0, max_price=10.0)
+        # Tight deadline: only the early (pricey) window finishes by 60.
+        utility = deadline_utility(60.0, value=10_000.0, decay=100.0, cost_weight=1.0)
+        chosen = utility_find_window(slots, request, utility)
+        assert chosen is not None
+        assert chosen.resources()[0].name == "pricey"
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_utility_never_below_amp_choice(self, seed):
+        """The utility maximizer, fed AMP's own candidate stream, can
+        never return a window with lower utility than AMP's earliest-fit
+        pick."""
+        rng = random.Random(seed)
+        slots = []
+        start = 0.0
+        for i in range(25):
+            start += rng.uniform(0.0, 10.0)
+            node = Resource(
+                f"n{i}", performance=rng.uniform(1.0, 3.0), price=rng.uniform(1.0, 6.0)
+            )
+            slots.append(Slot(node, start, start + rng.uniform(50.0, 300.0)))
+        slot_list = SlotList(slots)
+        request = ResourceRequest(
+            node_count=rng.randint(1, 3), volume=rng.uniform(30.0, 120.0), max_price=5.0
+        )
+        utility = earliness_utility(start_weight=1.0, cost_weight=0.3)
+        best = utility_find_window(slot_list, request, utility)
+        amp_pick = amp.find_window(slot_list, request)
+        if amp_pick is None:
+            assert best is None
+        else:
+            assert best is not None
+            assert utility(best) >= utility(amp_pick) - 1e-9

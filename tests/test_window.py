@@ -1,0 +1,194 @@
+"""Unit tests for repro.core.window (TaskAllocation, Window)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InvalidRequestError, ResourceRequest, Slot, TaskAllocation, Window
+
+from tests.conftest import make_resource
+
+
+def _window(specs, *, volume=10.0, node_count=None, max_price=None):
+    """Build a window from (performance, price, slot_start, slot_end, win_start) specs."""
+    allocations = []
+    request_kwargs = {}
+    for performance, price, slot_start, slot_end, win_start in specs:
+        node = make_resource(performance=performance, price=price)
+        slot = Slot(node, slot_start, slot_end)
+        runtime = volume / performance
+        allocations.append(TaskAllocation(slot, win_start, win_start + runtime))
+    if max_price is not None:
+        request_kwargs["max_price"] = max_price
+    request = ResourceRequest(
+        node_count=node_count or len(specs), volume=volume, **request_kwargs
+    )
+    return Window(request, allocations)
+
+
+class TestTaskAllocation:
+    def test_basic_accessors(self):
+        node = make_resource(performance=2.0, price=3.0)
+        slot = Slot(node, 0.0, 100.0)
+        allocation = TaskAllocation(slot, 10.0, 60.0)
+        assert allocation.resource == node
+        assert allocation.runtime == pytest.approx(50.0)
+        assert allocation.cost == pytest.approx(150.0)
+        assert allocation.unit_price == 3.0
+
+    def test_rejects_escape_from_source_slot(self):
+        slot = Slot(make_resource(), 0.0, 100.0)
+        with pytest.raises(InvalidRequestError):
+            TaskAllocation(slot, 80.0, 120.0)
+
+
+class TestWindowConstruction:
+    def test_rejects_wrong_allocation_count(self):
+        node = make_resource()
+        slot = Slot(node, 0.0, 100.0)
+        request = ResourceRequest(node_count=2, volume=10.0)
+        with pytest.raises(InvalidRequestError):
+            Window(request, [TaskAllocation(slot, 0.0, 10.0)])
+
+    def test_rejects_asynchronous_starts(self):
+        a, b = make_resource("a"), make_resource("b")
+        request = ResourceRequest(node_count=2, volume=10.0)
+        allocations = [
+            TaskAllocation(Slot(a, 0.0, 100.0), 0.0, 10.0),
+            TaskAllocation(Slot(b, 0.0, 100.0), 5.0, 15.0),
+        ]
+        with pytest.raises(InvalidRequestError):
+            Window(request, allocations)
+
+    def test_rejects_duplicate_resources(self):
+        node = make_resource()
+        slot = Slot(node, 0.0, 100.0)
+        request = ResourceRequest(node_count=2, volume=10.0)
+        allocations = [
+            TaskAllocation(slot, 0.0, 10.0),
+            TaskAllocation(slot, 0.0, 10.0),
+        ]
+        with pytest.raises(InvalidRequestError):
+            Window(request, allocations)
+
+
+class TestWindowGeometry:
+    def test_rectangular_window(self):
+        window = _window(
+            [(1.0, 2.0, 0.0, 100.0, 20.0), (1.0, 3.0, 0.0, 100.0, 20.0)], volume=50.0
+        )
+        assert window.start == 20.0
+        assert window.end == 70.0
+        assert window.length == pytest.approx(50.0)
+        assert window.slots_number == 2
+
+    def test_rough_right_edge(self):
+        # Heterogeneous nodes: the window length is set by the slowest.
+        window = _window(
+            [(1.0, 2.0, 0.0, 200.0, 0.0), (2.0, 3.0, 0.0, 200.0, 0.0)], volume=100.0
+        )
+        assert window.length == pytest.approx(100.0)  # slow node
+        ends = sorted(allocation.end for allocation in window.allocations)
+        assert ends == [pytest.approx(50.0), pytest.approx(100.0)]
+
+    def test_cost_and_unit_cost(self):
+        window = _window(
+            [(1.0, 5.0, 0.0, 100.0, 0.0), (1.0, 5.0, 0.0, 100.0, 0.0)], volume=80.0
+        )
+        assert window.unit_cost == pytest.approx(10.0)
+        assert window.cost == pytest.approx(800.0)
+
+    def test_heterogeneous_cost(self):
+        # Fast node: runtime 50, price 4 -> 200; slow: runtime 100, price 1 -> 100.
+        window = _window(
+            [(2.0, 4.0, 0.0, 200.0, 0.0), (1.0, 1.0, 0.0, 200.0, 0.0)], volume=100.0
+        )
+        assert window.cost == pytest.approx(300.0)
+
+    def test_resources_ordered_by_uid(self):
+        window = _window(
+            [(1.0, 1.0, 0.0, 100.0, 0.0), (1.0, 1.0, 0.0, 100.0, 0.0)], volume=10.0
+        )
+        uids = [resource.uid for resource in window.resources()]
+        assert uids == sorted(uids)
+
+    def test_occupied_spans_match_allocations(self):
+        window = _window(
+            [(1.0, 1.0, 0.0, 100.0, 10.0), (2.0, 1.0, 0.0, 100.0, 10.0)], volume=40.0
+        )
+        spans = list(window.occupied_spans())
+        assert len(spans) == 2
+        for (resource, start, end), allocation in zip(spans, window.allocations):
+            assert resource == allocation.resource
+            assert (start, end) == (allocation.start, allocation.end)
+
+
+class TestWindowIntersection:
+    def test_disjoint_windows_on_same_resource(self):
+        node = make_resource()
+        request = ResourceRequest(node_count=1, volume=10.0)
+        early = Window(request, [TaskAllocation(Slot(node, 0.0, 100.0), 0.0, 10.0)])
+        late = Window(request, [TaskAllocation(Slot(node, 0.0, 100.0), 10.0, 20.0)])
+        assert not early.intersects(late)
+
+    def test_overlapping_windows_detected(self):
+        node = make_resource()
+        request = ResourceRequest(node_count=1, volume=10.0)
+        first = Window(request, [TaskAllocation(Slot(node, 0.0, 100.0), 0.0, 10.0)])
+        second = Window(request, [TaskAllocation(Slot(node, 0.0, 100.0), 5.0, 15.0)])
+        assert first.intersects(second)
+        assert second.intersects(first)
+
+    def test_different_resources_never_intersect(self):
+        request = ResourceRequest(node_count=1, volume=10.0)
+        first = Window(
+            request, [TaskAllocation(Slot(make_resource("a"), 0.0, 100.0), 0.0, 10.0)]
+        )
+        second = Window(
+            request, [TaskAllocation(Slot(make_resource("b"), 0.0, 100.0), 0.0, 10.0)]
+        )
+        assert not first.intersects(second)
+
+
+class TestWindowContract:
+    def test_satisfies_happy_path(self):
+        window = _window(
+            [(1.0, 2.0, 0.0, 100.0, 0.0), (1.0, 3.0, 0.0, 100.0, 0.0)],
+            volume=50.0,
+            max_price=3.0,
+        )
+        assert window.satisfies()
+
+    def test_satisfies_rejects_price_violation_without_budget(self):
+        window = _window(
+            [(1.0, 2.0, 0.0, 100.0, 0.0), (1.0, 9.0, 0.0, 100.0, 0.0)],
+            volume=50.0,
+            max_price=3.0,
+        )
+        assert not window.satisfies()
+
+    def test_satisfies_budget_mode_ignores_per_slot_price(self):
+        window = _window(
+            [(1.0, 2.0, 0.0, 100.0, 0.0), (1.0, 9.0, 0.0, 100.0, 0.0)],
+            volume=50.0,
+            max_price=6.0,
+        )
+        # Total cost (2+9)*50 = 550 <= budget 600 although 9 > 6.
+        assert window.satisfies(budget=600.0)
+        assert not window.satisfies(budget=500.0)
+
+    def test_satisfies_rejects_slow_node(self):
+        node = make_resource(performance=1.0)
+        slot = Slot(node, 0.0, 100.0)
+        request = ResourceRequest(node_count=1, volume=10.0, min_performance=2.0)
+        window = Window(request, [TaskAllocation(slot, 0.0, 10.0)])
+        assert not window.satisfies()
+
+    def test_equality_and_hash(self):
+        node = make_resource()
+        slot = Slot(node, 0.0, 100.0)
+        request = ResourceRequest(node_count=1, volume=10.0)
+        first = Window(request, [TaskAllocation(slot, 0.0, 10.0)])
+        second = Window(request, [TaskAllocation(slot, 0.0, 10.0)])
+        assert first == second
+        assert hash(first) == hash(second)
