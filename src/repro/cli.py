@@ -9,14 +9,23 @@ Subcommands:
 * ``figures``    — regenerate one specific paper figure (4, 5 or 6);
 * ``complexity`` — time ALP/AMP vs backfilling over growing slot lists;
 * ``vo``         — run the iterative metascheduler against a synthetic
-  virtual organization and print the workload-trace summary.
+  virtual organization and print the workload-trace summary;
+* ``stats``      — render the summary of a saved telemetry trace.
+
+Every run-something subcommand also accepts the telemetry pair
+``--metrics`` (print the counter/histogram/span summary after the
+command) and ``--trace FILE`` (dump the full telemetry state as JSONL,
+replayable through ``stats``).  Telemetry stays disabled — and free —
+unless one of the two is given.
 
 Examples::
 
     repro-scheduler experiment --objective time --iterations 2000
+    repro-scheduler experiment --iterations 200 --metrics
     repro-scheduler figures --figure 6 --iterations 1000 --seed 7
     repro-scheduler example
-    repro-scheduler vo --until 2000 --jobs 25
+    repro-scheduler vo --until 2000 --jobs 25 --trace vo.jsonl
+    repro-scheduler stats vo.jsonl
 """
 
 from __future__ import annotations
@@ -27,7 +36,8 @@ import sys
 import time
 from typing import Sequence
 
-from repro.core import Criterion, Job, SlotSearchAlgorithm
+from repro import obs
+from repro.core import Criterion, Job, SchedulingError, SlotSearchAlgorithm
 from repro.core import alp as alp_module
 from repro.core import amp as amp_module
 from repro.sim import (
@@ -185,7 +195,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.sim.reporting import experiments_report
 
-    print(experiments_report(iterations=args.iterations, seed=args.seed))
+    report = experiments_report(iterations=args.iterations, seed=args.seed)
+    if args.output is not None:
+        try:
+            with open(args.output, "w", encoding="utf-8") as stream:
+                stream.write(report)
+                stream.write("\n")
+        except OSError as error:
+            print(f"error: cannot write report: {error}", file=sys.stderr)
+            return 2
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    data = obs.read_trace(args.trace_file)
+    print(obs.render_trace_summary(data))
     return 0
 
 
@@ -195,33 +222,60 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-scheduler",
         description="Economic slot selection and co-allocation (PaCT 2011 reproduction)",
     )
+    # Telemetry options are shared by every run-something subcommand via
+    # a parent parser, so they can appear *after* the subcommand name
+    # (``repro-scheduler experiment --metrics``).
+    telemetry_options = argparse.ArgumentParser(add_help=False)
+    telemetry_options.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write the run's telemetry (metrics, spans, events) as JSONL to FILE",
+    )
+    telemetry_options.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the telemetry summary (counters, histograms, spans) after the run",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    experiment = sub.add_parser("experiment", help="run the Section 5 study")
+    experiment = sub.add_parser(
+        "experiment", help="run the Section 5 study", parents=[telemetry_options]
+    )
     experiment.add_argument("--objective", choices=["time", "cost"], default="time")
     experiment.add_argument("--iterations", type=int, default=1000)
     experiment.add_argument("--seed", type=int, default=20110368)
     experiment.add_argument("--rho", type=float, default=1.0)
     experiment.set_defaults(handler=_cmd_experiment)
 
-    figures = sub.add_parser("figures", help="regenerate one paper figure")
+    figures = sub.add_parser(
+        "figures", help="regenerate one paper figure", parents=[telemetry_options]
+    )
     figures.add_argument("--figure", type=int, choices=[4, 5, 6], required=True)
     figures.add_argument("--iterations", type=int, default=1000)
     figures.add_argument("--seed", type=int, default=20110368)
     figures.add_argument("--first-n", type=int, default=300, dest="first_n")
     figures.set_defaults(handler=_cmd_figures)
 
-    example = sub.add_parser("example", help="replay the Section 4 worked example")
+    example = sub.add_parser(
+        "example",
+        help="replay the Section 4 worked example",
+        parents=[telemetry_options],
+    )
     example.add_argument("--algorithm", choices=["alp", "amp"], default="amp")
     example.set_defaults(handler=_cmd_example)
 
-    complexity = sub.add_parser("complexity", help="ALP/AMP vs backfill timing")
+    complexity = sub.add_parser(
+        "complexity", help="ALP/AMP vs backfill timing", parents=[telemetry_options]
+    )
     complexity.add_argument("--sizes", type=int, nargs="+", default=[200, 400, 800, 1600])
     complexity.add_argument("--repeats", type=int, default=5)
     complexity.add_argument("--seed", type=int, default=1)
     complexity.set_defaults(handler=_cmd_complexity)
 
-    vo = sub.add_parser("vo", help="iterative metascheduler demo")
+    vo = sub.add_parser(
+        "vo", help="iterative metascheduler demo", parents=[telemetry_options]
+    )
     vo.add_argument("--nodes", type=int, default=12)
     vo.add_argument("--jobs", type=int, default=20)
     vo.add_argument("--until", type=float, default=2000.0)
@@ -235,7 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     vo.set_defaults(handler=_cmd_vo)
 
-    sweep = sub.add_parser("sweep", help="parameter-sensitivity sweep")
+    sweep = sub.add_parser(
+        "sweep", help="parameter-sensitivity sweep", parents=[telemetry_options]
+    )
     sweep.add_argument(
         "--parameter",
         required=True,
@@ -253,20 +309,67 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(handler=_cmd_sweep)
 
     report = sub.add_parser(
-        "report", help="generate the EXPERIMENTS.md paper-vs-measured report"
+        "report",
+        help="generate the EXPERIMENTS.md paper-vs-measured report",
+        parents=[telemetry_options],
     )
     report.add_argument("--iterations", type=int, default=2000)
     report.add_argument("--seed", type=int, default=20110368)
+    report.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the Markdown report to PATH instead of stdout",
+    )
     report.set_defaults(handler=_cmd_report)
+
+    stats = sub.add_parser(
+        "stats", help="render the summary of a saved telemetry trace"
+    )
+    stats.add_argument("trace_file", help="JSONL trace written by --trace")
+    stats.set_defaults(handler=_cmd_stats)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Library failures (:class:`~repro.core.SchedulingError`, which covers
+    telemetry-trace errors too) are reported on stderr and map to exit
+    code 2; argparse usage errors keep their conventional SystemExit.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    trace_path: str | None = getattr(args, "trace", None)
+    wants_metrics: bool = getattr(args, "metrics", False)
+    telemetry = None
+    if trace_path or wants_metrics:
+        telemetry = obs.configure(enabled=True)
+    try:
+        if telemetry is not None:
+            with telemetry.span(f"cli.{args.command}"):
+                code = args.handler(args)
+        else:
+            code = args.handler(args)
+        if telemetry is not None:
+            if wants_metrics:
+                print()
+                print("== telemetry summary ==")
+                print(obs.render_summary(telemetry))
+            if trace_path:
+                lines = obs.write_trace(trace_path, telemetry)
+                print(
+                    f"telemetry trace: {lines} records written to {trace_path}",
+                    file=sys.stderr,
+                )
+    except SchedulingError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if telemetry is not None:
+            obs.disable()
+    return code
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from repro.core.errors import WindowNotFoundError
 from repro.core.job import ResourceRequest
 from repro.core.slot import Slot, SlotList
 from repro.core.window import TaskAllocation, Window
+from repro.obs.telemetry import get_telemetry
 
 __all__ = ["ForwardScan", "find_window", "require_window", "slot_is_suited"]
 
@@ -134,6 +135,12 @@ def find_window(slot_list: SlotList, request: ResourceRequest, *, check_price: b
         ``None`` when the scan runs out of slots first (the job is then
         postponed to the next scheduling iteration).
     """
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        return _find_window_instrumented(telemetry, slot_list, request, check_price)
+    # Disabled-telemetry fast path: the per-slot loop must stay exactly
+    # as cheap as the uninstrumented algorithm, so the single enabled
+    # check above is the only cost this function ever adds by default.
     scan = ForwardScan(request, check_price=check_price)
     for slot in slot_list:
         if not scan.offer(slot):
@@ -141,6 +148,37 @@ def find_window(slot_list: SlotList, request: ResourceRequest, *, check_price: b
         if scan.size == request.node_count:
             return scan.build_window()
     return None
+
+
+def _find_window_instrumented(
+    telemetry, slot_list: SlotList, request: ResourceRequest, check_price: bool
+) -> Window | None:
+    """The :func:`find_window` loop with scan accounting (telemetry on).
+
+    Counts are accumulated in locals and flushed to the registry once
+    per search, so even the instrumented loop adds only integer
+    arithmetic per slot.
+    """
+    scan = ForwardScan(request, check_price=check_price)
+    scanned = 0
+    suited = 0
+    window: Window | None = None
+    for slot in slot_list:
+        scanned += 1
+        if not scan.offer(slot):
+            continue
+        suited += 1
+        if scan.size == request.node_count:
+            window = scan.build_window()
+            break
+    telemetry.count("search.slots_scanned", scanned, algo="alp")
+    telemetry.count("search.slots_suited", suited, algo="alp")
+    telemetry.observe("search.scan_depth", scanned, algo="alp")
+    if window is not None:
+        telemetry.count("search.windows_found", 1, algo="alp")
+    else:
+        telemetry.count("search.windows_missed", 1, algo="alp")
+    return window
 
 
 def require_window(slot_list: SlotList, request: ResourceRequest, *, check_price: bool = True, job_name: str | None = None) -> Window:

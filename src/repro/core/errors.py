@@ -15,6 +15,7 @@ __all__ = [
     "WindowNotFoundError",
     "OptimizationError",
     "InfeasibleConstraintError",
+    "TelemetryError",
 ]
 
 
@@ -74,3 +75,13 @@ class InfeasibleConstraintError(OptimizationError):
         self.limit = limit
         #: The best (smallest) achievable value of the constrained quantity.
         self.best = best
+
+
+class TelemetryError(SchedulingError):
+    """A telemetry trace could not be written or replayed.
+
+    Raised by :mod:`repro.obs.export` for missing, malformed, or
+    unsupported-format trace files; deriving from
+    :class:`SchedulingError` lets the CLI map it to a non-zero exit code
+    with the same handler as every other library failure.
+    """

@@ -45,6 +45,8 @@ from repro.core.criteria import Criterion
 from repro.core.errors import InfeasibleConstraintError, OptimizationError
 from repro.core.job import Job
 from repro.core.window import Window
+from repro.obs.spans import NOOP_SPAN
+from repro.obs.telemetry import get_telemetry
 
 __all__ = [
     "Combination",
@@ -225,34 +227,62 @@ def optimize(
     jobs, lists = _as_job_lists(alternatives)
     if not jobs:
         return Combination({}, 0.0, 0.0, objective, limit)
-    constrained = objective.dual
-    g_values = [[objective.of(window) for window in windows] for windows in lists]
-    z_values = [[constrained.of(window) for window in windows] for windows in lists]
-    flat_z = [value for job_values in z_values for value in job_values]
-    weights_flat, capacity = _discretize(flat_z, limit, resolution)
-    z_weights: list[list[int]] = []
-    cursor = 0
-    for windows in lists:
-        z_weights.append(weights_flat[cursor : cursor + len(windows)])
-        cursor += len(windows)
-    solved = _backward_run(g_values, z_weights, capacity, maximize=False)
-    if solved is None:
-        best = sum(min(values) for values in z_values)
-        raise InfeasibleConstraintError(
-            f"no combination satisfies {constrained.value} <= {limit:g} "
-            f"(cheapest possible is >= {best:g})",
-            limit=limit,
-            best=best,
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        phase_span = telemetry.span(
+            "phase2.optimize", objective=objective.value, jobs=len(jobs)
         )
-    chosen, _ = solved
-    selection = {job: lists[index][alt] for index, (job, alt) in enumerate(zip(jobs, chosen))}
-    return Combination(
-        selection=selection,
-        total_cost=sum(window.cost for window in selection.values()),
-        total_time=sum(window.length for window in selection.values()),
-        objective=objective,
-        limit=limit,
+    else:
+        phase_span = NOOP_SPAN
+    with phase_span:
+        constrained = objective.dual
+        g_values = [[objective.of(window) for window in windows] for windows in lists]
+        z_values = [[constrained.of(window) for window in windows] for windows in lists]
+        flat_z = [value for job_values in z_values for value in job_values]
+        weights_flat, capacity = _discretize(flat_z, limit, resolution)
+        z_weights: list[list[int]] = []
+        cursor = 0
+        for windows in lists:
+            z_weights.append(weights_flat[cursor : cursor + len(windows)])
+            cursor += len(windows)
+        if telemetry.enabled:
+            _count_dp_run(telemetry, len(weights_flat), capacity, objective.value)
+        solved = _backward_run(g_values, z_weights, capacity, maximize=False)
+        if solved is None:
+            telemetry.count("dp.infeasible", 1, objective=objective.value)
+            best = sum(min(values) for values in z_values)
+            raise InfeasibleConstraintError(
+                f"no combination satisfies {constrained.value} <= {limit:g} "
+                f"(cheapest possible is >= {best:g})",
+                limit=limit,
+                best=best,
+            )
+        chosen, _ = solved
+        selection = {
+            job: lists[index][alt] for index, (job, alt) in enumerate(zip(jobs, chosen))
+        }
+        return Combination(
+            selection=selection,
+            total_cost=sum(window.cost for window in selection.values()),
+            total_time=sum(window.length for window in selection.values()),
+            objective=objective,
+            limit=limit,
+        )
+
+
+def _count_dp_run(telemetry, total_alternatives: int, capacity: int, label: str) -> None:
+    """Record the size of one backward run before it executes.
+
+    ``dp.table_cells`` is the exact number of ``f_i`` table entries the
+    run fills: one row per alternative, ``capacity + 1`` constraint bins
+    per row (matching the arrays allocated in ``_backward_run``).
+    """
+    telemetry.count("dp.runs", 1, objective=label)
+    telemetry.count(
+        "dp.table_cells", total_alternatives * (capacity + 1), objective=label
     )
+    telemetry.observe("dp.capacity", capacity, objective=label)
+    telemetry.observe("dp.alternatives", total_alternatives, objective=label)
 
 
 def vo_budget(
@@ -281,26 +311,35 @@ def vo_budget(
         return 0.0
     if quota is None:
         quota = time_quota(alternatives)
-    g_values = [[window.cost for window in windows] for windows in lists]
-    z_values = [[window.length for window in windows] for windows in lists]
-    flat_z = [value for job_values in z_values for value in job_values]
-    weights_flat, capacity = _discretize(flat_z, quota, resolution)
-    z_weights: list[list[int]] = []
-    cursor = 0
-    for windows in lists:
-        z_weights.append(weights_flat[cursor : cursor + len(windows)])
-        cursor += len(windows)
-    solved = _backward_run(g_values, z_weights, capacity, maximize=True)
-    if solved is None:
-        best = sum(min(values) for values in z_values)
-        raise InfeasibleConstraintError(
-            f"no combination satisfies time <= quota {quota:g} "
-            f"(fastest possible is >= {best:g})",
-            limit=quota,
-            best=best,
-        )
-    _, income = solved
-    return income
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        phase_span = telemetry.span("phase2.vo_budget", jobs=len(jobs))
+    else:
+        phase_span = NOOP_SPAN
+    with phase_span:
+        g_values = [[window.cost for window in windows] for windows in lists]
+        z_values = [[window.length for window in windows] for windows in lists]
+        flat_z = [value for job_values in z_values for value in job_values]
+        weights_flat, capacity = _discretize(flat_z, quota, resolution)
+        z_weights: list[list[int]] = []
+        cursor = 0
+        for windows in lists:
+            z_weights.append(weights_flat[cursor : cursor + len(windows)])
+            cursor += len(windows)
+        if telemetry.enabled:
+            _count_dp_run(telemetry, len(weights_flat), capacity, "budget")
+        solved = _backward_run(g_values, z_weights, capacity, maximize=True)
+        if solved is None:
+            telemetry.count("dp.infeasible", 1, objective="budget")
+            best = sum(min(values) for values in z_values)
+            raise InfeasibleConstraintError(
+                f"no combination satisfies time <= quota {quota:g} "
+                f"(fastest possible is >= {best:g})",
+                limit=quota,
+                best=best,
+            )
+        _, income = solved
+        return income
 
 
 def minimize_time(

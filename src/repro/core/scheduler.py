@@ -34,6 +34,8 @@ from repro.core.optimize import (
 from repro.core.search import SearchResult, SlotSearchAlgorithm, find_alternatives
 from repro.core.slot import SlotList
 from repro.core.window import Window
+from repro.obs.spans import NOOP_SPAN
+from repro.obs.telemetry import get_telemetry
 
 __all__ = ["InfeasiblePolicy", "SchedulerConfig", "ScheduleOutcome", "BatchScheduler"]
 
@@ -134,41 +136,64 @@ class BatchScheduler:
                 the derived constraint.
         """
         config = self.config
-        search = find_alternatives(
-            slot_list,
-            batch,
-            config.algorithm,
-            rho=config.rho,
-            max_alternatives_per_job=config.max_alternatives_per_job,
-        )
-        postponed = search.jobs_without_alternatives()
-        covered = {
-            job: windows for job, windows in search.alternatives.items() if windows
-        }
-        if not covered:
-            empty = Combination({}, 0.0, 0.0, config.objective, 0.0)
-            return ScheduleOutcome(empty, search, postponed, quota=0.0, budget=None)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            schedule_span = telemetry.span(
+                "scheduler.schedule",
+                algo=config.algorithm.value,
+                objective=config.objective.value,
+                jobs=len(batch),
+                slots=len(slot_list),
+            )
+        else:
+            schedule_span = NOOP_SPAN
+        with schedule_span:
+            search = find_alternatives(
+                slot_list,
+                batch,
+                config.algorithm,
+                rho=config.rho,
+                max_alternatives_per_job=config.max_alternatives_per_job,
+            )
+            postponed = search.jobs_without_alternatives()
+            covered = {
+                job: windows for job, windows in search.alternatives.items() if windows
+            }
+            if telemetry.enabled:
+                telemetry.count("scheduler.batches")
+                telemetry.count("scheduler.jobs_submitted", len(batch))
+                telemetry.count("scheduler.jobs_postponed", len(postponed))
+            if not covered:
+                empty = Combination({}, 0.0, 0.0, config.objective, 0.0)
+                return ScheduleOutcome(empty, search, postponed, quota=0.0, budget=None)
 
-        quota = time_quota(covered)
-        budget: float | None = None
-        used_fallback = False
-        try:
-            if config.objective is Criterion.TIME:
-                budget = vo_budget(covered, quota, resolution=config.resolution)
-                combination = minimize_time(covered, budget, resolution=config.resolution)
-            else:
-                combination = minimize_cost(covered, quota, resolution=config.resolution)
-        except InfeasibleConstraintError:
-            if config.infeasible_policy is InfeasiblePolicy.RAISE:
-                raise
-            limit = budget if budget is not None else quota
-            combination = _earliest_combination(covered, config.objective, limit)
-            used_fallback = True
-        return ScheduleOutcome(
-            combination=combination,
-            search=search,
-            postponed=postponed,
-            quota=quota,
-            budget=budget,
-            used_fallback=used_fallback,
-        )
+            quota = time_quota(covered)
+            budget: float | None = None
+            used_fallback = False
+            try:
+                if config.objective is Criterion.TIME:
+                    budget = vo_budget(covered, quota, resolution=config.resolution)
+                    combination = minimize_time(
+                        covered, budget, resolution=config.resolution
+                    )
+                else:
+                    combination = minimize_cost(
+                        covered, quota, resolution=config.resolution
+                    )
+            except InfeasibleConstraintError:
+                if config.infeasible_policy is InfeasiblePolicy.RAISE:
+                    raise
+                limit = budget if budget is not None else quota
+                combination = _earliest_combination(covered, config.objective, limit)
+                used_fallback = True
+                telemetry.count("scheduler.fallbacks")
+            if telemetry.enabled:
+                telemetry.count("scheduler.jobs_scheduled", len(combination.selection))
+            return ScheduleOutcome(
+                combination=combination,
+                search=search,
+                postponed=postponed,
+                quota=quota,
+                budget=budget,
+                used_fallback=used_fallback,
+            )

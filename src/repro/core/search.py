@@ -31,6 +31,8 @@ from repro.core.errors import InvalidRequestError
 from repro.core.job import Batch, Job, ResourceRequest
 from repro.core.slot import SlotList
 from repro.core.window import Window
+from repro.obs.spans import NOOP_SPAN
+from repro.obs.telemetry import get_telemetry
 
 __all__ = ["SlotSearchAlgorithm", "SearchResult", "find_alternatives", "WindowFinder"]
 
@@ -144,26 +146,55 @@ def find_alternatives(
         if isinstance(algorithm, SlotSearchAlgorithm)
         else algorithm
     )
-    working = slot_list.copy()
-    alternatives: dict[Job, list[Window]] = {job: [] for job in batch}
-    passes = 0
-    while max_passes is None or passes < max_passes:
-        passes += 1
-        found_any = False
-        for job in batch:
-            windows = alternatives[job]
-            if (
-                max_alternatives_per_job is not None
-                and len(windows) >= max_alternatives_per_job
-            ):
-                continue
-            window = finder(working, job.request)
-            if window is None:
-                continue
-            for resource, start, end in window.occupied_spans():
-                working.subtract(resource, start, end)
-            windows.append(window)
-            found_any = True
-        if not found_any:
-            break
-    return SearchResult(alternatives=alternatives, remaining_slots=working, passes=passes)
+    algo_label = (
+        algorithm.value if isinstance(algorithm, SlotSearchAlgorithm) else "custom"
+    )
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        phase_span = telemetry.span(
+            "phase1.find_alternatives", algo=algo_label, jobs=len(batch)
+        )
+    else:  # avoid even the keyword-dict allocation on the default path
+        phase_span = NOOP_SPAN
+    with phase_span:
+        working = slot_list.copy()
+        alternatives: dict[Job, list[Window]] = {job: [] for job in batch}
+        passes = 0
+        while max_passes is None or passes < max_passes:
+            passes += 1
+            found_any = False
+            for job in batch:
+                windows = alternatives[job]
+                if (
+                    max_alternatives_per_job is not None
+                    and len(windows) >= max_alternatives_per_job
+                ):
+                    continue
+                window = finder(working, job.request)
+                if window is None:
+                    continue
+                for resource, start, end in window.occupied_spans():
+                    working.subtract(resource, start, end)
+                windows.append(window)
+                found_any = True
+            if not found_any:
+                break
+        result = SearchResult(
+            alternatives=alternatives, remaining_slots=working, passes=passes
+        )
+        if telemetry.enabled:
+            telemetry.count("search.batches", 1, algo=algo_label)
+            telemetry.count("search.passes", passes, algo=algo_label)
+            telemetry.count(
+                "search.windows_collected", result.total_alternatives, algo=algo_label
+            )
+            telemetry.count(
+                "search.jobs_uncovered",
+                len(result.jobs_without_alternatives()),
+                algo=algo_label,
+            )
+            for windows in alternatives.values():
+                telemetry.observe(
+                    "search.alternatives_per_job", len(windows), algo=algo_label
+                )
+        return result

@@ -32,6 +32,8 @@ from repro.core.scheduler import (
 )
 from repro.grid.environment import VOEnvironment
 from repro.grid.trace import JobState, WorkloadTrace
+from repro.obs.spans import NOOP_SPAN
+from repro.obs.telemetry import get_telemetry
 
 __all__ = ["IterationReport", "Metascheduler"]
 
@@ -148,6 +150,18 @@ class Metascheduler:
 
     def run_iteration(self, now: float) -> IterationReport:
         """Execute one scheduling iteration at time ``now``."""
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            iteration_span = telemetry.span(
+                "meta.iteration", index=self._iteration, time=now
+            )
+        else:
+            iteration_span = NOOP_SPAN
+        with iteration_span:
+            report = self._run_iteration(now, telemetry)
+        return report
+
+    def _run_iteration(self, now: float, telemetry) -> IterationReport:
         self._absorb_arrivals(now)
         self.trace.mark_completions(now)
 
@@ -210,7 +224,46 @@ class Metascheduler:
         )
         self.reports.append(report)
         self._iteration += 1
+        if telemetry.enabled:
+            self._record_iteration(telemetry, report, price_multiplier)
         return report
+
+    def _record_iteration(self, telemetry, report: IterationReport, price_multiplier: float) -> None:
+        """Feed one iteration's outcome into the telemetry layer.
+
+        Counter and gauge definitions deliberately mirror the audit
+        log: ``meta.scheduled``/``meta.postponements``/``meta.rejected``
+        accumulate the same quantities the per-job
+        :class:`~repro.grid.trace.JobRecord` fields do, and the
+        ``meta.jobs{state=...}`` gauges are exactly
+        :attr:`~repro.grid.trace.TraceSummary.state_counts`, so a
+        metrics dashboard and ``trace.summary()`` can never disagree.
+        """
+        telemetry.count("meta.iterations")
+        telemetry.count("meta.scheduled", report.scheduled)
+        telemetry.count("meta.postponements", report.postponed)
+        telemetry.count("meta.rejected", report.rejected)
+        if report.used_fallback:
+            telemetry.count("meta.fallbacks")
+        telemetry.set_gauge("meta.backlog", self.backlog())
+        telemetry.observe("meta.batch_size", report.batch_size)
+        telemetry.observe("meta.slot_count", report.slot_count)
+        for state, jobs in self.trace.state_counts().items():
+            telemetry.set_gauge("meta.jobs", jobs, state=state)
+        telemetry.event(
+            "meta.iteration",
+            index=report.index,
+            time=report.time,
+            slot_count=report.slot_count,
+            batch_size=report.batch_size,
+            scheduled=report.scheduled,
+            postponed=report.postponed,
+            rejected=report.rejected,
+            total_alternatives=report.total_alternatives,
+            used_fallback=report.used_fallback,
+            price_multiplier=price_multiplier,
+            backlog=self.backlog(),
+        )
 
     def run(self, until: float, *, start: float = 0.0) -> list[IterationReport]:
         """Run iterations every ``period`` from ``start`` until ``until``.

@@ -81,6 +81,18 @@ class TraceSummary:
 
     All means are over *scheduled* jobs; ``None`` when nothing was
     scheduled.
+
+    ``state_counts`` and ``owner_income`` share definitions with the
+    telemetry layer (:mod:`repro.obs`): the ``meta.jobs{state=...}``
+    gauges the metascheduler exports are these state counts, and the
+    income breakdown sums exactly what users were billed per node —
+    the audit log and a metrics dashboard can never disagree.
+
+    Attributes:
+        state_counts: Jobs per life-cycle state (keyed by
+            :class:`JobState` value; every state is present, possibly 0).
+        owner_income: Income per resource (node) name, summed over the
+            per-task allocation costs of placed jobs' windows.
     """
 
     submitted: int
@@ -92,6 +104,13 @@ class TraceSummary:
     mean_postponements: float | None
     total_cost: float
     makespan: float | None
+    state_counts: dict[str, int] = field(default_factory=dict)
+    owner_income: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_owner_income(self) -> float:
+        """Income summed over all resources (equals ``total_cost``)."""
+        return sum(self.owner_income.values())
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         def fmt(value: float | None) -> str:
@@ -166,6 +185,35 @@ class WorkloadTrace:
         """All records currently in ``state``."""
         return [record for record in self._records.values() if record.state is state]
 
+    def state_counts(self) -> dict[str, int]:
+        """Jobs per life-cycle state (every state present, possibly 0).
+
+        This is the definition the metascheduler's ``meta.jobs{state=...}``
+        telemetry gauges export, so the two views always agree.
+        """
+        counts = {state.value: 0 for state in JobState}
+        for record in self._records.values():
+            counts[record.state.value] += 1
+        return counts
+
+    def owner_income(self) -> dict[str, float]:
+        """Income per resource name from placed (scheduled/completed) jobs.
+
+        Sums each window's per-task allocation costs onto the node that
+        earns them; the total over all nodes equals the users' total
+        spend (``TraceSummary.total_cost``).
+        """
+        income: dict[str, float] = {}
+        for record in self._records.values():
+            if record.state not in (JobState.SCHEDULED, JobState.COMPLETED):
+                continue
+            if record.window is None:
+                continue
+            for allocation in record.window.allocations:
+                name = allocation.resource.name
+                income[name] = income.get(name, 0.0) + allocation.cost
+        return income
+
     def summary(self) -> TraceSummary:
         """Aggregate the trace into a :class:`TraceSummary`."""
         placed = [
@@ -194,4 +242,6 @@ class WorkloadTrace:
             mean_postponements=mean([float(r.postponements) for r in placed]),
             total_cost=sum(costs),
             makespan=max(finishes) if finishes else None,
+            state_counts=self.state_counts(),
+            owner_income=self.owner_income(),
         )

@@ -1,0 +1,102 @@
+"""Observability for the two-phase scheduler: metrics, spans, events.
+
+The pipeline (phase-1 ALP/AMP alternative search → phase-2 backward-run
+DP → VO metascheduler) is instrumented with three primitives:
+
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  histograms in a process-local registry, e.g.
+  ``search.slots_scanned``, ``search.windows_found{algo=amp}``,
+  ``dp.table_cells``, ``meta.postponements``;
+* **spans** (:mod:`repro.obs.spans`) — nested wall-clock timings forming
+  a trace tree per scheduling operation
+  (``with span("phase1.find_alternatives", jobs=4): ...``);
+* **events** (:mod:`repro.obs.events`) — a structured log with an
+  in-memory ring buffer and an optional JSONL file sink.
+
+Everything hangs off one switchable :class:`~repro.obs.telemetry.Telemetry`
+context (:func:`configure` / :func:`disable` / :func:`get_telemetry`);
+telemetry is **off by default** and the disabled paths are engineered to
+cost nothing in the hot scan loops (see ``docs/observability.md`` for
+the full metric catalog, trace schema, and overhead notes).  Exporters
+(:mod:`repro.obs.export`) cover JSONL traces (replayed by
+``repro.cli stats``), the Prometheus text format, and human-readable
+summary tables.
+
+Import-order note: the submodules up to and including ``telemetry`` are
+standard-library-only and are imported by the core algorithm modules;
+``export`` (which touches :mod:`repro.core.errors`) must stay *last*
+here so that partially initialized packages always resolve.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    metric_key,
+)
+from repro.obs.events import JsonlSink, RingBuffer
+from repro.obs.spans import NOOP_SPAN, NoopSpan, SpanHandle, SpanRecord
+from repro.obs.telemetry import (
+    Telemetry,
+    configure,
+    count,
+    disable,
+    event,
+    get_telemetry,
+    observe,
+    set_gauge,
+    span,
+    telemetry_enabled,
+    traced,
+)
+from repro.obs.export import (
+    TRACE_FORMAT,
+    TraceData,
+    prometheus_text,
+    read_trace,
+    render_summary,
+    render_trace_summary,
+    trace_records,
+    write_trace,
+)
+
+__all__ = [
+    # instruments
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "metric_key",
+    "DEFAULT_BUCKETS",
+    # spans
+    "SpanRecord",
+    "SpanHandle",
+    "NoopSpan",
+    "NOOP_SPAN",
+    # events
+    "RingBuffer",
+    "JsonlSink",
+    # façade
+    "Telemetry",
+    "get_telemetry",
+    "configure",
+    "disable",
+    "telemetry_enabled",
+    "span",
+    "count",
+    "observe",
+    "set_gauge",
+    "event",
+    "traced",
+    # exporters
+    "TRACE_FORMAT",
+    "TraceData",
+    "trace_records",
+    "write_trace",
+    "read_trace",
+    "prometheus_text",
+    "render_summary",
+    "render_trace_summary",
+]

@@ -1,0 +1,104 @@
+"""Structured event log: an in-memory ring buffer plus a JSONL sink.
+
+Telemetry *events* are discrete, timestamped facts ("iteration 3
+scheduled 5 jobs", "DP infeasible, falling back") as opposed to the
+aggregated instruments of :mod:`repro.obs.metrics`.  Two destinations:
+
+* :class:`RingBuffer` — always on while telemetry is enabled; keeps the
+  last ``capacity`` events in memory for post-mortem inspection without
+  unbounded growth on long VO runs;
+* :class:`JsonlSink` — optional streaming writer producing one JSON
+  object per line, the same format ``repro.cli stats`` replays.
+
+Both accept plain dict payloads that must be JSON-serializable; the
+telemetry façade stamps them with wall-clock time before delivery.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Iterable, Iterator
+
+__all__ = ["RingBuffer", "JsonlSink"]
+
+
+class RingBuffer:
+    """Bounded in-memory event store (oldest entries evicted first)."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        """Create a buffer holding at most ``capacity`` events."""
+        if capacity < 1:
+            raise ValueError(f"ring buffer capacity must be >= 1, got {capacity!r}")
+        self._events: deque[dict] = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained events."""
+        return self._events.maxlen or 0
+
+    def __len__(self) -> int:
+        """Events currently retained."""
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[dict]:
+        """Retained events, oldest first."""
+        return iter(self._events)
+
+    def append(self, event: dict) -> None:
+        """Store one event, evicting the oldest when full."""
+        self._events.append(event)
+
+    def to_list(self) -> list[dict]:
+        """Snapshot of retained events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Drop all retained events."""
+        self._events.clear()
+
+
+class JsonlSink:
+    """Streams events to a file as JSON Lines (one object per line).
+
+    The file is opened lazily on the first emit, so configuring a sink
+    costs nothing until telemetry actually produces data.  Use as a
+    context manager or call :meth:`close` explicitly; emitting after
+    close raises ``ValueError``.
+    """
+
+    def __init__(self, path: str) -> None:
+        """Create a sink writing to ``path`` (truncates existing files)."""
+        self.path = path
+        self._stream: IO[str] | None = None
+        self._closed = False
+
+    def emit(self, event: dict) -> None:
+        """Append one event as a JSON line (compact separators)."""
+        if self._closed:
+            raise ValueError(f"sink for {self.path!r} is closed")
+        if self._stream is None:
+            self._stream = open(self.path, "w", encoding="utf-8")
+        self._stream.write(json.dumps(event, separators=(",", ":"), sort_keys=True))
+        self._stream.write("\n")
+
+    def emit_many(self, events: Iterable[dict]) -> None:
+        """Append several events in order."""
+        for event in events:
+            self.emit(event)
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+        self._closed = True
+
+    def __enter__(self) -> "JsonlSink":
+        """Support ``with JsonlSink(path) as sink:`` usage."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Close the sink when the block exits."""
+        self.close()
+        return False

@@ -1,0 +1,292 @@
+"""Exporters: JSONL traces, Prometheus text format, and summary tables.
+
+Three audiences, three formats:
+
+* **machines, offline** — :func:`write_trace` / :func:`read_trace` dump
+  and replay the whole telemetry state as JSON Lines (one object per
+  line: a ``meta`` header, then ``metric``, ``span``, and ``event``
+  records).  ``repro.cli stats`` is a thin wrapper over this pair.
+* **machines, scraping** — :func:`prometheus_text` renders the metric
+  registry in the Prometheus exposition format, so a future HTTP
+  endpoint (or a file-based node-exporter collector) needs no new code.
+* **humans** — :func:`render_summary` / :func:`render_trace_summary`
+  produce the fixed-width tables the CLI prints after ``--metrics``,
+  reusing the same :func:`repro.sim.ascii_plot.table` renderer as the
+  rest of the reporting stack (imported lazily to keep this package
+  import-light on the hot path).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.core.errors import TelemetryError
+from repro.obs.metrics import MetricRegistry
+from repro.obs.spans import SpanRecord
+from repro.obs.telemetry import Telemetry, get_telemetry
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TraceData",
+    "trace_records",
+    "write_trace",
+    "read_trace",
+    "prometheus_text",
+    "render_summary",
+    "render_trace_summary",
+]
+
+#: Identifier stamped into every trace's ``meta`` line; bump on breaking
+#: schema changes so ``stats`` can refuse traces it cannot interpret.
+TRACE_FORMAT = "repro-telemetry-v1"
+
+
+@dataclass
+class TraceData:
+    """Parsed contents of one telemetry trace (live or from a file).
+
+    Attributes:
+        meta: The header record (format id, creation time).
+        metrics: Instrument snapshots (``to_dict`` form, sorted by key).
+        spans: Root span trees.
+        events: Structured events, oldest first.
+    """
+
+    meta: dict = field(default_factory=dict)
+    metrics: list[dict] = field(default_factory=list)
+    spans: list[SpanRecord] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+
+    def metric_value(self, name: str) -> float | None:
+        """Value of a counter/gauge by exact key, ``None`` when absent."""
+        for metric in self.metrics:
+            if metric.get("name") == name and "value" in metric:
+                return metric["value"]
+        return None
+
+    def span_aggregates(self) -> dict[str, tuple[int, float]]:
+        """``name -> (calls, total seconds)`` over every recorded tree."""
+        totals: dict[str, tuple[int, float]] = {}
+        for root in self.spans:
+            root.total_by_name(totals)
+        return totals
+
+
+def trace_records(telemetry: Telemetry | None = None) -> list[dict]:
+    """The active telemetry state as a list of JSON-serializable records.
+
+    The first record is always the ``meta`` header; metric, span, and
+    event records follow in that order.
+    """
+    telemetry = telemetry or get_telemetry()
+    records: list[dict] = [
+        {
+            "kind": "meta",
+            "format": TRACE_FORMAT,
+            "created_at": time.time(),
+            "metrics": len(telemetry.registry),
+            "spans": len(telemetry.traces),
+            "events": len(telemetry.events),
+        }
+    ]
+    records.extend(telemetry.registry.snapshot())
+    records.extend(root.to_dict() for root in telemetry.traces)
+    records.extend(telemetry.events)
+    return records
+
+
+def write_trace(path: str, telemetry: Telemetry | None = None) -> int:
+    """Dump the telemetry state to ``path`` as JSONL; returns line count.
+
+    Raises:
+        TelemetryError: When ``path`` cannot be written.
+    """
+    records = trace_records(telemetry)
+    try:
+        with open(path, "w", encoding="utf-8") as stream:
+            for record in records:
+                stream.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+                stream.write("\n")
+    except OSError as error:
+        raise TelemetryError(f"cannot write trace {path!r}: {error}") from error
+    return len(records)
+
+
+def read_trace(path: str) -> TraceData:
+    """Parse a JSONL telemetry trace back into a :class:`TraceData`.
+
+    Tolerates missing ``meta`` (sink-streamed traces start with whatever
+    was emitted first) but rejects unreadable files and non-JSON lines.
+
+    Raises:
+        TelemetryError: When the file is missing, malformed, or declares
+            an unknown trace format.
+    """
+    data = TraceData()
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            for line_number, line in enumerate(stream, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise TelemetryError(
+                        f"{path}:{line_number}: not valid JSON ({error.msg})"
+                    ) from error
+                kind = record.get("kind")
+                if kind == "meta":
+                    declared = record.get("format")
+                    if declared != TRACE_FORMAT:
+                        raise TelemetryError(
+                            f"{path}: unsupported trace format {declared!r} "
+                            f"(expected {TRACE_FORMAT!r})"
+                        )
+                    data.meta = record
+                elif kind in ("counter", "gauge", "histogram"):
+                    data.metrics.append(record)
+                elif kind == "span":
+                    data.spans.append(SpanRecord.from_dict(record))
+                elif kind == "event":
+                    data.events.append(record)
+                else:
+                    raise TelemetryError(
+                        f"{path}:{line_number}: unknown record kind {kind!r}"
+                    )
+    except OSError as error:
+        raise TelemetryError(f"cannot read trace {path!r}: {error}") from error
+    return data
+
+
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a canonical metric key into ``(name, labels)``."""
+    if "{" not in key:
+        return key, {}
+    name, _, label_text = key.partition("{")
+    labels = {}
+    for pair in label_text.rstrip("}").split(","):
+        if pair:
+            label, _, value = pair.partition("=")
+            labels[label] = value
+    return name, labels
+
+
+def _prometheus_name(name: str) -> str:
+    """A metric name made safe for the Prometheus exposition format."""
+    sanitized = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    return f"repro_{sanitized}"
+
+
+def _prometheus_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{{{inner}}}"
+
+
+def prometheus_text(registry: MetricRegistry | None = None) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters/gauges become single samples; histograms expand into
+    cumulative ``_bucket`` series plus ``_sum`` and ``_count``, exactly
+    as a Prometheus client library would emit them.
+    """
+    registry = registry if registry is not None else get_telemetry().registry
+    lines: list[str] = []
+    typed: set[str] = set()
+    for metric in registry:
+        snapshot = metric.to_dict()
+        name, labels = _split_key(snapshot["name"])
+        prom = _prometheus_name(name)
+        kind = snapshot["kind"]
+        if prom not in typed:
+            lines.append(f"# TYPE {prom} {kind}")
+            typed.add(prom)
+        if kind in ("counter", "gauge"):
+            lines.append(f"{prom}{_prometheus_labels(labels)} {snapshot['value']:g}")
+        else:
+            for bound, cumulative in snapshot["buckets"]:
+                bucket_labels = dict(labels, le=f"{bound:g}")
+                lines.append(f"{prom}_bucket{_prometheus_labels(bucket_labels)} {cumulative}")
+            inf_labels = dict(labels, le="+Inf")
+            lines.append(f"{prom}_bucket{_prometheus_labels(inf_labels)} {snapshot['count']}")
+            lines.append(f"{prom}_sum{_prometheus_labels(labels)} {snapshot['sum']:g}")
+            lines.append(f"{prom}_count{_prometheus_labels(labels)} {snapshot['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_trace_summary(data: TraceData) -> str:
+    """Human-readable summary of a parsed trace (metrics, spans, events)."""
+    from repro.sim.ascii_plot import table
+
+    sections: list[str] = []
+
+    simple = [m for m in data.metrics if m["kind"] in ("counter", "gauge")]
+    if simple:
+        rows = [
+            [metric["name"], metric["kind"], _format_value(metric["value"])]
+            for metric in simple
+        ]
+        sections.append("counters and gauges:")
+        sections.append(table(rows, header=["metric", "kind", "value"]))
+
+    histograms = [m for m in data.metrics if m["kind"] == "histogram"]
+    if histograms:
+        rows = []
+        for metric in histograms:
+            count = metric["count"]
+            mean = metric["sum"] / count if count else 0.0
+            rows.append(
+                [
+                    metric["name"],
+                    str(count),
+                    _format_value(mean),
+                    _format_value(metric["min"]) if metric["min"] is not None else "-",
+                    _format_value(metric["max"]) if metric["max"] is not None else "-",
+                ]
+            )
+        sections.append("")
+        sections.append("histograms:")
+        sections.append(table(rows, header=["metric", "count", "mean", "min", "max"]))
+
+    aggregates = data.span_aggregates()
+    if aggregates:
+        ranked = sorted(aggregates.items(), key=lambda item: item[1][1], reverse=True)
+        rows = [
+            [name, str(calls), f"{total * 1e3:.2f}", f"{total / calls * 1e3:.3f}"]
+            for name, (calls, total) in ranked
+        ]
+        sections.append("")
+        sections.append("spans (by cumulative time):")
+        sections.append(
+            table(rows, header=["span", "calls", "total ms", "mean ms"])
+        )
+
+    if data.events:
+        sections.append("")
+        sections.append(f"events: {len(data.events)} recorded (newest last)")
+
+    if not sections:
+        return "(telemetry recorded no data)"
+    return "\n".join(sections)
+
+
+def render_summary(telemetry: Telemetry | None = None) -> str:
+    """Human-readable summary of the live telemetry state."""
+    telemetry = telemetry or get_telemetry()
+    data = TraceData(
+        meta={"kind": "meta", "format": TRACE_FORMAT},
+        metrics=telemetry.registry.snapshot(),
+        spans=list(telemetry.traces),
+        events=telemetry.events.to_list(),
+    )
+    return render_trace_summary(data)

@@ -1,0 +1,142 @@
+"""Timing spans: nested wall-clock measurements forming a trace tree.
+
+A *span* measures one named stretch of work (``phase1.find_alternatives``,
+``phase2.optimize``, ``meta.iteration`` …).  Spans opened while another
+span is active become its children, so one scheduling iteration yields a
+tree whose root is the outermost operation and whose leaves are the hot
+inner calls — the "where does wall-clock time go" artefact the ROADMAP's
+performance goal needs.
+
+The module only defines the record type and the context-manager handle;
+the active-span stack lives in :class:`repro.obs.telemetry.Telemetry`
+(one stack per thread).  When telemetry is disabled, call sites receive
+the shared :data:`NOOP_SPAN` singleton instead — entering and exiting it
+allocates nothing and touches no state, which is what keeps the scan
+loops free of overhead by default.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "SpanHandle", "NoopSpan", "NOOP_SPAN"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) node of the trace tree.
+
+    Attributes:
+        name: Operation name, dot-namespaced (``scheduler.schedule``).
+        started_at: Wall-clock start (``time.time``), for log correlation.
+        duration: Elapsed seconds (perf-counter based); 0.0 while open.
+        attributes: Caller-supplied context (job name, batch size, …).
+        children: Sub-spans, in start order.
+        status: ``"ok"`` or ``"error"`` (an exception escaped the span).
+    """
+
+    name: str
+    started_at: float
+    duration: float = 0.0
+    attributes: dict = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+    status: str = "ok"
+
+    def total_by_name(self, accumulator: dict[str, tuple[int, float]] | None = None) -> dict[str, tuple[int, float]]:
+        """Aggregate ``name -> (call count, total seconds)`` over the subtree."""
+        if accumulator is None:
+            accumulator = {}
+        count, total = accumulator.get(self.name, (0, 0.0))
+        accumulator[self.name] = (count + 1, total + self.duration)
+        for child in self.children:
+            child.total_by_name(accumulator)
+        return accumulator
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (children nested recursively)."""
+        record = {
+            "kind": "span",
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.children:
+            record["children"] = [child.to_dict() for child in self.children]
+        return record
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        """Rebuild a record (and its subtree) from :meth:`to_dict` output."""
+        return cls(
+            name=payload["name"],
+            started_at=payload.get("started_at", 0.0),
+            duration=payload.get("duration", 0.0),
+            attributes=dict(payload.get("attributes", {})),
+            children=[cls.from_dict(child) for child in payload.get("children", [])],
+            status=payload.get("status", "ok"),
+        )
+
+
+class SpanHandle:
+    """Context manager that times one span and links it into the tree.
+
+    Created by ``Telemetry.span``; not instantiated directly.  On entry
+    it pushes itself on the owning telemetry's span stack; on exit it
+    records the elapsed time, marks the status, pops the stack, and —
+    for root spans — hands the finished tree back to the telemetry.
+    """
+
+    __slots__ = ("_telemetry", "record", "_started")
+
+    def __init__(self, telemetry, record: SpanRecord) -> None:
+        self._telemetry = telemetry
+        self.record = record
+        self._started = 0.0
+
+    def annotate(self, **attributes) -> None:
+        """Attach extra attributes to the span while it is open."""
+        self.record.attributes.update(attributes)
+
+    def __enter__(self) -> "SpanHandle":
+        """Start timing and become the innermost active span."""
+        self._telemetry._push_span(self.record)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Stop timing, record status, and pop the span stack."""
+        self.record.duration = time.perf_counter() - self._started
+        if exc_type is not None:
+            self.record.status = "error"
+        self._telemetry._pop_span(self.record)
+        return False
+
+
+class NoopSpan:
+    """Zero-cost stand-in used whenever telemetry is disabled.
+
+    A single module-level instance (:data:`NOOP_SPAN`) is shared by every
+    disabled call site: entering, annotating, and exiting are empty
+    methods, so the disabled path performs no allocation and no work.
+    """
+
+    __slots__ = ()
+
+    def annotate(self, **attributes) -> None:
+        """Ignore attributes (telemetry is off)."""
+
+    def __enter__(self) -> "NoopSpan":
+        """Return self without touching any state."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Propagate exceptions unchanged."""
+        return False
+
+
+#: The shared disabled-mode span (see :class:`NoopSpan`).
+NOOP_SPAN = NoopSpan()

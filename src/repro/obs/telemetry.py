@@ -1,0 +1,290 @@
+"""The telemetry façade: one switchable object behind every instrument.
+
+Design constraints (see ``docs/observability.md``):
+
+* **Disabled by default, free when disabled.**  Every recording method
+  starts with a single ``self.enabled`` check; ``span`` returns the
+  shared :data:`~repro.obs.spans.NOOP_SPAN` singleton, so disabled call
+  sites allocate nothing.  The truly hot per-slot loops in
+  :mod:`repro.core.alp` / :mod:`repro.core.amp` go further and branch to
+  an uninstrumented copy of the loop, so they pay exactly one boolean
+  check per *search*, not per slot.
+* **Stdlib only.**  This module is imported by the core algorithm
+  modules, so it must never import back into :mod:`repro.core` or
+  :mod:`repro.sim`.
+* **Process-local, swappable.**  A module-level active instance serves
+  the whole process; :func:`configure` installs a fresh one and
+  :func:`disable` restores the inert default.  Hot paths fetch it via
+  :func:`get_telemetry` at call time, so reconfiguration takes effect
+  immediately.
+
+Environment: setting ``REPRO_TELEMETRY=1`` enables telemetry at import
+time — that is how the CI benchmark smoke run measures instrumented
+overhead without code changes.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from typing import Callable
+
+from repro.obs.events import JsonlSink, RingBuffer
+from repro.obs.metrics import MetricRegistry
+from repro.obs.spans import NOOP_SPAN, NoopSpan, SpanHandle, SpanRecord
+
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "configure",
+    "disable",
+    "telemetry_enabled",
+    "span",
+    "count",
+    "observe",
+    "set_gauge",
+    "event",
+    "traced",
+]
+
+
+class Telemetry:
+    """Registry + span stack + event log behind one enable switch.
+
+    Attributes:
+        enabled: Master switch; when ``False`` every recording method is
+            a near-free no-op (one attribute check).
+        registry: The :class:`~repro.obs.metrics.MetricRegistry`.
+        events: The bounded in-memory event buffer.
+        traces: Completed *root* span trees, in completion order.
+        sink: Optional streaming :class:`~repro.obs.events.JsonlSink`
+            receiving events and completed root spans as they happen.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        ring_size: int = 2048,
+        sink: JsonlSink | None = None,
+        max_traces: int = 4096,
+    ) -> None:
+        """Build a telemetry context.
+
+        Args:
+            enabled: Master switch.
+            ring_size: Capacity of the in-memory event buffer.
+            sink: Optional JSONL stream for events and root spans.
+            max_traces: Cap on retained root span trees; beyond it the
+                oldest trees are dropped (long VO runs stay bounded).
+        """
+        self.enabled = enabled
+        self.registry = MetricRegistry()
+        self.events = RingBuffer(ring_size)
+        self.traces: list[SpanRecord] = []
+        self.sink = sink
+        self._max_traces = max_traces
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # Metric instruments                                                 #
+    # ------------------------------------------------------------------ #
+
+    def count(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        """Increment counter ``name`` by ``amount`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.registry.counter(name, **labels).increment(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set gauge ``name`` to ``value`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.registry.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.registry.histogram(name, **labels).observe(value)
+
+    # ------------------------------------------------------------------ #
+    # Spans                                                              #
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str, **attributes) -> SpanHandle | NoopSpan:
+        """A context manager timing ``name``; nests under the active span.
+
+        Disabled telemetry returns the shared no-op singleton.  Each
+        completed span also feeds the ``span.seconds{span=...}``
+        histogram, so summaries can rank operations by time without
+        walking the trees.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        record = SpanRecord(name=name, started_at=time.time(), attributes=attributes)
+        return SpanHandle(self, record)
+
+    def current_span(self) -> SpanRecord | None:
+        """The innermost open span of this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push_span(self, record: SpanRecord) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        if stack:
+            stack[-1].children.append(record)
+        stack.append(record)
+
+    def _pop_span(self, record: SpanRecord) -> None:
+        stack = self._local.stack
+        popped = stack.pop()
+        assert popped is record, f"span stack corrupted: {popped.name} != {record.name}"
+        self.observe("span.seconds", record.duration, span=record.name)
+        if not stack:
+            self.traces.append(record)
+            if len(self.traces) > self._max_traces:
+                del self.traces[: -self._max_traces]
+            if self.sink is not None:
+                self.sink.emit(record.to_dict())
+
+    # ------------------------------------------------------------------ #
+    # Events                                                             #
+    # ------------------------------------------------------------------ #
+
+    def event(self, name: str, **fields) -> None:
+        """Log one structured event (no-op when disabled).
+
+        ``fields`` must be JSON-serializable; the event is stamped with
+        wall-clock time, buffered in the ring, and streamed to the sink
+        when one is attached.
+        """
+        if not self.enabled:
+            return
+        payload = {"kind": "event", "name": name, "ts": time.time(), **fields}
+        self.events.append(payload)
+        if self.sink is not None:
+            self.sink.emit(payload)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Clear metrics, events, and traces (the sink is left attached)."""
+        self.registry.clear()
+        self.events.clear()
+        self.traces.clear()
+
+    def close(self) -> None:
+        """Close the attached sink, if any."""
+        if self.sink is not None:
+            self.sink.close()
+
+
+def _from_environment() -> Telemetry:
+    """The import-time default: enabled only when ``REPRO_TELEMETRY`` asks."""
+    flag = os.environ.get("REPRO_TELEMETRY", "").strip().lower()
+    return Telemetry(enabled=flag not in ("", "0", "false", "no"))
+
+
+_ACTIVE: Telemetry = _from_environment()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide active telemetry context."""
+    return _ACTIVE
+
+
+def configure(
+    *,
+    enabled: bool = True,
+    ring_size: int = 2048,
+    sink: JsonlSink | None = None,
+    trace_path: str | None = None,
+) -> Telemetry:
+    """Install (and return) a fresh active telemetry context.
+
+    Args:
+        enabled: Master switch of the new context.
+        ring_size: In-memory event buffer capacity.
+        sink: Pre-built JSONL sink, if the caller manages the file.
+        trace_path: Convenience: build a :class:`JsonlSink` at this path
+            (ignored when ``sink`` is given).
+    """
+    global _ACTIVE
+    if sink is None and trace_path is not None:
+        sink = JsonlSink(trace_path)
+    _ACTIVE = Telemetry(enabled=enabled, ring_size=ring_size, sink=sink)
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Restore the inert default context (previous data is discarded)."""
+    global _ACTIVE
+    _ACTIVE.close()
+    _ACTIVE = Telemetry(enabled=False)
+
+
+def telemetry_enabled() -> bool:
+    """Whether the active context is recording."""
+    return _ACTIVE.enabled
+
+
+# ---------------------------------------------------------------------- #
+# Module-level conveniences (delegate to the active context)             #
+# ---------------------------------------------------------------------- #
+
+
+def span(name: str, **attributes) -> SpanHandle | NoopSpan:
+    """``with span("phase1.find_alternatives", job=...):`` on the active context."""
+    return _ACTIVE.span(name, **attributes)
+
+
+def count(name: str, amount: float = 1.0, **labels: str) -> None:
+    """Increment a counter on the active context."""
+    _ACTIVE.count(name, amount, **labels)
+
+
+def observe(name: str, value: float, **labels: str) -> None:
+    """Record a histogram observation on the active context."""
+    _ACTIVE.observe(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: str) -> None:
+    """Set a gauge on the active context."""
+    _ACTIVE.set_gauge(name, value, **labels)
+
+
+def event(name: str, **fields) -> None:
+    """Log a structured event on the active context."""
+    _ACTIVE.event(name, **fields)
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator wrapping a function in a span named after it.
+
+    ``@traced()`` uses the function's qualified name; ``@traced("x")``
+    overrides it.  The active context is consulted per call, so the
+    decorated function stays no-op-cheap while telemetry is off.
+    """
+
+    def decorate(function: Callable) -> Callable:
+        span_name = name or function.__qualname__
+
+        @functools.wraps(function)
+        def wrapper(*args, **kwargs):
+            telemetry = _ACTIVE
+            if not telemetry.enabled:
+                return function(*args, **kwargs)
+            with telemetry.span(span_name):
+                return function(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

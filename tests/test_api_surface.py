@@ -16,7 +16,14 @@ import pytest
 
 import repro
 
-PACKAGES = ["repro", "repro.core", "repro.grid", "repro.baselines", "repro.sim"]
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.grid",
+    "repro.baselines",
+    "repro.sim",
+    "repro.obs",
+]
 
 
 @pytest.mark.parametrize("package_name", PACKAGES)

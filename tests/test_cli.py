@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+import repro.cli
+from repro import obs
 from repro.cli import build_parser, main
+from repro.core import SchedulingError
 
 
 class TestParser:
@@ -102,6 +107,97 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "scheduled" in out
         assert "utilization" in out
+
+
+class TestTelemetryOptions:
+    @pytest.fixture(autouse=True)
+    def _inert_telemetry(self):
+        obs.disable()
+        yield
+        obs.disable()
+
+    def test_metrics_flag_prints_summary(self, capsys):
+        assert main(["experiment", "--iterations", "8", "--seed", "5", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "search.slots_scanned{algo=alp}" in out
+        assert "search.slots_scanned{algo=amp}" in out
+        assert "search.windows_found{algo=alp}" in out
+        assert "search.windows_found{algo=amp}" in out
+        assert "dp.table_cells" in out
+
+    def test_trace_writes_parseable_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "vo.jsonl"
+        assert (
+            main(
+                [
+                    "vo", "--until", "400", "--jobs", "3", "--nodes", "6",
+                    "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        lines = trace.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "meta"
+        assert records[0]["format"] == obs.TRACE_FORMAT
+        kinds = {record["kind"] for record in records}
+        assert {"counter", "span"} <= kinds
+        data = obs.read_trace(str(trace))
+        assert data.metric_value("meta.iterations") >= 1
+
+    def test_trace_replays_through_stats(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(["example", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "counters and gauges" in out
+        assert "search.slots_scanned" in out
+        assert "cli.example" in out
+
+    def test_stats_missing_file_exits_nonzero(self, capsys):
+        assert main(["stats", "/nonexistent/trace.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_unwritable_path_exits_nonzero(self, capsys):
+        assert main(["example", "--trace", "/nonexistent-dir/t.jsonl"]) == 2
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_telemetry_disabled_after_run(self, capsys):
+        assert main(["example", "--metrics"]) == 0
+        assert not obs.telemetry_enabled()
+
+    def test_default_run_keeps_telemetry_off(self, capsys):
+        assert main(["example"]) == 0
+        assert not obs.telemetry_enabled()
+        assert "telemetry summary" not in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_scheduling_error_maps_to_exit_code_2(self, capsys, monkeypatch):
+        def explode(args):
+            raise SchedulingError("synthetic failure")
+
+        monkeypatch.setattr(repro.cli, "_cmd_example", explode)
+        assert main(["example"]) == 2
+        assert "synthetic failure" in capsys.readouterr().err
+
+
+class TestReportOutput:
+    def test_output_writes_file(self, capsys, tmp_path):
+        target = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", "--iterations", "4", "--output", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert str(target) in out
+        assert "paper vs. measured" in target.read_text()
+
+    def test_output_unwritable_path_exits_nonzero(self, capsys):
+        assert (
+            main(["report", "--iterations", "4", "--output", "/nonexistent-dir/r.md"])
+            == 2
+        )
+        assert "cannot write report" in capsys.readouterr().err
 
 
 class TestVoStatements:

@@ -56,6 +56,23 @@ class TestWorkloadTrace:
         assert summary.makespan is None
         assert summary.total_cost == 0.0
 
+    def test_state_counts_cover_every_state(self):
+        trace = WorkloadTrace()
+        trace.add(_job(name="a"), submit_time=0.0)
+        counts = trace.state_counts()
+        assert counts == {
+            "pending": 1,
+            "scheduled": 0,
+            "completed": 0,
+            "rejected": 0,
+        }
+
+    def test_owner_income_empty_without_placements(self):
+        trace = WorkloadTrace()
+        trace.add(_job(name="a"), submit_time=0.0)
+        assert trace.owner_income() == {}
+        assert trace.summary().total_owner_income == 0.0
+
 
 class TestMetaschedulerValidation:
     def test_rejects_bad_parameters(self):
@@ -177,6 +194,51 @@ class TestRun:
         assert summary.mean_wait_time is not None and summary.mean_wait_time >= 0.0
         assert summary.total_cost > 0.0
         assert summary.makespan is not None
+
+    def test_summary_state_counts_and_owner_income(self):
+        meta = Metascheduler(_environment(), _scheduler(), period=50.0, horizon=400.0)
+        meta.submit(_job(volume=50.0, name="a"), at_time=0.0)
+        meta.submit(_job(volume=50.0, name="b"), at_time=25.0)
+        meta.run(until=1000.0)
+        summary = meta.trace.summary()
+        assert sum(summary.state_counts.values()) == summary.submitted
+        assert summary.state_counts["completed"] + summary.state_counts[
+            "scheduled"
+        ] == summary.scheduled
+        # Every coin users spent landed on some owner's node.
+        assert summary.total_owner_income == pytest.approx(summary.total_cost)
+        assert all(income > 0.0 for income in summary.owner_income.values())
+
+
+class TestMetaschedulerTelemetry:
+    """The telemetry gauges and the audit log must agree by construction."""
+
+    def test_meta_gauges_match_trace_state_counts(self):
+        from repro import obs
+
+        obs.disable()
+        telemetry = obs.configure(enabled=True)
+        try:
+            meta = Metascheduler(
+                _environment(), _scheduler(), period=50.0, horizon=400.0
+            )
+            meta.submit(_job(volume=50.0, name="a"), at_time=0.0)
+            meta.submit(_job(volume=50.0, name="b"), at_time=25.0)
+            meta.run(until=300.0)
+            counts = meta.trace.state_counts()
+            for state, expected in counts.items():
+                gauge = telemetry.registry.get("meta.jobs", state=state)
+                assert gauge is not None, f"missing meta.jobs{{state={state}}}"
+                assert gauge.value == expected
+            iterations = telemetry.registry.get("meta.iterations")
+            assert iterations.value == len(meta.reports)
+            scheduled = telemetry.registry.get("meta.scheduled")
+            assert scheduled.value == sum(r.scheduled for r in meta.reports)
+            # One root span tree per iteration.
+            assert len(telemetry.traces) == len(meta.reports)
+            assert all(root.name == "meta.iteration" for root in telemetry.traces)
+        finally:
+            obs.disable()
 
 
 class TestDemandPricing:
