@@ -51,10 +51,20 @@ from repro.sim import (
 __all__ = ["main", "build_parser"]
 
 
-def _run_experiment(objective: Criterion, iterations: int, seed: int, rho: float):
+def _run_experiment(
+    objective: Criterion,
+    iterations: int,
+    seed: int,
+    rho: float,
+    workers: int | None = None,
+):
     config = ExperimentConfig(
         objective=objective, iterations=iterations, seed=seed, rho=rho
     )
+    if workers is not None:
+        from repro.sim import ParallelRunner
+
+        return ParallelRunner(config, workers=workers).run()
     return ExperimentRunner(config).run()
 
 
@@ -62,7 +72,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.sim import render_figure4, render_figure5, render_figure6, summarize, summary_table
 
     objective = Criterion(args.objective)
-    result = _run_experiment(objective, args.iterations, args.seed, args.rho)
+    result = _run_experiment(
+        objective, args.iterations, args.seed, args.rho, workers=args.workers
+    )
     print(summary_table(summarize(result)))
     print()
     if objective is Criterion.TIME:
@@ -246,6 +258,17 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--iterations", type=int, default=1000)
     experiment.add_argument("--seed", type=int, default=20110368)
     experiment.add_argument("--rho", type=float, default=1.0)
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard the iterations across N processes via the seed-sharded "
+            "ParallelRunner (results are identical for every N; omit for "
+            "the historical single-stream serial runner)"
+        ),
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     figures = sub.add_parser(

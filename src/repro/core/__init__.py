@@ -69,6 +69,7 @@ from repro.core.scheduler import (
     ScheduleOutcome,
     SchedulerConfig,
 )
+from repro.core.index import SlotIndex
 from repro.core.search import (
     SearchResult,
     SlotSearchAlgorithm,
@@ -100,6 +101,7 @@ __all__ = [
     # algorithms
     "alp",
     "amp",
+    "SlotIndex",
     "SlotSearchAlgorithm",
     "WindowFinder",
     "find_alternatives",

@@ -1,0 +1,320 @@
+"""Incrementally-maintained slot index — the fast phase-1 search path.
+
+:class:`SlotIndex` holds the ordered vacant-slot list as parallel
+primitive fields (start, end, resource uid, performance, price) packed
+into sorted tuples, so the ALP/AMP forward scans run over local floats
+instead of chasing ``Slot → Resource`` attribute chains, and window
+subtraction locates the carved slot by bisection instead of a linear
+rescan.  The index is built once per alternative search and maintained
+*incrementally* across the whole multi-pass scheme: every committed
+window only touches the ``O(log m)`` neighbourhood of its source slots.
+
+The finders here are drop-in equivalents of :func:`repro.core.alp.find_window`
+and :func:`repro.core.amp.find_window`: they perform the same suitability
+tests, the same candidate-expiry filter, and the same budget summation in
+the same float-operation order, so the produced windows are bit-for-bit
+identical to the reference scans (``tests/test_reference_oracles.py``
+enforces this differentially, ``tests/test_properties.py`` checks the
+model invariants).
+
+Two assumptions, both guaranteed by the paper's model and checked by the
+test suite, let the index go beyond the reference implementation:
+
+* **No same-resource overlap.**  Vacant slots of one resource never share
+  processor time (``SlotList.check_no_overlap``), so the slot containing
+  an allocated span is unique and can be located by bisection.
+* **Monotone window starts.**  Slot subtraction only removes vacant time,
+  so for a fixed request the earliest feasible window start never moves
+  backwards across the passes of one alternative search.  The optional
+  ``start_hint`` (the event time of the previous window found for the
+  same request on a superset of this list) lets the scan skip candidates
+  that cannot survive to any feasible event, and — for AMP — skip the
+  cheapest-subset budget checks at events that are provably infeasible.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from operator import itemgetter
+from typing import Iterable, Iterator
+
+from repro.core.errors import SlotListError
+from repro.core.job import ResourceRequest
+from repro.core.slot import Slot, SlotList
+from repro.core.window import TaskAllocation, Window
+
+__all__ = ["SlotIndex"]
+
+NEG_INF = float("-inf")
+
+#: Row layout: ``(start, end, resource uid, performance, price, slot)``.
+#: The leading triple is exactly ``SlotList``'s sort key, so row order and
+#: scan order coincide with the reference list; the trailing fields are
+#: the only slot attributes the scans ever read.
+_row_key = itemgetter(0, 1, 2)
+
+_rank_key = itemgetter(0, 1)
+
+
+def _row_of(slot: Slot) -> tuple[float, float, int, float, float, Slot]:
+    return (
+        slot.start,
+        slot.end,
+        slot.resource.uid,
+        slot.resource.performance,
+        slot.price,
+        slot,
+    )
+
+
+class SlotIndex:
+    """Sorted, incrementally-updated view of a vacant-slot list."""
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, slots: Iterable[Slot] = ()) -> None:
+        self._rows = sorted((_row_of(slot) for slot in slots), key=_row_key)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol                                                 #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Slot]:
+        return iter(row[5] for row in self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SlotIndex({len(self._rows)} slots)"
+
+    def slot_list(self) -> SlotList:
+        """Materialise the current state as a plain :class:`SlotList`."""
+        return SlotList(row[5] for row in self._rows)
+
+    # ------------------------------------------------------------------ #
+    # Window search                                                      #
+    # ------------------------------------------------------------------ #
+
+    def find_alp_window(
+        self,
+        request: ResourceRequest,
+        *,
+        check_price: bool = True,
+        start_hint: float = NEG_INF,
+    ) -> Window | None:
+        """ALP forward scan over the index (paper steps 1°-5°).
+
+        Equivalent to :func:`repro.core.alp.find_window` on the same slot
+        list.  ``start_hint`` may be set to the start of a window
+        previously found for the *same request* on a superset of this
+        list; candidates that cannot survive to any event at or past the
+        hint are skipped (the result is unchanged by monotonicity).
+        """
+        node_count = request.node_count
+        volume = request.volume
+        min_performance = request.min_performance
+        max_price = request.max_price if check_price else None
+        window_start = NEG_INF
+        # Candidate tuples (end, runtime, slot) in scan insertion order —
+        # the same order ForwardScan.candidates holds.
+        candidates: list[tuple[float, float, Slot]] = []
+        for row in self._rows:
+            end = row[1]
+            if end <= start_hint:  # cannot survive to any event >= hint
+                continue
+            performance = row[3]
+            if performance < min_performance:
+                continue
+            if max_price is not None and row[4] > max_price:
+                continue
+            runtime = volume / performance
+            start = row[0]
+            if end - start < runtime:
+                continue
+            if end - start_hint < runtime:
+                continue
+            slot = row[5]
+            if start > window_start:
+                window_start = start
+                candidates = [c for c in candidates if c[0] - start >= c[1]]
+            candidates.append((end, runtime, slot))
+            if len(candidates) == node_count:
+                allocations = [
+                    TaskAllocation(c[2], window_start, window_start + c[1])
+                    for c in candidates
+                ]
+                return Window(request, allocations)
+        return None
+
+    def find_amp_window(
+        self,
+        request: ResourceRequest,
+        *,
+        budget: float | None = None,
+        start_hint: float = NEG_INF,
+    ) -> Window | None:
+        """AMP forward scan over the index (paper steps 1°-4°).
+
+        Equivalent to :func:`repro.core.amp.find_window`; see
+        :meth:`find_alp_window` for the ``start_hint`` contract (for AMP
+        the hint must be the *event time* at which the previous window
+        was accepted, as returned by :meth:`find_amp_window_at`).
+        """
+        found = self.find_amp_window_at(request, budget=budget, start_hint=start_hint)
+        return None if found is None else found[0]
+
+    def find_amp_window_at(
+        self,
+        request: ResourceRequest,
+        *,
+        budget: float | None = None,
+        start_hint: float = NEG_INF,
+    ) -> tuple[Window, float] | None:
+        """Like :meth:`find_amp_window` but also returns the accepting
+        event time (the scan position ``T_last``, which may be later than
+        the window's own start when the cheapest subset excludes the
+        newest candidate).  The event time is the correct ``start_hint``
+        for the next AMP search of the same request.
+        """
+        if budget is None:
+            budget = request.budget
+        node_count = request.node_count
+        volume = request.volume
+        min_performance = request.min_performance
+        window_start = NEG_INF
+        # (end, runtime, cost, uid, slot) in insertion order, plus the
+        # same candidates ranked by (cost, uid) — AMP step 2°'s ordering —
+        # maintained by insertion/removal instead of per-event sorting.
+        # ``cheapest_total`` caches the cost of the first ``node_count``
+        # ranked entries; it is invalidated only when an insertion or an
+        # expiry touches that prefix, so unchanged events skip the
+        # re-summation entirely (the cached value was produced by the
+        # identical float-addition sequence, keeping results bit-exact).
+        candidates: list[tuple[float, float, float, int, Slot]] = []
+        ranked: list[tuple[float, int, float, Slot]] = []
+        cheapest_total: float | None = None
+        for row in self._rows:
+            end = row[1]
+            if end <= start_hint:
+                continue
+            performance = row[3]
+            if performance < min_performance:
+                continue
+            runtime = volume / performance
+            start = row[0]
+            if end - start < runtime:
+                continue
+            if end - start_hint < runtime:
+                continue
+            if start > window_start:
+                window_start = start
+                alive = [c for c in candidates if c[0] - start >= c[1]]
+                if len(alive) != len(candidates):
+                    for expired in candidates:
+                        if expired[0] - start < expired[1]:
+                            if _remove_ranked(ranked, expired[2], expired[3]) < node_count:
+                                cheapest_total = None
+                    candidates = alive
+            uid = row[2]
+            cost = row[4] * runtime
+            slot = row[5]
+            candidates.append((end, runtime, cost, uid, slot))
+            position = bisect_left(ranked, (cost, uid), key=_rank_key)
+            ranked.insert(position, (cost, uid, runtime, slot))
+            if position < node_count:
+                cheapest_total = None
+            if len(candidates) < node_count or start < start_hint:
+                continue
+            if cheapest_total is None:
+                total = 0.0
+                for k in range(node_count):
+                    total += ranked[k][0]
+                cheapest_total = total
+            if cheapest_total <= budget:
+                chosen = ranked[:node_count]
+                sync = max(entry[3].start for entry in chosen)
+                allocations = [
+                    TaskAllocation(entry[3], sync, sync + entry[2])
+                    for entry in chosen
+                ]
+                return Window(request, allocations), start
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Mutation                                                           #
+    # ------------------------------------------------------------------ #
+
+    def commit(self, window: Window) -> None:
+        """Subtract the window's occupied spans (paper Fig. 1 (b)).
+
+        Each allocation remembers the vacant slot it was carved from, so
+        the containing slot is located by bisection rather than the
+        linear rescan of :meth:`SlotList.subtract`.
+
+        Raises:
+            SlotListError: If some source slot is no longer in the index.
+        """
+        rows = self._rows
+        for allocation in window.allocations:
+            source = allocation.source
+            key = (source.start, source.end, source.resource.uid)
+            position = bisect_left(rows, key, key=_row_key)
+            if position == len(rows) or rows[position][5] != source:
+                raise SlotListError(
+                    f"no vacant slot on {source.resource.name!r} contains span "
+                    f"[{allocation.start:g}, {allocation.end:g})"
+                )
+            del rows[position]
+            if allocation.start > source.start:
+                remainder = Slot(source.resource, source.start, allocation.start, source.price)
+                insort(rows, _row_of(remainder), key=_row_key)
+            if source.end > allocation.end:
+                remainder = Slot(source.resource, allocation.end, source.end, source.price)
+                insort(rows, _row_of(remainder), key=_row_key)
+
+    def subtract(self, resource, start: float, end: float) -> Slot:
+        """Cut ``[start, end)`` on ``resource`` out of the index.
+
+        Mirrors :meth:`SlotList.subtract` for spans that do not carry a
+        source slot (grid-layer callers); prefer :meth:`commit` on the
+        alternative-search hot path.
+        """
+        if end < start:
+            raise SlotListError(f"cannot subtract negative span [{start!r}, {end!r})")
+        rows = self._rows
+        uid = resource.uid
+        for position, row in enumerate(rows):
+            if row[0] > start:
+                break
+            candidate = row[5]
+            if row[2] == uid and candidate.contains_span(start, end):
+                del rows[position]
+                if start > candidate.start:
+                    insort(
+                        rows,
+                        _row_of(Slot(resource, candidate.start, start, candidate.price)),
+                        key=_row_key,
+                    )
+                if candidate.end > end:
+                    insort(
+                        rows,
+                        _row_of(Slot(resource, end, candidate.end, candidate.price)),
+                        key=_row_key,
+                    )
+                return candidate
+        raise SlotListError(
+            f"no vacant slot on {resource.name!r} contains span [{start:g}, {end:g})"
+        )
+
+
+def _remove_ranked(ranked: list[tuple[float, int, float, Slot]], cost: float, uid: int) -> int:
+    """Drop the ``(cost, uid)`` entry from the ranked list; return its position."""
+    position = bisect_left(ranked, (cost, uid), key=_rank_key)
+    while position < len(ranked):
+        entry = ranked[position]
+        if entry[0] == cost and entry[1] == uid:
+            del ranked[position]
+            return position
+        position += 1
+    raise SlotListError(f"ranked candidate (cost={cost!r}, uid={uid!r}) missing")

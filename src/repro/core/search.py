@@ -28,6 +28,7 @@ from typing import Callable, Mapping
 
 from repro.core import alp, amp
 from repro.core.errors import InvalidRequestError
+from repro.core.index import NEG_INF, SlotIndex
 from repro.core.job import Batch, Job, ResourceRequest
 from repro.core.slot import SlotList
 from repro.core.window import Window
@@ -35,6 +36,14 @@ from repro.obs.spans import NOOP_SPAN
 from repro.obs.telemetry import get_telemetry
 
 __all__ = ["SlotSearchAlgorithm", "SearchResult", "find_alternatives", "WindowFinder"]
+
+#: Default search path for :func:`find_alternatives` when ``use_index`` is
+#: not given.  The indexed path is window-for-window equivalent to the
+#: reference scan (``tests/test_reference_oracles.py``); flipping this to
+#: ``False`` restores the naive O(m)-rescan path everywhere — the escape
+#: hatch the benchmarks use to measure the speedup against the seed
+#: behaviour.
+DEFAULT_USE_INDEX = True
 
 #: Signature of a pluggable single-window search: takes the current slot
 #: list and a request, returns a window or ``None``.
@@ -115,6 +124,7 @@ def find_alternatives(
     rho: float = 1.0,
     max_passes: int | None = None,
     max_alternatives_per_job: int | None = None,
+    use_index: bool | None = None,
 ) -> SearchResult:
     """Find alternative windows for every job of ``batch``.
 
@@ -130,16 +140,34 @@ def find_alternatives(
             until a pass finds nothing (the paper's stopping rule).
         max_alternatives_per_job: Optional cap on alternatives collected
             per job; jobs at the cap are skipped in later passes.
-
-    Returns:
-        A :class:`SearchResult` with per-job alternatives, the modified
-        slot list, and the pass count.
+        use_index: Run the phase-1 scans through the shared
+            :class:`~repro.core.index.SlotIndex` (default: the module's
+            :data:`DEFAULT_USE_INDEX`).  The indexed path produces
+            bit-for-bit the same windows as the reference scan; it is
+            bypassed automatically for custom finder callables and for
+            telemetry-instrumented runs, where the per-slot scan counters
+            of the reference path are part of the contract.
     """
     if max_passes is not None and max_passes < 1:
         raise InvalidRequestError(f"max_passes must be >= 1, got {max_passes!r}")
     if max_alternatives_per_job is not None and max_alternatives_per_job < 1:
         raise InvalidRequestError(
             f"max_alternatives_per_job must be >= 1, got {max_alternatives_per_job!r}"
+        )
+    if use_index is None:
+        use_index = DEFAULT_USE_INDEX
+    if (
+        use_index
+        and isinstance(algorithm, SlotSearchAlgorithm)
+        and not get_telemetry().enabled
+    ):
+        return _find_alternatives_indexed(
+            slot_list,
+            batch,
+            algorithm,
+            rho=rho,
+            max_passes=max_passes,
+            max_alternatives_per_job=max_alternatives_per_job,
         )
     finder = (
         algorithm.finder(rho=rho)
@@ -198,3 +226,62 @@ def find_alternatives(
                     "search.alternatives_per_job", len(windows), algo=algo_label
                 )
         return result
+
+
+def _find_alternatives_indexed(
+    slot_list: SlotList,
+    batch: Batch,
+    algorithm: SlotSearchAlgorithm,
+    *,
+    rho: float,
+    max_passes: int | None,
+    max_alternatives_per_job: int | None,
+) -> SearchResult:
+    """The multi-pass scheme over a shared :class:`SlotIndex`.
+
+    Window-for-window equivalent to the reference loop in
+    :func:`find_alternatives`: the index replays the same scans over
+    primitive rows, subtraction is incremental, and per-job ``start_hint``
+    values exploit the monotonicity of window starts across passes (slot
+    subtraction only removes vacant time, so a job's next window can
+    never start before its previous one).
+    """
+    index = SlotIndex(slot_list)
+    is_amp = algorithm is SlotSearchAlgorithm.AMP
+    budgets = (
+        {job: job.request.scaled_budget(rho) for job in batch} if is_amp else {}
+    )
+    hints: dict[Job, float] = {job: NEG_INF for job in batch}
+    alternatives: dict[Job, list[Window]] = {job: [] for job in batch}
+    passes = 0
+    while max_passes is None or passes < max_passes:
+        passes += 1
+        found_any = False
+        for job in batch:
+            windows = alternatives[job]
+            if (
+                max_alternatives_per_job is not None
+                and len(windows) >= max_alternatives_per_job
+            ):
+                continue
+            if is_amp:
+                found = index.find_amp_window_at(
+                    job.request, budget=budgets[job], start_hint=hints[job]
+                )
+                if found is None:
+                    continue
+                window, event_time = found
+            else:
+                window = index.find_alp_window(job.request, start_hint=hints[job])
+                if window is None:
+                    continue
+                event_time = window.start
+            index.commit(window)
+            hints[job] = event_time
+            windows.append(window)
+            found_any = True
+        if not found_any:
+            break
+    return SearchResult(
+        alternatives=alternatives, remaining_slots=index.slot_list(), passes=passes
+    )

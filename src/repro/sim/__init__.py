@@ -43,6 +43,11 @@ from repro.sim.experiment import (
     ExperimentResult,
     ExperimentRunner,
     IterationComparison,
+    IterationOutcome,
+    ParallelRunner,
+    derive_iteration_seed,
+    generate_iteration,
+    run_iteration,
     run_pipeline,
 )
 from repro.sim.figures import (
@@ -66,6 +71,7 @@ from repro.sim.stats import (
     AlgorithmStats,
     ComparisonRatios,
     ExperimentSummary,
+    merge_results,
     summarize,
 )
 
@@ -78,11 +84,17 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentResult",
     "IterationComparison",
+    "IterationOutcome",
     "AlgorithmSample",
+    "ParallelRunner",
+    "derive_iteration_seed",
+    "generate_iteration",
+    "run_iteration",
     "run_pipeline",
     "AlgorithmStats",
     "ComparisonRatios",
     "ExperimentSummary",
+    "merge_results",
     "summarize",
     "FigureData",
     "PAPER_REFERENCE",

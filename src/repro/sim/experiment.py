@@ -19,11 +19,13 @@ cost-minimization iterations having smaller batches) are measurable.
 
 from __future__ import annotations
 
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.criteria import Criterion
-from repro.core.errors import InfeasibleConstraintError
+from repro.core.errors import InfeasibleConstraintError, InvalidRequestError
 from repro.core.job import Batch
 from repro.core.optimize import (
     DEFAULT_RESOLUTION,
@@ -40,9 +42,14 @@ from repro.sim.generators import JobGenerator, JobGeneratorConfig, SlotGenerator
 __all__ = [
     "AlgorithmSample",
     "IterationComparison",
+    "IterationOutcome",
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentRunner",
+    "ParallelRunner",
+    "derive_iteration_seed",
+    "generate_iteration",
+    "run_iteration",
     "run_pipeline",
 ]
 
@@ -170,8 +177,120 @@ def run_pipeline(
     return sample, combination
 
 
+@dataclass(frozen=True)
+class IterationOutcome:
+    """Result of one attempted scheduling iteration (either runner).
+
+    Exactly one of ``comparison``/``dropped_uncovered``/
+    ``dropped_infeasible`` is set/true per outcome.
+    """
+
+    slot_count: int
+    job_count: int
+    comparison: IterationComparison | None = None
+    dropped_uncovered: bool = False
+    dropped_infeasible: bool = False
+
+
+def _optimize_search(config: ExperimentConfig, search: SearchResult) -> AlgorithmSample | None:
+    """Phase 2 for one algorithm's search; ``None`` when infeasible."""
+    covered = search.alternatives
+    quota = time_quota(covered)
+    try:
+        if config.objective is Criterion.TIME:
+            budget = vo_budget(covered, quota, resolution=config.resolution)
+            combination = minimize_time(covered, budget, resolution=config.resolution)
+        else:
+            budget = None
+            combination = minimize_cost(covered, quota, resolution=config.resolution)
+    except InfeasibleConstraintError:
+        return None
+    return AlgorithmSample.from_combination(combination, search, quota, budget)
+
+
+def run_iteration(
+    config: ExperimentConfig, index: int, slots: SlotList, batch: Batch
+) -> IterationOutcome:
+    """One attempted iteration: both pipelines on identical inputs.
+
+    Pure function of its inputs — the shared building block of
+    :class:`ExperimentRunner` (streamed RNG) and :class:`ParallelRunner`
+    (per-iteration derived seeds).
+    """
+    outcomes = {}
+    uncovered = False
+    for algorithm in (SlotSearchAlgorithm.ALP, SlotSearchAlgorithm.AMP):
+        search = find_alternatives(slots, batch, algorithm, rho=config.rho)
+        if not search.all_jobs_covered():
+            uncovered = True
+            break
+        outcomes[algorithm] = search
+    if uncovered:
+        return IterationOutcome(
+            slot_count=len(slots), job_count=len(batch), dropped_uncovered=True
+        )
+    pipelines = {}
+    for algorithm, search in outcomes.items():
+        finished = _optimize_search(config, search)
+        if finished is None:
+            return IterationOutcome(
+                slot_count=len(slots), job_count=len(batch), dropped_infeasible=True
+            )
+        pipelines[algorithm] = finished
+    comparison = IterationComparison(
+        index=index,
+        slot_count=len(slots),
+        job_count=len(batch),
+        alp=pipelines[SlotSearchAlgorithm.ALP],
+        amp=pipelines[SlotSearchAlgorithm.AMP],
+    )
+    return IterationOutcome(
+        slot_count=len(slots), job_count=len(batch), comparison=comparison
+    )
+
+
+class _SeriesAccumulator:
+    """Folds :class:`IterationOutcome` values into an :class:`ExperimentResult`."""
+
+    def __init__(self) -> None:
+        self.samples: list[IterationComparison] = []
+        self.dropped_uncovered = 0
+        self.dropped_infeasible = 0
+        self.total_slots = 0
+        self.total_jobs = 0
+
+    def add(self, outcome: IterationOutcome) -> None:
+        self.total_slots += outcome.slot_count
+        self.total_jobs += outcome.job_count
+        if outcome.comparison is not None:
+            self.samples.append(outcome.comparison)
+        elif outcome.dropped_uncovered:
+            self.dropped_uncovered += 1
+        else:
+            self.dropped_infeasible += 1
+
+    def result(self, config: ExperimentConfig, attempted: int) -> ExperimentResult:
+        return ExperimentResult(
+            config=config,
+            samples=self.samples,
+            attempted=attempted,
+            dropped_uncovered=self.dropped_uncovered,
+            dropped_infeasible=self.dropped_infeasible,
+            total_slots_processed=self.total_slots,
+            total_jobs_attempted=self.total_jobs,
+        )
+
+
 class ExperimentRunner:
-    """Runs an experiment series per :class:`ExperimentConfig`."""
+    """Runs an experiment series per :class:`ExperimentConfig`.
+
+    Generation is *streamed*: one RNG, seeded once with ``config.seed``,
+    drives every iteration in sequence — the historical behaviour, kept
+    so existing seeds keep producing the numbers recorded in
+    EXPERIMENTS.md.  For a runner whose draws are independent of
+    iteration order (and therefore shardable across processes), see
+    :class:`ParallelRunner`.
+    """
 
     def __init__(self, config: ExperimentConfig | None = None) -> None:
         self.config = config or ExperimentConfig()
@@ -186,80 +305,117 @@ class ExperimentRunner:
         config = self.config
         slot_generator = SlotGenerator(config.slot_config, seed=config.seed)
         job_generator = JobGenerator(config.job_config, rng=slot_generator.rng)
-        samples: list[IterationComparison] = []
-        dropped_uncovered = 0
-        dropped_infeasible = 0
-        total_slots = 0
-        total_jobs = 0
+        accumulator = _SeriesAccumulator()
         for attempt in range(config.iterations):
             slots = slot_generator.generate()
             batch = job_generator.generate()
-            total_slots += len(slots)
-            total_jobs += len(batch)
-            outcomes = {}
-            uncovered = False
-            for algorithm in (SlotSearchAlgorithm.ALP, SlotSearchAlgorithm.AMP):
-                search = find_alternatives(
-                    slots, batch, algorithm, rho=config.rho
-                )
-                if not search.all_jobs_covered():
-                    uncovered = True
-                    break
-                outcomes[algorithm] = search
-            if uncovered:
-                dropped_uncovered += 1
+            accumulator.add(run_iteration(config, attempt, slots, batch))
+            if progress is not None:
+                progress(attempt + 1, len(accumulator.samples))
+        return accumulator.result(config, config.iterations)
+
+
+def derive_iteration_seed(master_seed: int, index: int) -> int:
+    """Deterministic, order-independent per-iteration seed.
+
+    Hash-derived (not ``master_seed + index``) so that neighbouring
+    iterations get statistically independent streams and any shard of the
+    series can be regenerated in isolation — the property that makes
+    :class:`ParallelRunner` results invariant under the worker count.
+    """
+    digest = hashlib.blake2b(
+        f"{master_seed}:{index}".encode("ascii"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def generate_iteration(config: ExperimentConfig, index: int) -> tuple[SlotList, Batch]:
+    """Draw iteration ``index``'s slot list and batch from its own stream.
+
+    Mirrors the serial runner's coupling (one RNG shared by both
+    generators) but re-seeds per iteration via
+    :func:`derive_iteration_seed`.
+    """
+    seed = derive_iteration_seed(config.seed, index)
+    slot_generator = SlotGenerator(config.slot_config, seed=seed)
+    job_generator = JobGenerator(config.job_config, rng=slot_generator.rng)
+    return slot_generator.generate(), job_generator.generate()
+
+
+def _run_span(config: ExperimentConfig, start: int, stop: int) -> ExperimentResult:
+    """Run iterations ``[start, stop)`` of the seeded series (one shard)."""
+    accumulator = _SeriesAccumulator()
+    for index in range(start, stop):
+        slots, batch = generate_iteration(config, index)
+        accumulator.add(run_iteration(config, index, slots, batch))
+    return accumulator.result(config, stop - start)
+
+
+def _shard_spans(iterations: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(iterations)`` into ``shards`` contiguous spans."""
+    base, extra = divmod(iterations, shards)
+    spans = []
+    cursor = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        spans.append((cursor, cursor + size))
+        cursor += size
+    return [span for span in spans if span[0] < span[1]]
+
+
+class ParallelRunner:
+    """Shards a seeded experiment series across worker processes.
+
+    Every iteration draws from its own :func:`derive_iteration_seed`
+    stream, so the series is embarrassingly parallel *and* deterministic:
+    for a fixed master seed the merged result — samples, drop counters,
+    per-job outcomes — is byte-identical for any ``workers`` value
+    (``tests/test_experiment.py`` asserts 4 workers ≡ serial).  Note the
+    per-iteration seeding means results differ from
+    :class:`ExperimentRunner`'s single-stream draws for the same master
+    seed; both are fully reproducible, they are just different series.
+    """
+
+    def __init__(self, config: ExperimentConfig | None = None, *, workers: int = 1) -> None:
+        if workers < 1:
+            raise InvalidRequestError(f"workers must be >= 1, got {workers!r}")
+        self.config = config or ExperimentConfig()
+        self.workers = workers
+
+    def run(self, *, progress: Callable[[int, int], None] | None = None) -> ExperimentResult:
+        """Execute the series across ``workers`` processes.
+
+        Args:
+            progress: Optional callback ``(attempted_so_far, counted)``;
+                with multiple workers it fires once per merged shard
+                rather than per iteration.
+        """
+        from repro.sim.stats import merge_results
+
+        config = self.config
+        if self.workers == 1:
+            accumulator = _SeriesAccumulator()
+            for index in range(config.iterations):
+                slots, batch = generate_iteration(config, index)
+                accumulator.add(run_iteration(config, index, slots, batch))
                 if progress is not None:
-                    progress(attempt + 1, len(samples))
-                continue
-            pipelines = {}
-            infeasible = False
-            for algorithm, search in outcomes.items():
-                finished = self._optimize(search)
-                if finished is None:
-                    infeasible = True
-                    break
-                pipelines[algorithm] = finished
-            if infeasible:
-                dropped_infeasible += 1
-                if progress is not None:
-                    progress(attempt + 1, len(samples))
-                continue
-            samples.append(
-                IterationComparison(
-                    index=attempt,
-                    slot_count=len(slots),
-                    job_count=len(batch),
-                    alp=pipelines[SlotSearchAlgorithm.ALP],
-                    amp=pipelines[SlotSearchAlgorithm.AMP],
+                    progress(index + 1, len(accumulator.samples))
+            return accumulator.result(config, config.iterations)
+        spans = _shard_spans(config.iterations, self.workers)
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            shards = list(
+                pool.map(
+                    _run_span,
+                    [config] * len(spans),
+                    [span[0] for span in spans],
+                    [span[1] for span in spans],
                 )
             )
-            if progress is not None:
-                progress(attempt + 1, len(samples))
-        return ExperimentResult(
-            config=config,
-            samples=samples,
-            attempted=config.iterations,
-            dropped_uncovered=dropped_uncovered,
-            dropped_infeasible=dropped_infeasible,
-            total_slots_processed=total_slots,
-            total_jobs_attempted=total_jobs,
-        )
-
-    def _optimize(self, search: SearchResult) -> AlgorithmSample | None:
-        config = self.config
-        covered = search.alternatives
-        quota = time_quota(covered)
-        try:
-            if config.objective is Criterion.TIME:
-                budget = vo_budget(covered, quota, resolution=config.resolution)
-                combination = minimize_time(
-                    covered, budget, resolution=config.resolution
-                )
-            else:
-                budget = None
-                combination = minimize_cost(
-                    covered, quota, resolution=config.resolution
-                )
-        except InfeasibleConstraintError:
-            return None
-        return AlgorithmSample.from_combination(combination, search, quota, budget)
+        if progress is not None:
+            attempted = 0
+            counted = 0
+            for shard in shards:
+                attempted += shard.attempted
+                counted += shard.counted
+                progress(attempted, counted)
+        return merge_results(shards, config=config)

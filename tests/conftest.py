@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.core import Resource, Slot, SlotList
+from repro.core import Batch, Job, Resource, ResourceRequest, Slot, SlotList
 
 
 @pytest.fixture
@@ -40,4 +40,45 @@ def make_uniform_slots(
             start + length,
         )
         for i in range(count)
+    )
+
+
+def make_random_slot_list(seed: int, count: int = 35) -> SlotList:
+    """A seeded random environment: staggered starts, mixed nodes.
+
+    The shared instance generator of the oracle, differential and
+    property suites — one slot per resource, performance in [1, 3],
+    price in [1, 6], occasional shared start times so the scans' expiry
+    logic is exercised.
+    """
+    rng = random.Random(seed)
+    slots = []
+    start = 0.0
+    for i in range(count):
+        if rng.random() > 0.4:
+            start += rng.uniform(0.0, 10.0)
+        node = Resource(
+            f"n{i}", performance=rng.uniform(1.0, 3.0), price=rng.uniform(1.0, 6.0)
+        )
+        slots.append(Slot(node, start, start + rng.uniform(50.0, 300.0)))
+    return SlotList(slots)
+
+
+def make_random_request(rng: random.Random) -> ResourceRequest:
+    """One random request in the same ranges the oracle suite draws from."""
+    return ResourceRequest(
+        node_count=rng.randint(1, 5),
+        volume=rng.uniform(10.0, 200.0),
+        min_performance=rng.uniform(1.0, 2.0),
+        max_price=rng.uniform(1.0, 8.0),
+    )
+
+
+def make_random_batch(seed: int, job_count: int | None = None) -> Batch:
+    """A seeded batch of random jobs (for multi-pass search instances)."""
+    rng = random.Random(seed ^ 0x5EED)
+    if job_count is None:
+        job_count = rng.randint(1, 5)
+    return Batch(
+        [Job(make_random_request(rng), name=f"j{i}") for i in range(job_count)]
     )

@@ -68,6 +68,21 @@ class TestCommands:
         assert "Fig. 4" in out
         assert "alternatives per job" in out
 
+    def test_experiment_workers_flag(self, capsys):
+        assert (
+            main(["experiment", "--iterations", "12", "--seed", "5", "--workers", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "alternatives per job" in out
+
+    def test_experiment_rejects_zero_workers(self, capsys):
+        assert (
+            main(["experiment", "--iterations", "4", "--seed", "5", "--workers", "0"])
+            == 2
+        )
+        assert "workers" in capsys.readouterr().err
+
     def test_experiment_cost_objective(self, capsys):
         assert (
             main(["experiment", "--objective", "cost", "--iterations", "12", "--seed", "5"])

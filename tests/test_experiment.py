@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from dataclasses import asdict
+
 import pytest
 
 from repro.core import Criterion, InvalidRequestError, SlotSearchAlgorithm
@@ -9,10 +12,14 @@ from repro.sim import (
     ExperimentConfig,
     ExperimentRunner,
     JobGeneratorConfig,
+    ParallelRunner,
     SlotGeneratorConfig,
+    derive_iteration_seed,
     figure4,
     figure5,
     figure6,
+    generate_iteration,
+    merge_results,
     render_figure4,
     render_figure5,
     render_figure6,
@@ -95,6 +102,71 @@ class TestExperimentRunner:
     def test_same_drops_for_both_objectives(self, time_result, cost_result):
         # Phase 1 is objective-independent, so the uncovered drops agree.
         assert time_result.dropped_uncovered == cost_result.dropped_uncovered
+
+
+def _result_document(result) -> str:
+    """A byte-comparable serialization of everything a series produced:
+    aggregate stats, drop counters, and every per-job outcome."""
+    return json.dumps(
+        {
+            "samples": [asdict(sample) for sample in result.samples],
+            "attempted": result.attempted,
+            "counted": result.counted,
+            "dropped_uncovered": result.dropped_uncovered,
+            "dropped_infeasible": result.dropped_infeasible,
+            "total_slots_processed": result.total_slots_processed,
+            "total_jobs_attempted": result.total_jobs_attempted,
+            "summary": str(summarize(result)),
+        },
+        sort_keys=True,
+    )
+
+
+class TestParallelRunner:
+    CONFIG = ExperimentConfig(
+        objective=Criterion.TIME, iterations=24, seed=4242, resolution=300
+    )
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(InvalidRequestError):
+            ParallelRunner(self.CONFIG, workers=0)
+
+    def test_derived_seeds_are_distinct_and_stable(self):
+        seeds = [derive_iteration_seed(4242, index) for index in range(100)]
+        assert len(set(seeds)) == 100
+        assert seeds == [derive_iteration_seed(4242, index) for index in range(100)]
+
+    def test_generate_iteration_is_order_independent(self):
+        slots_a, batch_a = generate_iteration(self.CONFIG, 7)
+        generate_iteration(self.CONFIG, 3)  # interleaved draw must not matter
+        slots_b, batch_b = generate_iteration(self.CONFIG, 7)
+        assert [(s.start, s.end, s.price) for s in slots_a] == [
+            (s.start, s.end, s.price) for s in slots_b
+        ]
+        assert [job.request.volume for job in batch_a] == [
+            job.request.volume for job in batch_b
+        ]
+
+    @pytest.mark.slow
+    def test_four_workers_byte_identical_to_serial(self):
+        """The ISSUE's determinism contract: ``--workers 4`` produces
+        byte-identical aggregate stats and per-job outcomes to the
+        serial (one-worker) runner for the same master seed."""
+        serial = ParallelRunner(self.CONFIG, workers=1).run()
+        parallel = ParallelRunner(self.CONFIG, workers=4).run()
+        assert _result_document(parallel) == _result_document(serial)
+
+    def test_merge_results_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_results([])
+
+    def test_progress_reports_shard_boundaries(self):
+        calls = []
+        ParallelRunner(self.CONFIG, workers=2).run(
+            progress=lambda done, counted: calls.append(done)
+        )
+        assert calls[-1] == self.CONFIG.iterations
+        assert calls == sorted(calls)
 
 
 class TestPaperShape:

@@ -5,17 +5,42 @@ cheapest-subset retries); these tests validate them against maximally
 dumb O(m²) oracles that enumerate every candidate start time directly
 from the definitions in docs/model.md.  Agreement across random
 environments is the core correctness argument of the reproduction.
+
+The second half of the module is the *differential* suite guarding the
+indexed fast path (:class:`repro.core.index.SlotIndex`): the optimised
+finders and the retained naive O(m)-rescan reference must produce
+identical window sets — same alternatives, same pass counts, same
+remaining slots — and identical phase-2 DP selections, across hundreds
+of random instances.  This is the equivalence-testing policy of
+docs/benchmarks.md: any future fast path must ship with tests of this
+shape before it may become the default.
 """
 
 from __future__ import annotations
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Resource, ResourceRequest, Slot, SlotList
+from repro.core import (
+    Criterion,
+    Resource,
+    ResourceRequest,
+    Slot,
+    SlotIndex,
+    SlotList,
+    SlotSearchAlgorithm,
+    find_alternatives,
+    minimize_cost,
+    minimize_time,
+    time_quota,
+    vo_budget,
+)
 from repro.core import alp, amp
+
+from tests.conftest import make_random_batch, make_random_request, make_random_slot_list
 
 
 def _alive(slot: Slot, request: ResourceRequest, at: float) -> bool:
@@ -53,18 +78,9 @@ def _oracle_amp_start(slots: SlotList, request: ResourceRequest) -> float | None
     return None
 
 
-def _random_slot_list(seed: int, count: int = 35) -> SlotList:
-    rng = random.Random(seed)
-    slots = []
-    start = 0.0
-    for i in range(count):
-        if rng.random() > 0.4:
-            start += rng.uniform(0.0, 10.0)
-        node = Resource(
-            f"n{i}", performance=rng.uniform(1.0, 3.0), price=rng.uniform(1.0, 6.0)
-        )
-        slots.append(Slot(node, start, start + rng.uniform(50.0, 300.0)))
-    return SlotList(slots)
+# The instance generator now lives in tests/conftest.py so the property
+# suite can reuse it; the local alias keeps the oracle tests readable.
+_random_slot_list = make_random_slot_list
 
 
 _request_strategy = st.builds(
@@ -126,3 +142,137 @@ def test_oracles_agree_on_ordering(seed):
     if alp_start is not None:
         assert amp_start is not None
         assert amp_start <= alp_start
+
+
+# --------------------------------------------------------------------- #
+# Differential tests: indexed fast path vs naive O(m)-rescan reference  #
+# --------------------------------------------------------------------- #
+
+#: 100 seeds × 2 algorithms = 200 random multi-pass instances, plus the
+#: rho-scaled and single-find variants below.
+DIFF_SEEDS = range(100)
+
+
+def _window_fingerprint(window):
+    """A window's identity: synchronous start + exact placements.
+
+    Resources are shared objects between the two search paths (both read
+    the same input list), so uids are comparable; starts/ends/prices must
+    be bit-equal, which is the contract the indexed path promises.
+    """
+    return (
+        window.start,
+        tuple(
+            (a.resource.uid, a.start, a.end, a.source.price)
+            for a in window.allocations
+        ),
+    )
+
+
+def _search_fingerprint(result):
+    """Everything a SearchResult determines, in comparable form."""
+    return {
+        "alternatives": {
+            job.name: [_window_fingerprint(w) for w in windows]
+            for job, windows in result.alternatives.items()
+        },
+        "passes": result.passes,
+        "remaining": sorted(
+            (s.resource.uid, s.start, s.end, s.price) for s in result.remaining_slots
+        ),
+    }
+
+
+def _combination_fingerprint(combination):
+    return {
+        job.name: _window_fingerprint(window)
+        for job, window in combination.selection.items()
+    }
+
+
+def _both_paths(seed: int, algorithm: SlotSearchAlgorithm, *, rho: float = 1.0):
+    slots = make_random_slot_list(seed, count=40)
+    batch = make_random_batch(seed)
+    naive = find_alternatives(slots, batch, algorithm, rho=rho, use_index=False)
+    indexed = find_alternatives(slots, batch, algorithm, rho=rho, use_index=True)
+    return naive, indexed
+
+
+@pytest.mark.parametrize(
+    "algorithm", [SlotSearchAlgorithm.ALP, SlotSearchAlgorithm.AMP], ids=["alp", "amp"]
+)
+def test_indexed_search_matches_reference(algorithm):
+    """The indexed multi-pass search is window-for-window identical to
+    the naive-rescan reference across 100 random instances each."""
+    for seed in DIFF_SEEDS:
+        naive, indexed = _both_paths(seed, algorithm)
+        assert _search_fingerprint(indexed) == _search_fingerprint(naive), (
+            f"divergence on seed={seed} algorithm={algorithm.value}"
+        )
+
+
+@pytest.mark.parametrize("rho", [0.8, 0.5])
+def test_indexed_search_matches_reference_scaled_budget(rho):
+    """Equivalence holds under the Section 6 budget-shrink extension."""
+    for seed in range(40):
+        naive, indexed = _both_paths(seed, SlotSearchAlgorithm.AMP, rho=rho)
+        assert _search_fingerprint(indexed) == _search_fingerprint(naive), (
+            f"divergence on seed={seed} rho={rho}"
+        )
+
+
+@pytest.mark.parametrize(
+    "objective", [Criterion.TIME, Criterion.COST], ids=["time", "cost"]
+)
+def test_indexed_search_matches_phase2_selection(objective):
+    """Identical alternatives must produce identical DP selections.
+
+    Beyond asserting equal phase-1 output, run the phase-2 dynamic
+    programming over both paths' alternatives and require the *chosen
+    combinations* to coincide — the end-to-end guarantee the experiment
+    engine relies on.
+    """
+    checked = 0
+    for seed in DIFF_SEEDS:
+        for algorithm in (SlotSearchAlgorithm.ALP, SlotSearchAlgorithm.AMP):
+            naive, indexed = _both_paths(seed, algorithm)
+            if not naive.all_jobs_covered():
+                continue
+            quota = time_quota(naive.alternatives)
+            try:
+                if objective is Criterion.TIME:
+                    budget = vo_budget(naive.alternatives, quota)
+                    chosen_naive = minimize_time(naive.alternatives, budget)
+                    chosen_indexed = minimize_time(indexed.alternatives, budget)
+                else:
+                    chosen_naive = minimize_cost(naive.alternatives, quota)
+                    chosen_indexed = minimize_cost(indexed.alternatives, quota)
+            except Exception:
+                continue
+            assert _combination_fingerprint(chosen_indexed) == _combination_fingerprint(
+                chosen_naive
+            ), f"phase-2 divergence on seed={seed} algorithm={algorithm.value}"
+            checked += 1
+    assert checked >= 20, f"too few covered instances exercised ({checked})"
+
+
+def test_indexed_single_find_matches_reference_finders():
+    """SlotIndex.find_{alp,amp}_window equal alp/amp.find_window on the
+    same list — including the exact float fields of every placement."""
+    for seed in range(120):
+        slots = make_random_slot_list(seed, count=40)
+        rng = random.Random(seed * 31 + 7)
+        request = make_random_request(rng)
+        index = SlotIndex(slots)
+
+        reference = alp.find_window(slots, request)
+        fast = index.find_alp_window(request)
+        assert (reference is None) == (fast is None), f"ALP feasibility, seed={seed}"
+        if reference is not None:
+            assert _window_fingerprint(fast) == _window_fingerprint(reference)
+
+        reference = amp.find_window(slots, request)
+        fast = index.find_amp_window(request)
+        assert (reference is None) == (fast is None), f"AMP feasibility, seed={seed}"
+        if reference is not None:
+            assert _window_fingerprint(fast) == _window_fingerprint(reference)

@@ -1,0 +1,96 @@
+"""Unit tests for the incremental slot index (repro.core.index).
+
+The differential suite in ``test_reference_oracles.py`` proves the
+indexed finders equivalent to the reference scans; these tests cover the
+index's own container contract and its mutation error paths, which the
+happy-path equivalence runs never hit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ResourceRequest, SlotIndex, SlotList, SlotListError
+from repro.core import alp
+
+from tests.conftest import make_random_slot_list, make_resource, make_uniform_slots
+
+
+class TestContainer:
+    def test_iterates_in_slot_list_order(self):
+        slots = make_random_slot_list(3)
+        index = SlotIndex(slots)
+        assert len(index) == len(slots)
+        assert [
+            (s.resource.uid, s.start, s.end) for s in index
+        ] == [(s.resource.uid, s.start, s.end) for s in slots]
+
+    def test_slot_list_round_trip(self):
+        slots = make_random_slot_list(4)
+        materialised = SlotIndex(slots).slot_list()
+        assert isinstance(materialised, SlotList)
+        assert [(s.start, s.end) for s in materialised] == [
+            (s.start, s.end) for s in slots
+        ]
+
+
+class TestCommit:
+    def test_commit_splits_source_slot(self):
+        slots = make_uniform_slots(2, start=0.0, length=100.0)
+        index = SlotIndex(slots)
+        request = ResourceRequest(node_count=2, volume=40.0, max_price=2.0)
+        window = index.find_alp_window(request)
+        assert window is not None
+        index.commit(window)
+        # Each 100-long slot loses its leading 40-long span.
+        assert [(s.start, s.end) for s in index] == [(40.0, 100.0), (40.0, 100.0)]
+
+    def test_commit_twice_raises(self):
+        slots = make_uniform_slots(1, start=0.0, length=100.0)
+        index = SlotIndex(slots)
+        window = index.find_alp_window(
+            ResourceRequest(node_count=1, volume=40.0, max_price=2.0)
+        )
+        index.commit(window)
+        with pytest.raises(SlotListError):
+            index.commit(window)  # source slot no longer in the index
+
+    def test_find_matches_reference_after_commits(self):
+        """After incremental mutations, the index still agrees with a
+        fresh reference scan over its materialised list."""
+        index = SlotIndex(make_random_slot_list(11, count=30))
+        request = ResourceRequest(node_count=2, volume=60.0, max_price=5.0)
+        for _ in range(5):
+            window = index.find_alp_window(request)
+            if window is None:
+                break
+            reference = alp.find_window(index.slot_list(), request)
+            assert reference is not None
+            assert reference.start == window.start
+            index.commit(window)
+
+
+class TestSubtract:
+    def test_parity_with_slot_list_subtract(self):
+        slots = make_random_slot_list(21, count=12)
+        index = SlotIndex(slots)
+        reference = slots.copy()
+        victim = list(slots)[0]
+        span = (victim.start + 1.0, victim.end - 1.0)
+        index.subtract(victim.resource, *span)
+        reference.subtract(victim.resource, *span)
+        assert [(s.resource.uid, s.start, s.end) for s in index] == [
+            (s.resource.uid, s.start, s.end) for s in reference
+        ]
+
+    def test_subtract_missing_span_raises(self):
+        index = SlotIndex(make_uniform_slots(1, start=0.0, length=10.0))
+        stranger = make_resource("stranger")
+        with pytest.raises(SlotListError):
+            index.subtract(stranger, 0.0, 5.0)
+
+    def test_subtract_negative_span_raises(self):
+        slots = make_uniform_slots(1, start=0.0, length=10.0)
+        index = SlotIndex(slots)
+        with pytest.raises(SlotListError):
+            index.subtract(list(slots)[0].resource, 6.0, 4.0)
