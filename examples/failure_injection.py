@@ -8,11 +8,15 @@ runs the discrete-event driver with all three event sources:
 
 * a Poisson stream of global jobs,
 * periodic scheduling iterations,
-* two injected node outages that revoke overlapping reservations and
-  send their jobs back to the queue.
+* seeded per-node outage streams (MTBF/MTTR renewal processes from
+  ``repro.grid.resilience``) plus two hand-placed outages.
 
-Watch the log: jobs killed by an outage are resubmitted and land on new
-windows at later iterations.
+The metascheduler runs with the alternative-backed recovery subsystem
+enabled: a revoked job is first re-committed onto one of its unused
+phase-1 alternatives (*hot-swap*), then via an immediate re-search, and
+only then resubmitted with bounded backoff — or dropped once its
+revocation budget is exhausted.  Watch the log: most revocations are
+healed inside the outage event itself, without a queue round trip.
 
 Run:  python examples/failure_injection.py
 """
@@ -23,9 +27,11 @@ from repro.core import BatchScheduler, InfeasiblePolicy, SchedulerConfig
 from repro.grid import (
     ClusterSpec,
     EventKind,
+    FailureConfig,
     LocalJobFlow,
     Metascheduler,
     PoissonArrivals,
+    RetryPolicy,
     SimulationDriver,
     VOEnvironment,
 )
@@ -44,7 +50,13 @@ def main() -> None:
     scheduler = BatchScheduler(
         SchedulerConfig(infeasible_policy=InfeasiblePolicy.EARLIEST)
     )
-    meta = Metascheduler(environment, scheduler, period=120.0, horizon=1000.0)
+    meta = Metascheduler(
+        environment,
+        scheduler,
+        period=120.0,
+        horizon=1000.0,
+        recovery=RetryPolicy(max_revocations=3, backoff_base=60.0),
+    )
     driver = SimulationDriver(meta)
 
     arrivals = driver.add_arrivals(PoissonArrivals(rate=0.008, seed=SEED), 0.0, HORIZON)
@@ -52,9 +64,12 @@ def main() -> None:
     nodes = list(environment.nodes())
     driver.add_outage(nodes[0], at_time=300.0, duration=600.0)
     driver.add_outage(nodes[5], at_time=900.0, duration=400.0)
+    storms = driver.add_failures(
+        FailureConfig(mtbf=1500.0, mttr=150.0, seed=SEED), 0.0, HORIZON
+    )
 
-    print(f"driving {arrivals} arrivals, 2 outages, "
-          f"{driver.pending_events() - arrivals - 2} ticks\n")
+    print(f"driving {arrivals} arrivals, {storms + 2} outages, "
+          f"{driver.pending_events() - arrivals - storms - 2} ticks\n")
     events = driver.run()
 
     for event in events:
@@ -65,8 +80,18 @@ def main() -> None:
 
     summary = meta.trace.summary()
     resubmissions = sum(record.resubmissions for record in meta.trace)
+    recoveries = sum(record.recoveries for record in meta.trace)
+    counts = meta.recovery.outcome_counts()
     print(f"\n{summary}")
-    print(f"outage resubmissions: {resubmissions}; backlog at end: {meta.backlog()}")
+    print(
+        f"revocations: {sum(counts.values())} "
+        f"(hot-swapped {counts['hot_swap']}, re-searched {counts['research']}, "
+        f"resubmitted {counts['resubmit']}, dropped {counts['reject']})"
+    )
+    print(
+        f"in-place recoveries: {recoveries}; queue resubmissions: {resubmissions}; "
+        f"backlog at end: {meta.backlog()}"
+    )
 
 
 if __name__ == "__main__":

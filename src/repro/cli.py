@@ -51,15 +51,35 @@ from repro.sim import (
 __all__ = ["main", "build_parser"]
 
 
+def _failure_config(args: argparse.Namespace):
+    """Build the optional FailureConfig from --mtbf/--mttr flags."""
+    mtbf = getattr(args, "mtbf", None)
+    mttr = getattr(args, "mttr", None)
+    if mtbf is None and mttr is None:
+        return None
+    from repro.grid import FailureConfig
+
+    return FailureConfig(
+        mtbf=mtbf if mtbf is not None else 2000.0,
+        mttr=mttr if mttr is not None else 200.0,
+        seed=getattr(args, "failure_seed", 0),
+    )
+
+
 def _run_experiment(
     objective: Criterion,
     iterations: int,
     seed: int,
     rho: float,
     workers: int | None = None,
+    failures=None,
 ):
     config = ExperimentConfig(
-        objective=objective, iterations=iterations, seed=seed, rho=rho
+        objective=objective,
+        iterations=iterations,
+        seed=seed,
+        rho=rho,
+        failures=failures,
     )
     if workers is not None:
         from repro.sim import ParallelRunner
@@ -72,9 +92,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.sim import render_figure4, render_figure5, render_figure6, summarize, summary_table
 
     objective = Criterion(args.objective)
+    failures = _failure_config(args)
     result = _run_experiment(
-        objective, args.iterations, args.seed, args.rho, workers=args.workers
+        objective,
+        args.iterations,
+        args.seed,
+        args.rho,
+        workers=args.workers,
+        failures=failures,
     )
+    if failures is not None:
+        print(
+            f"failure injection: mtbf={failures.mtbf:g}, mttr={failures.mttr:g}, "
+            f"seed={failures.seed} (per-node outage streams carved out of "
+            "every iteration's slot list)"
+        )
+        print()
     print(summary_table(summarize(result)))
     print()
     if objective is Criterion.TIME:
@@ -151,7 +184,14 @@ def _cmd_complexity(args: argparse.Namespace) -> int:
 
 
 def _cmd_vo(args: argparse.Namespace) -> int:
-    from repro.grid import ClusterSpec, LocalJobFlow, Metascheduler, VOEnvironment
+    from repro.grid import (
+        ClusterSpec,
+        LocalJobFlow,
+        Metascheduler,
+        RetryPolicy,
+        SimulationDriver,
+        VOEnvironment,
+    )
 
     environment = VOEnvironment.generate(
         [
@@ -163,13 +203,36 @@ def _cmd_vo(args: argparse.Namespace) -> int:
     flow = LocalJobFlow(seed=args.seed)
     for cluster in environment.clusters:
         flow.occupy(cluster, 0.0, args.until + 1000.0)
-    meta = Metascheduler(environment, period=args.period, horizon=args.horizon)
+    failures = _failure_config(args)
+    recovery = (
+        RetryPolicy(max_revocations=args.max_revocations) if args.recovery else None
+    )
+    meta = Metascheduler(
+        environment, period=args.period, horizon=args.horizon, recovery=recovery
+    )
     generator = JobGenerator(seed=args.seed)
     rng = random.Random(args.seed)
     for index in range(args.jobs):
         request = generator.generate_request()
         meta.submit(Job(request, name=f"user-job{index}"), at_time=rng.uniform(0.0, args.until / 2))
-    meta.run(until=args.until)
+    if failures is not None:
+        driver = SimulationDriver(meta)
+        driver.add_ticks(0.0, args.until)
+        outages = driver.add_failures(failures, 0.0, args.until)
+        driver.run()
+        revocations = sum(report.revocations for report in meta.reports)
+        hot_swaps = sum(report.hot_swaps for report in meta.reports)
+        replacements = sum(report.replacements for report in meta.reports)
+        dropped = sum(report.recovery_rejections for report in meta.reports)
+        print(
+            f"failures: {outages} outages (mtbf={failures.mtbf:g}, "
+            f"mttr={failures.mttr:g}), {revocations} revocations | "
+            f"recovery: {hot_swaps} hot-swapped, {replacements} re-searched, "
+            f"{revocations - hot_swaps - replacements - dropped} resubmitted, "
+            f"{dropped} dropped"
+        )
+    else:
+        meta.run(until=args.until)
     print(meta.trace.summary())
     print(
         f"iterations: {len(meta.reports)}, backlog: {meta.backlog()}, "
@@ -269,6 +332,25 @@ def build_parser() -> argparse.ArgumentParser:
             "the historical single-stream serial runner)"
         ),
     )
+    experiment.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        help="enable failure injection: mean time between failures per node",
+    )
+    experiment.add_argument(
+        "--mttr",
+        type=float,
+        default=None,
+        help="mean time to repair for injected failures",
+    )
+    experiment.add_argument(
+        "--failure-seed",
+        type=int,
+        default=0,
+        dest="failure_seed",
+        help="master seed of the per-node outage streams",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     figures = sub.add_parser(
@@ -309,6 +391,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--statements",
         action="store_true",
         help="print the owners' and users' billing statements",
+    )
+    vo.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        help="enable node failures: mean time between failures per node",
+    )
+    vo.add_argument(
+        "--mttr",
+        type=float,
+        default=None,
+        help="mean time to repair for injected node failures",
+    )
+    vo.add_argument(
+        "--failure-seed",
+        type=int,
+        default=0,
+        dest="failure_seed",
+        help="master seed of the per-node outage streams",
+    )
+    vo.add_argument(
+        "--recovery",
+        action="store_true",
+        help=(
+            "recover revoked jobs via retained phase-1 alternatives "
+            "(hot-swap), immediate re-search, then backoff resubmission"
+        ),
+    )
+    vo.add_argument(
+        "--max-revocations",
+        type=int,
+        default=3,
+        dest="max_revocations",
+        help="per-job revocation budget before a typed rejection",
     )
     vo.set_defaults(handler=_cmd_vo)
 

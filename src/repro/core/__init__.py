@@ -31,6 +31,7 @@ from repro.core.errors import (
     InfeasibleConstraintError,
     InvalidRequestError,
     OptimizationError,
+    RecoveryExhaustedError,
     SchedulingError,
     SlotListError,
     WindowNotFoundError,
@@ -159,6 +160,7 @@ __all__ = [
     "price_of_performance",
     "DEFAULT_PRICE_BASE",
     # errors
+    "RecoveryExhaustedError",
     "SchedulingError",
     "InvalidRequestError",
     "SlotListError",

@@ -15,6 +15,7 @@ __all__ = [
     "WindowNotFoundError",
     "OptimizationError",
     "InfeasibleConstraintError",
+    "RecoveryExhaustedError",
     "TelemetryError",
 ]
 
@@ -75,6 +76,35 @@ class InfeasibleConstraintError(OptimizationError):
         self.limit = limit
         #: The best (smallest) achievable value of the constrained quantity.
         self.best = best
+
+
+class RecoveryExhaustedError(SchedulingError):
+    """A job spent its per-job revocation budget and was dropped.
+
+    Raised conceptually by the fault-recovery subsystem
+    (:mod:`repro.grid.resilience`) when outages revoke a job's
+    reservation more often than the retry policy allows.  The recovery
+    path never lets this propagate out of an outage event — the job is
+    rejected in the workload trace and the error is recorded on the
+    recovery event — but callers inspecting recovery outcomes get a
+    typed, state-carrying exception instead of a bare string.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        job_name: str | None = None,
+        revocations: int | None = None,
+        limit: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Name of the job whose revocation budget ran out.
+        self.job_name = job_name
+        #: How many times outages revoked the job's reservation.
+        self.revocations = revocations
+        #: The retry policy's revocation budget.
+        self.limit = limit
 
 
 class TelemetryError(SchedulingError):

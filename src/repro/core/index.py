@@ -30,6 +30,15 @@ test suite, let the index go beyond the reference implementation:
   same request on a superset of this list) lets the scan skip candidates
   that cannot survive to any feasible event, and — for AMP — skip the
   cheapest-subset budget checks at events that are provably infeasible.
+
+The monotonicity argument holds only while slots are *subtracted*.
+Mutations that return vacant time — hot-swap recovery re-opening a
+revoked window, outage cancellation releasing reservations — can make
+earlier events feasible again, so :meth:`SlotIndex.insert` records the
+smallest re-inserted slot start and every finder clamps the caller's
+``start_hint`` to it.  Events before a re-inserted slot's start are
+untouched by the insertion and stay infeasible, so the clamped hint is
+still safe; events at or past it are re-scanned.
 """
 
 from __future__ import annotations
@@ -70,10 +79,15 @@ def _row_of(slot: Slot) -> tuple[float, float, int, float, float, Slot]:
 class SlotIndex:
     """Sorted, incrementally-updated view of a vacant-slot list."""
 
-    __slots__ = ("_rows",)
+    __slots__ = ("_rows", "_hint_floor")
 
     def __init__(self, slots: Iterable[Slot] = ()) -> None:
         self._rows = sorted((_row_of(slot) for slot in slots), key=_row_key)
+        # Smallest start among slots re-inserted after construction; any
+        # caller-supplied start_hint is clamped to it (see module
+        # docstring).  +inf while the index has only ever been subtracted
+        # from, i.e. hints pass through unchanged.
+        self._hint_floor = float("inf")
 
     # ------------------------------------------------------------------ #
     # Container protocol                                                 #
@@ -109,8 +123,13 @@ class SlotIndex:
         list.  ``start_hint`` may be set to the start of a window
         previously found for the *same request* on a superset of this
         list; candidates that cannot survive to any event at or past the
-        hint are skipped (the result is unchanged by monotonicity).
+        hint are skipped (the result is unchanged by monotonicity).  If
+        vacant time was re-inserted (:meth:`insert`) the hint is clamped
+        to the earliest re-inserted start, so stale hints never skip
+        windows the new vacancy makes feasible.
         """
+        if start_hint > self._hint_floor:
+            start_hint = self._hint_floor
         node_count = request.node_count
         volume = request.volume
         min_performance = request.min_performance
@@ -179,6 +198,8 @@ class SlotIndex:
         """
         if budget is None:
             budget = request.budget
+        if start_hint > self._hint_floor:
+            start_hint = self._hint_floor
         node_count = request.node_count
         volume = request.volume
         min_performance = request.min_performance
@@ -272,6 +293,33 @@ class SlotIndex:
             if source.end > allocation.end:
                 remainder = Slot(source.resource, allocation.end, source.end, source.price)
                 insort(rows, _row_of(remainder), key=_row_key)
+
+    def insert(self, slot: Slot) -> None:
+        """Re-insert vacant time (outage repair, hot-swap revocation).
+
+        Breaks the only-ever-subtracted assumption behind ``start_hint``
+        monotonicity, so the finders clamp subsequent hints to the
+        earliest re-inserted start: a window may now exist at any event
+        from ``slot.start`` on, however stale the caller's hint is.
+
+        Raises:
+            SlotListError: If the slot overlaps an existing slot of the
+                same resource (same-resource slots must stay disjoint for
+                bisection-based commit to be sound).
+        """
+        uid = slot.resource.uid
+        for row in self._rows:
+            if row[0] >= slot.end:
+                break
+            if row[2] == uid and row[1] > slot.start:
+                raise SlotListError(
+                    f"slot [{slot.start:g}, {slot.end:g}) on "
+                    f"{slot.resource.name!r} overlaps vacant span "
+                    f"[{row[0]:g}, {row[1]:g})"
+                )
+        insort(self._rows, _row_of(slot), key=_row_key)
+        if slot.start < self._hint_floor:
+            self._hint_floor = slot.start
 
     def subtract(self, resource, start: float, end: float) -> Slot:
         """Cut ``[start, end)`` on ``resource`` out of the index.

@@ -16,7 +16,8 @@ realisable, and the problem is a multiple-choice knapsack solved exactly
 
 The module also implements the constraint-generation formulas:
 
-* :func:`time_quota` — eq. (2): ``T* = Σ_i Σ_s ⌊t_i(s̄_i) / l_i⌋``;
+* :func:`time_quota` — eq. (2): ``T* = Σ_i ⌊Σ_s t_i(s̄_i) / l_i⌋`` (one
+  floor per job, applied to the mean alternative time);
 * :func:`vo_budget` — eq. (3): ``B*`` is the maximal owner income under
   the quota ``T*`` (the same DP run with ``extr = max``).
 
@@ -122,17 +123,23 @@ def _as_job_lists(
 def time_quota(alternatives: Mapping[Job, Sequence[Window]]) -> float:
     """The slot-occupancy quota ``T*`` of eq. (2).
 
-    ``T* = Σ_i Σ_{s̄_i} ⌊ t_i(s̄_i) / l_i ⌋`` where ``l_i`` is the number
-    of admissible slot sets of job ``i``.  Per job this is (up to the
-    floor) the mean alternative execution time, so the quota balances the
-    global job flow against owners' local jobs: a batch may not occupy
-    much more time than an "average" choice of alternatives would.
+    ``T* = Σ_i ⌊ Σ_{s̄_i} t_i(s̄_i) / l_i ⌋`` where ``l_i`` is the number
+    of admissible slot sets of job ``i``: per job, the *floor of the mean*
+    alternative execution time.  The quota balances the global job flow
+    against owners' local jobs: a batch may not occupy much more time than
+    an "average" choice of alternatives would.
+
+    The floor is applied once per job, to the mean — not to every
+    ``t/l`` term.  Flooring inside the sum (``Σ⌊t/l⌋``) collapses to 0
+    whenever all of a job's alternatives are shorter than their count
+    (three windows of length 1 would yield quota 0 instead of ⌊mean⌋ = 1)
+    and undershoots the mean by up to ``l - 1`` otherwise, making ``T*``
+    infeasibly tight for batches whose durations ``l`` does not divide.
     """
     _, lists = _as_job_lists(alternatives)
     quota = 0
     for windows in lists:
-        count = len(windows)
-        quota += sum(math.floor(window.length / count) for window in windows)
+        quota += math.floor(sum(window.length for window in windows) / len(windows))
     return float(quota)
 
 

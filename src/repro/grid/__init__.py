@@ -13,6 +13,8 @@ builds that somewhere:
   windows;
 * :mod:`repro.grid.metascheduler` — the periodic batch-scheduling cycle
   with postponement;
+* :mod:`repro.grid.resilience` — stochastic failure injection and the
+  alternative-backed fault-recovery subsystem;
 * :mod:`repro.grid.trace` — job life-cycle records and run metrics.
 """
 
@@ -38,6 +40,17 @@ from repro.grid.node import (
     total_income,
 )
 from repro.grid.occupancy import BusyInterval, OccupancySchedule
+from repro.grid.resilience import (
+    FailureConfig,
+    FailureGenerator,
+    Outage,
+    RecoveryEvent,
+    RecoveryManager,
+    RecoveryOutcome,
+    RetryPolicy,
+    apply_slot_outages,
+    derive_node_seed,
+)
 from repro.grid.swf import (
     SwfImportPolicy,
     SwfImportResult,
@@ -78,6 +91,15 @@ __all__ = [
     "VOEnvironment",
     "Metascheduler",
     "IterationReport",
+    "FailureConfig",
+    "FailureGenerator",
+    "Outage",
+    "RecoveryEvent",
+    "RecoveryManager",
+    "RecoveryOutcome",
+    "RetryPolicy",
+    "apply_slot_outages",
+    "derive_node_seed",
     "WorkloadTrace",
     "JobRecord",
     "JobState",

@@ -148,19 +148,42 @@ class VOEnvironment:
         """Drop every reservation of ``job_name``; returns the count."""
         return sum(node.cancel_reservations(job_name) for node in self.nodes())
 
-    def inject_outage(self, node: ComputeNode, start: float, end: float) -> list[str]:
+    def inject_outage(
+        self,
+        node: ComputeNode,
+        start: float,
+        end: float,
+        *,
+        live_jobs: Iterable[str] | None = None,
+    ) -> list[str]:
         """Take ``node`` down during ``[start, end)`` (Section 7 dynamics).
 
         Everything occupying the node in that span is evicted: local jobs
-        simply die, while every *global* job whose task overlapped the
-        outage loses **all** its reservations across the environment —
+        simply die, while every *live* global job whose task overlapped
+        the outage loses **all** its reservations across the environment —
         its tasks start synchronously, so losing one node kills the
         co-allocation.  The outage itself is recorded as a busy interval
         (label ``outage:...``), so subsequent slot lists exclude it.
 
+        A job that already ran to completion cannot be retroactively
+        failed: its reservations are *history*, and erasing them would
+        corrupt :meth:`utilization` and owner-income accounting on every
+        node the job touched.  Callers that track job life cycles (the
+        metascheduler) pass ``live_jobs`` — the names of jobs still
+        holding active reservations at outage start — and only those are
+        revoked.  An evicted reservation of a non-live job keeps its
+        spans outside the outage (the work happened); the overlapped
+        portion is subsumed by the outage interval, which stays busy but
+        earns no income.
+
+        Args:
+            live_jobs: Names of global jobs considered live at outage
+                start.  ``None`` (the legacy default for callers without
+                life-cycle knowledge) treats every evicted job as live.
+
         Returns:
-            The names of the global jobs whose reservations were revoked
-            (the metascheduler resubmits them).
+            The names of the live global jobs whose reservations were
+            revoked (the metascheduler recovers or resubmits them).
 
         Raises:
             SlotListError: If the node does not belong to this
@@ -174,13 +197,23 @@ class VOEnvironment:
             raise SlotListError(f"outage span must be non-empty, got [{start!r}, {end!r})")
         from repro.grid.node import OUTAGE_LABEL_PREFIX, RESERVATION_LABEL_PREFIX
 
+        live = None if live_jobs is None else set(live_jobs)
         evicted = node.schedule.clear_span(start, end)
         killed: list[str] = []
         for interval in evicted:
-            if interval.label.startswith(RESERVATION_LABEL_PREFIX):
-                job_name = interval.label[len(RESERVATION_LABEL_PREFIX) :]
+            if not interval.label.startswith(RESERVATION_LABEL_PREFIX):
+                continue
+            job_name = interval.label[len(RESERVATION_LABEL_PREFIX) :]
+            if live is None or job_name in live:
                 if job_name not in killed:
                     killed.append(job_name)
+            else:
+                # Historical reservation: restore the executed spans
+                # outside the outage so accounting keeps them.
+                if interval.start < start:
+                    node.schedule.reserve(interval.start, start, interval.label)
+                if interval.end > end:
+                    node.schedule.reserve(end, interval.end, interval.label)
         for job_name in killed:
             self.cancel_job(job_name)
         node.schedule.reserve(start, end, f"{OUTAGE_LABEL_PREFIX}{node.name}")

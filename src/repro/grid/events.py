@@ -28,6 +28,7 @@ from repro.core.errors import InvalidRequestError
 from repro.core.job import Job
 from repro.grid.metascheduler import IterationReport, Metascheduler
 from repro.grid.node import ComputeNode
+from repro.grid.resilience import FailureConfig, FailureGenerator, RecoveryOutcome
 
 __all__ = ["EventKind", "SimulationEvent", "ArrivalSource", "SimulationDriver"]
 
@@ -112,11 +113,52 @@ class SimulationDriver:
             raise InvalidRequestError(f"outage duration must be positive, got {duration!r}")
 
         def fire(now: float) -> str:
+            manager = self.metascheduler.recovery
+            before = len(manager.events) if manager is not None else 0
             resubmitted = self.metascheduler.inject_outage(node, now, now + duration)
-            names = ",".join(job.name for job in resubmitted) or "none"
-            return f"outage {node.name} [{now:g}, {now + duration:g}) resubmitted: {names}"
+            prefix = f"outage {node.name} [{now:g}, {now + duration:g})"
+            if manager is None:
+                names = ",".join(job.name for job in resubmitted) or "none"
+                return f"{prefix} resubmitted: {names}"
+            outcomes: dict[RecoveryOutcome, list[str]] = {}
+            for event in manager.events[before:]:
+                outcomes.setdefault(event.outcome, []).append(event.job_name)
+            if not outcomes:
+                return f"{prefix} revoked: none"
+            parts = ", ".join(
+                f"{outcome.value}: {','.join(names)}"
+                for outcome, names in outcomes.items()
+            )
+            return f"{prefix} {parts}"
 
         self._push(at_time, EventKind.OUTAGE, fire)
+
+    def add_failures(
+        self,
+        failures: FailureGenerator | FailureConfig,
+        start: float,
+        end: float,
+    ) -> int:
+        """Schedule seeded MTBF/MTTR outage streams for every node.
+
+        Draws each node's outage stream over ``[start, end)`` from the
+        failure model (streams are hash-keyed by node name, so the
+        timeline is reproducible regardless of node iteration order) and
+        schedules one outage event per failure.
+
+        Returns the number of outages scheduled.
+        """
+        generator = (
+            failures
+            if isinstance(failures, FailureGenerator)
+            else FailureGenerator(failures)
+        )
+        count = 0
+        for node in self.metascheduler.environment.nodes():
+            for outage in generator.stream(node.name, start, end):
+                self.add_outage(node, outage.start, outage.duration)
+                count += 1
+        return count
 
     def add_ticks(self, start: float, end: float) -> int:
         """Schedule the periodic scheduling iterations over ``[start, end]``.

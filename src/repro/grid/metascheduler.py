@@ -31,6 +31,12 @@ from repro.core.scheduler import (
     SchedulerConfig,
 )
 from repro.grid.environment import VOEnvironment
+from repro.grid.resilience import (
+    RecoveryEvent,
+    RecoveryManager,
+    RecoveryOutcome,
+    RetryPolicy,
+)
 from repro.grid.trace import JobState, WorkloadTrace
 from repro.obs.spans import NOOP_SPAN
 from repro.obs.telemetry import get_telemetry
@@ -52,6 +58,12 @@ class IterationReport:
         rejected: Jobs dropped for exceeding the retry limit.
         total_alternatives: Phase-1 alternatives found for the batch.
         used_fallback: Whether the earliest-alternative fallback fired.
+        revocations: Windows revoked by outages since the previous tick.
+        hot_swaps: Revocations recovered from retained alternatives in
+            the same event (no queue round trip).
+        replacements: Revocations recovered by immediate re-search.
+        recovery_rejections: Jobs dropped for exceeding the per-job
+            revocation budget since the previous tick.
     """
 
     index: int
@@ -63,6 +75,10 @@ class IterationReport:
     rejected: int
     total_alternatives: int
     used_fallback: bool
+    revocations: int = 0
+    hot_swaps: int = 0
+    replacements: int = 0
+    recovery_rejections: int = 0
 
 
 class Metascheduler:
@@ -79,6 +95,7 @@ class Metascheduler:
         max_batch_size: int | None = None,
         max_postponements: int | None = None,
         demand_pricing: DemandAdjustedPricing | None = None,
+        recovery: RecoveryManager | RetryPolicy | None = None,
     ) -> None:
         """Configure the cycle.
 
@@ -98,6 +115,13 @@ class Metascheduler:
                 Section 7 future work): at every iteration, published
                 slot prices are scaled by the demand multiplier for the
                 environment's utilization over the *preceding* period.
+            recovery: Opt-in fault recovery.  ``None`` (the default)
+                keeps the legacy behaviour — an outage sends every
+                revoked job straight back to the queue.  A
+                :class:`~repro.grid.resilience.RecoveryManager` (or a
+                bare :class:`~repro.grid.resilience.RetryPolicy`, which
+                gets wrapped) enables the hot-swap → re-search →
+                backoff-resubmit ladder with per-job revocation budgets.
         """
         if period <= 0:
             raise InvalidRequestError(f"period must be positive, got {period!r}")
@@ -117,11 +141,24 @@ class Metascheduler:
         self.max_batch_size = max_batch_size
         self.max_postponements = max_postponements
         self.demand_pricing = demand_pricing
+        if isinstance(recovery, RetryPolicy):
+            recovery = RecoveryManager(recovery)
+        self.recovery = recovery
         self.trace = WorkloadTrace()
         self.reports: list[IterationReport] = []
         self._pending: list[Job] = []
         self._submissions: list[tuple[float, Job]] = []
         self._iteration = 0
+        # Resilience counters accumulated between ticks, flushed into the
+        # next IterationReport; and, per revoked-and-resubmitted job, the
+        # iteration index current at revocation (for recovery latency).
+        self._outage_counts = {
+            "revocations": 0,
+            "hot_swaps": 0,
+            "replacements": 0,
+            "recovery_rejections": 0,
+        }
+        self._revoked_at: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Submission                                                         #
@@ -164,6 +201,8 @@ class Metascheduler:
     def _run_iteration(self, now: float, telemetry) -> IterationReport:
         self._absorb_arrivals(now)
         self.trace.mark_completions(now)
+        if self.recovery is not None:
+            self.recovery.prune(now)
 
         batch_jobs = self._pending
         if self.max_batch_size is not None:
@@ -197,6 +236,19 @@ class Metascheduler:
             self.trace.mark_scheduled(original, window, self._iteration)
             self._pending.remove(original)
             scheduled += 1
+            if self.recovery is not None:
+                # Keep the job's unused phase-1 alternatives around: they
+                # are the hot-swap candidates should an outage revoke the
+                # committed window (batch clones share uids, so the
+                # alternatives map keys match the scheduled clone).
+                alternatives = outcome.search.alternatives.get(scheduled_job, ())
+                self.recovery.retain(original, list(alternatives), window)
+                revoked_at = self._revoked_at.pop(original.uid, None)
+                if revoked_at is not None and telemetry.enabled:
+                    telemetry.observe(
+                        "resilience.recovery_latency_ticks",
+                        float(self._iteration - revoked_at + 1),
+                    )
 
         rejected = 0
         for postponed_job in outcome.postponed:
@@ -210,7 +262,10 @@ class Metascheduler:
                 self.trace.mark_rejected(original)
                 self._pending.remove(original)
                 rejected += 1
+                if self.recovery is not None:
+                    self.recovery.discard(original)
 
+        resilience = self._outage_counts
         report = IterationReport(
             index=self._iteration,
             time=now,
@@ -221,7 +276,12 @@ class Metascheduler:
             rejected=rejected,
             total_alternatives=outcome.search.total_alternatives,
             used_fallback=outcome.used_fallback,
+            revocations=resilience["revocations"],
+            hot_swaps=resilience["hot_swaps"],
+            replacements=resilience["replacements"],
+            recovery_rejections=resilience["recovery_rejections"],
         )
+        self._outage_counts = {key: 0 for key in resilience}
         self.reports.append(report)
         self._iteration += 1
         if telemetry.enabled:
@@ -263,6 +323,10 @@ class Metascheduler:
             used_fallback=report.used_fallback,
             price_multiplier=price_multiplier,
             backlog=self.backlog(),
+            revocations=report.revocations,
+            hot_swaps=report.hot_swaps,
+            replacements=report.replacements,
+            recovery_rejections=report.recovery_rejections,
         )
 
     def run(self, until: float, *, start: float = 0.0) -> list[IterationReport]:
@@ -285,29 +349,155 @@ class Metascheduler:
     # ------------------------------------------------------------------ #
 
     def inject_outage(self, node, start: float, end: float) -> list[Job]:
-        """Fail ``node`` during ``[start, end)`` and resubmit killed jobs.
+        """Fail ``node`` during ``[start, end)`` and recover revoked jobs.
 
         Jobs whose reservations overlapped the outage lose their windows
-        (synchronous tasks: losing one node kills the co-allocation),
-        return to the pending queue, and compete again at the next
-        iteration.  Jobs that already *completed* are untouched even if
-        their historical reservation overlapped — only SCHEDULED ones
-        are revoked.
+        (synchronous tasks: losing one node kills the co-allocation).
+        Only jobs *live at outage start* — SCHEDULED with a window still
+        running past ``start`` — are revoked; completed jobs' historical
+        reservations are preserved by the environment, so utilization
+        and owner income stay correct.
+
+        Without a :attr:`recovery` manager every revoked job returns to
+        the pending queue and competes again at the next iteration (the
+        legacy behaviour).  With one, each revocation walks the recovery
+        ladder — hot-swap a retained phase-1 alternative, else an
+        immediate single-job re-search, else backoff resubmission — and
+        a job over its revocation budget is rejected with a typed
+        :class:`~repro.core.errors.RecoveryExhaustedError` recorded on
+        its :class:`~repro.grid.resilience.RecoveryEvent`.
 
         Returns:
-            The resubmitted jobs, in original submission order.
+            The jobs sent back to the queue (in original submission
+            order); jobs recovered in place or rejected are not in it.
         """
-        killed_names = set(self.environment.inject_outage(node, start, end))
-        resubmitted: list[Job] = []
+        telemetry = get_telemetry()
+        live: dict[str, object] = {}
         for record in self.trace:
-            if record.job.name not in killed_names:
+            if (
+                record.state is JobState.SCHEDULED
+                and record.window is not None
+                and record.window.end > start
+            ):
+                live[record.job.name] = record
+        killed = set(
+            self.environment.inject_outage(node, start, end, live_jobs=live.keys())
+        )
+        if telemetry.enabled:
+            telemetry.count("resilience.outages")
+        resubmitted: list[Job] = []
+        for name, record in live.items():
+            if name not in killed:
                 continue
-            if record.state is not JobState.SCHEDULED:
+            job = record.job
+            self._outage_counts["revocations"] += 1
+            if telemetry.enabled:
+                telemetry.count("resilience.revocations")
+            if self.recovery is None:
+                self.trace.mark_resubmitted(job)
+                self._pending.append(job)
+                resubmitted.append(job)
                 continue
-            self.trace.mark_resubmitted(record.job)
-            resubmitted.append(record.job)
-        self._pending.extend(resubmitted)
+            if self._recover(job, start, telemetry) is RecoveryOutcome.RESUBMIT:
+                resubmitted.append(job)
         return resubmitted
+
+    def _recover(self, job: Job, now: float, telemetry) -> RecoveryOutcome:
+        """Walk the recovery ladder for one revoked job; returns the rung."""
+        manager = self.recovery
+        revocations = manager.register_revocation(job)
+        error = manager.exhausted(job)
+        if error is not None:
+            self.trace.mark_rejected(job)
+            manager.discard(job)
+            self._revoked_at.pop(job.uid, None)
+            self._outage_counts["recovery_rejections"] += 1
+            if telemetry.enabled:
+                telemetry.count("resilience.rejections")
+            manager.record(
+                RecoveryEvent(
+                    time=now,
+                    job_name=job.name,
+                    outcome=RecoveryOutcome.REJECT,
+                    revocations=revocations,
+                    error=error,
+                )
+            )
+            return RecoveryOutcome.REJECT
+        config = self.scheduler.config
+        window = manager.find_hot_swap(
+            job, self.environment, now, algorithm=config.algorithm, rho=config.rho
+        )
+        if window is not None:
+            self.environment.commit_window(job.name, window)
+            manager.consume(job, window)
+            self.trace.mark_recovered(job, window, self._iteration)
+            self._revoked_at.pop(job.uid, None)
+            self._outage_counts["hot_swaps"] += 1
+            if telemetry.enabled:
+                telemetry.count("resilience.hotswap_hits")
+                telemetry.observe("resilience.recovery_latency_ticks", 0.0)
+            manager.record(
+                RecoveryEvent(
+                    time=now,
+                    job_name=job.name,
+                    outcome=RecoveryOutcome.HOT_SWAP,
+                    revocations=revocations,
+                    window=window,
+                )
+            )
+            return RecoveryOutcome.HOT_SWAP
+        if telemetry.enabled:
+            telemetry.count("resilience.hotswap_misses")
+        window = manager.research(
+            job,
+            self.environment,
+            now,
+            horizon=self.horizon,
+            min_slot_length=self.min_slot_length,
+            algorithm=config.algorithm,
+            rho=config.rho,
+        )
+        if window is not None:
+            self.environment.commit_window(job.name, window)
+            self.trace.mark_recovered(job, window, self._iteration)
+            self._revoked_at.pop(job.uid, None)
+            self._outage_counts["replacements"] += 1
+            if telemetry.enabled:
+                telemetry.count("resilience.replacements")
+                telemetry.observe("resilience.recovery_latency_ticks", 0.0)
+            manager.record(
+                RecoveryEvent(
+                    time=now,
+                    job_name=job.name,
+                    outcome=RecoveryOutcome.RESEARCH,
+                    revocations=revocations,
+                    window=window,
+                )
+            )
+            return RecoveryOutcome.RESEARCH
+        delay = manager.policy.delay(revocations)
+        self.trace.mark_resubmitted(job)
+        self._revoked_at[job.uid] = self._iteration
+        if delay > 0.0:
+            # Backoff: the job re-enters the queue only once the delay
+            # elapses, via the ordinary arrival absorption.
+            self._submissions.append((now + delay, job))
+            self._submissions.sort(key=lambda pair: pair[0])
+        else:
+            self._pending.append(job)
+        if telemetry.enabled:
+            telemetry.count("resilience.resubmissions")
+        manager.record(
+            RecoveryEvent(
+                time=now,
+                job_name=job.name,
+                outcome=RecoveryOutcome.RESUBMIT,
+                revocations=revocations,
+                delay=delay,
+            )
+        )
+        return RecoveryOutcome.RESUBMIT
 
     # ------------------------------------------------------------------ #
     # Introspection                                                      #

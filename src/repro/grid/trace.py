@@ -42,6 +42,10 @@ class JobRecord:
         postponements: How many iterations postponed it before placement.
         resubmissions: How many times an outage revoked its reservation
             and sent it back to the queue (Section 7 dynamics).
+        recoveries: How many times an outage revoked its reservation and
+            the recovery subsystem re-committed a window *in the same
+            event* (hot-swap or immediate re-search), without the job
+            ever returning to the queue.
     """
 
     job: Job
@@ -51,6 +55,7 @@ class JobRecord:
     scheduled_iteration: int | None = None
     postponements: int = 0
     resubmissions: int = 0
+    recoveries: int = 0
 
     @property
     def start_time(self) -> float | None:
@@ -157,8 +162,16 @@ class WorkloadTrace:
         self.record_for(job).postponements += 1
 
     def mark_rejected(self, job: Job) -> None:
-        """Give up on a job (exceeded the postponement limit)."""
-        self.record_for(job).state = JobState.REJECTED
+        """Give up on a job (postponement limit or revocation budget).
+
+        Any window reference is dropped: a rejected job holds no
+        reservations (a revoked window was already cancelled), so a
+        stale window would corrupt wait-time and cost statistics.
+        """
+        record = self.record_for(job)
+        record.state = JobState.REJECTED
+        record.window = None
+        record.scheduled_iteration = None
 
     def mark_resubmitted(self, job: Job) -> None:
         """Return a scheduled job to PENDING after its window was revoked."""
@@ -167,6 +180,19 @@ class WorkloadTrace:
         record.window = None
         record.scheduled_iteration = None
         record.resubmissions += 1
+
+    def mark_recovered(self, job: Job, window: Window, iteration: int) -> None:
+        """Swap a revoked job's window for a recovery window, same event.
+
+        The job never leaves SCHEDULED: an outage revoked its old window
+        and the recovery subsystem committed ``window`` immediately
+        (hot-swap from retained alternatives or incremental re-search).
+        """
+        record = self.record_for(job)
+        record.state = JobState.SCHEDULED
+        record.window = window
+        record.scheduled_iteration = iteration
+        record.recoveries += 1
 
     def mark_completions(self, now: float) -> int:
         """Move scheduled jobs whose windows ended by ``now`` to COMPLETED."""

@@ -22,7 +22,10 @@ from __future__ import annotations
 import hashlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.grid.resilience import FailureConfig
 
 from repro.core.criteria import Criterion
 from repro.core.errors import InfeasibleConstraintError, InvalidRequestError
@@ -116,6 +119,15 @@ class ExperimentConfig:
         slot_config / job_config: Generator parameter sets.
         resolution: Phase-2 DP discretization.
         rho: AMP budget-shrink factor (Section 6 extension; 1.0 = paper).
+        failures: Optional stochastic failure model
+            (:class:`repro.grid.resilience.FailureConfig`).  When set,
+            every iteration's slot list is degraded by seeded per-node
+            outage streams (:func:`repro.grid.resilience.apply_slot_outages`)
+            before the pipelines run — modelling non-dedicated resources
+            whose vacant time is interrupted by failures.  The streams
+            are keyed by resource name and salted with the iteration's
+            derived seed, so sharded runs stay byte-identical for any
+            worker count.
     """
 
     objective: Criterion = Criterion.TIME
@@ -125,6 +137,7 @@ class ExperimentConfig:
     job_config: JobGeneratorConfig = field(default_factory=JobGeneratorConfig)
     resolution: int = DEFAULT_RESOLUTION
     rho: float = 1.0
+    failures: "FailureConfig | None" = None
 
 
 @dataclass
@@ -309,6 +322,7 @@ class ExperimentRunner:
         for attempt in range(config.iterations):
             slots = slot_generator.generate()
             batch = job_generator.generate()
+            slots = _degrade_slots(config, slots, salt=attempt)
             accumulator.add(run_iteration(config, attempt, slots, batch))
             if progress is not None:
                 progress(attempt + 1, len(accumulator.samples))
@@ -339,7 +353,23 @@ def generate_iteration(config: ExperimentConfig, index: int) -> tuple[SlotList, 
     seed = derive_iteration_seed(config.seed, index)
     slot_generator = SlotGenerator(config.slot_config, seed=seed)
     job_generator = JobGenerator(config.job_config, rng=slot_generator.rng)
-    return slot_generator.generate(), job_generator.generate()
+    slots = slot_generator.generate()
+    batch = job_generator.generate()
+    return _degrade_slots(config, slots, salt=seed), batch
+
+
+def _degrade_slots(config: ExperimentConfig, slots: SlotList, *, salt: int) -> SlotList:
+    """Carve the config's failure streams out of one iteration's slots.
+
+    A pure function of ``(config, slots, salt)`` — the salt is the
+    iteration's own seed (parallel path) or index (streamed path), so
+    iterations fail independently yet reproducibly, in any process.
+    """
+    if config.failures is None:
+        return slots
+    from repro.grid.resilience import apply_slot_outages
+
+    return apply_slot_outages(slots, config.failures, salt=salt)
 
 
 def _run_span(config: ExperimentConfig, start: int, stop: int) -> ExperimentResult:

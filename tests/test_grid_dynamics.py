@@ -76,6 +76,39 @@ class TestInjectOutage:
         assert killed == []
         assert node.schedule.busy_time(0.0, 100.0) == pytest.approx(10.0)  # outage only
 
+    def test_live_filter_preserves_completed_reservations(self):
+        # Regression: inject_outage used to cancel every evicted job,
+        # erasing completed jobs' historical reservations (and their
+        # income) across the whole environment.
+        environment = _environment(node_count=2)
+        nodes = list(environment.nodes())
+        nodes[0].reserve_for("done", 0.0, 30.0)
+        nodes[1].reserve_for("done", 0.0, 30.0)
+        nodes[0].reserve_for("live", 40.0, 80.0)
+        killed = environment.inject_outage(nodes[0], 20.0, 60.0, live_jobs=["live"])
+        assert killed == ["live"]
+        # The completed job keeps its executed span outside the outage
+        # on the failed node (income = busy reservation time × price 2.0)
+        # and its whole reservation on the untouched node.
+        assert nodes[0].income(0.0, 100.0) == pytest.approx(20.0 * 2.0)
+        assert nodes[1].income(0.0, 100.0) == pytest.approx(30.0 * 2.0)
+        # The live job lost all reservations; only the outage occupies
+        # the failed node past 20.0.
+        assert nodes[0].schedule.busy_time(60.0, 100.0) == 0.0
+        assert nodes[0].schedule.busy_time(20.0, 60.0) == pytest.approx(40.0)
+
+    def test_default_treats_every_job_as_live(self):
+        # Without life-cycle knowledge the legacy contract stands: all
+        # evicted global jobs are revoked everywhere.
+        environment = _environment(node_count=2)
+        nodes = list(environment.nodes())
+        nodes[0].reserve_for("done", 0.0, 30.0)
+        nodes[1].reserve_for("done", 0.0, 30.0)
+        killed = environment.inject_outage(nodes[0], 20.0, 60.0)
+        assert killed == ["done"]
+        assert nodes[0].income(0.0, 100.0) == 0.0
+        assert nodes[1].income(0.0, 100.0) == 0.0
+
     def test_foreign_node_rejected(self):
         environment = _environment()
         stranger = ComputeNode("stranger")
@@ -119,6 +152,28 @@ class TestMetaschedulerOutage:
         outage_span = (record.window.start, record.window.end)
         assert meta.environment.cancel_job("g1") == 2  # sanity: it was committed
         assert outage_span is not None
+
+    def test_outage_spares_completed_jobs(self):
+        # Regression: an outage overlapping a COMPLETED job's historical
+        # reservation used to cancel it retroactively, zeroing the
+        # owner's income for work that already ran.
+        meta = self._meta()
+        job = Job(ResourceRequest(1, 50.0, max_price=3.0), name="done")
+        meta.submit(job)
+        meta.run_iteration(0.0)
+        record = meta.trace.record_for(job)
+        window = record.window
+        meta.trace.mark_completions(window.end)
+        assert record.state is JobState.COMPLETED
+        victim = meta.environment.node_for(window.allocations[0].resource.uid)
+        mid = (window.start + window.end) / 2.0
+        assert meta.inject_outage(victim, mid, window.end + 100.0) == []
+        assert record.state is JobState.COMPLETED
+        assert record.window is window
+        # The executed portion before the outage still earns income.
+        assert victim.income(window.start, mid) == pytest.approx(
+            (mid - window.start) * window.allocations[0].unit_price
+        )
 
     def test_outage_missing_everything_resubmits_nothing(self):
         meta = self._meta()

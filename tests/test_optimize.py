@@ -58,10 +58,18 @@ def _alts(spec: dict[str, list[tuple[float, float]]]) -> dict[Job, list[Window]]
 
 class TestTimeQuota:
     def test_formula_2_with_floor(self):
-        # Job with 3 alternatives of times 10, 11, 14:
-        # T* = floor(10/3) + floor(11/3) + floor(14/3) = 3 + 3 + 4 = 10.
+        # Job with 3 alternatives of times 10, 11, 14: one floor per job,
+        # applied to the mean: T* = floor((10 + 11 + 14) / 3) = 11.  The
+        # buggy per-window flooring gave 3 + 3 + 4 = 10.
         alts = _alts({"a": [(1.0, 10.0), (1.0, 11.0), (1.0, 14.0)]})
-        assert time_quota(alts) == pytest.approx(10.0)
+        assert time_quota(alts) == pytest.approx(11.0)
+
+    def test_floor_applies_once_per_job(self):
+        # Regression for the per-window floor bug: three windows of
+        # length 1 must give quota floor(3/3) = 1, not 3*floor(1/3) = 0
+        # (a zero quota made every such iteration infeasible).
+        alts = _alts({"a": [(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]})
+        assert time_quota(alts) == pytest.approx(1.0)
 
     def test_sums_over_jobs(self):
         alts = _alts({"a": [(1.0, 10.0)], "b": [(1.0, 20.0)]})

@@ -89,12 +89,22 @@ class TestSingleAlternative:
 
 
 class TestManyIdenticalAlternatives:
-    def test_floor_quota_infeasibility(self):
-        # Three identical 10-unit alternatives: quota = 3*floor(10/3)=9.
+    def test_identical_alternatives_quota_is_exact(self):
+        # Three identical 10-unit alternatives: the mean is exactly 10,
+        # so quota = floor(30/3) = 10 and selection is feasible.  (The
+        # old per-window floor gave 3*floor(10/3) = 9 < 10, spuriously
+        # rejecting every such iteration.)
         alts = {_job("a"): [_window(1.0, 10.0) for _ in range(3)]}
-        assert time_quota(alts) == pytest.approx(9.0)
+        assert time_quota(alts) == pytest.approx(10.0)
+        combo = minimize_cost(alts, quota=time_quota(alts), resolution=10)
+        assert combo.total_time == pytest.approx(10.0)
+
+    def test_quota_below_every_alternative_is_infeasible(self):
+        # A genuinely unmeetable quota still raises: every alternative
+        # takes 10 units, a quota of 9 admits none of them.
+        alts = {_job("a"): [_window(1.0, 10.0) for _ in range(3)]}
         with pytest.raises(InfeasibleConstraintError):
-            minimize_cost(alts, quota=time_quota(alts), resolution=9)
+            minimize_cost(alts, quota=9.0, resolution=9)
 
     def test_divisible_duration_feasible(self):
         # Two 10-unit alternatives: quota = 2*floor(10/2) = 10 = duration.

@@ -276,3 +276,50 @@ def test_indexed_single_find_matches_reference_finders():
         assert (reference is None) == (fast is None), f"AMP feasibility, seed={seed}"
         if reference is not None:
             assert _window_fingerprint(fast) == _window_fingerprint(reference)
+
+
+def test_indexed_find_with_stale_hints_after_reinsertion():
+    """Re-inserted vacant time breaks start-hint monotonicity; the clamp
+    must keep hinted finds identical to a fresh reference scan.
+
+    Models the hot-swap/outage life cycle: windows are committed (and a
+    ``start_hint`` carried forward, as the multi-pass search does), then
+    an *older* window is revoked and its spans re-inserted — so the
+    carried hint is now strictly past vacant time that can host an
+    earlier window.  Without :class:`SlotIndex`'s hint clamping the
+    indexed finder would skip it and diverge from the reference scan of
+    the same materialised list.
+    """
+    churned = 0
+    for seed in range(60):
+        slots = make_random_slot_list(seed, count=30)
+        rng = random.Random(seed * 17 + 3)
+        request = make_random_request(rng)
+        index = SlotIndex(slots)
+        hint = float("-inf")
+        committed: list = []
+        for _ in range(5):
+            window = index.find_alp_window(request, start_hint=hint)
+            reference = alp.find_window(index.slot_list(), request)
+            assert (window is None) == (reference is None), f"seed={seed}"
+            if window is None:
+                break
+            assert _window_fingerprint(window) == _window_fingerprint(reference), (
+                f"divergence on seed={seed}"
+            )
+            index.commit(window)
+            committed.append(window)
+            hint = window.start
+            if len(committed) > 1 and rng.random() < 0.6:
+                revoked = committed.pop(0)
+                for allocation in revoked.allocations:
+                    index.insert(
+                        Slot(
+                            allocation.resource,
+                            allocation.start,
+                            allocation.end,
+                            allocation.unit_price,
+                        )
+                    )
+                churned += 1
+    assert churned >= 10, f"too few revocation churns exercised ({churned})"

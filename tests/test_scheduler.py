@@ -1,12 +1,12 @@
 """Tests for the two-phase scheduler façade (repro.core.scheduler).
 
-Note on feasibility: the eq. (2) quota ``T* = Σ ⌊t/l⌋`` is *strictly
-below* every alternative's time when all ``l`` alternatives of a job have
-the same duration and ``l`` does not divide it — the DP is then
-infeasible and the iteration is dropped (paper protocol) or falls back
-(EARLIEST policy).  Tests that want a feasible pipeline therefore either
-cap the alternatives so that ``l`` divides the duration or use volumes
-chosen to make the floors exact.
+Note on feasibility: the eq. (2) quota ``T* = Σ_i ⌊Σ_s t_i/l_i⌋`` floors
+the *mean* alternative time once per job, so it is *strictly below*
+every alternative's time when all ``l`` alternatives of a job have the
+same non-integral duration — the DP is then infeasible and the iteration
+is dropped (paper protocol) or falls back (EARLIEST policy).  Tests that
+want a feasible pipeline therefore use integral durations (the floor is
+exact) or cap alternatives accordingly.
 """
 
 from __future__ import annotations
@@ -114,7 +114,7 @@ class TestPostponement:
 class TestInfeasiblePolicy:
     def _tight_case(self):
         # 3 identical-duration alternatives of 9.9 time units each:
-        # quota = 3*floor(9.9/3) = 9 < 9.9, so min-cost is infeasible.
+        # quota = floor(29.7/3) = 9 < 9.9, so min-cost is infeasible.
         slots = make_uniform_slots(1, length=29.7, price=2.0)
         batch = _batch(ResourceRequest(1, 9.9, max_price=3.0))
         return slots, batch
