@@ -37,7 +37,13 @@ import time
 from typing import Sequence
 
 from repro import obs
-from repro.core import Criterion, Job, SchedulingError, SlotSearchAlgorithm
+from repro.core import (
+    AdmissionRejectedError,
+    Criterion,
+    Job,
+    SchedulingError,
+    SlotSearchAlgorithm,
+)
 from repro.core import alp as alp_module
 from repro.core import amp as amp_module
 from repro.sim import (
@@ -51,8 +57,38 @@ from repro.sim import (
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (clear error, exit 2)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive, finite float (clear error, exit 2)."""
+    import math
+
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive finite number, got {text}")
+    return value
+
+
 def _failure_config(args: argparse.Namespace):
-    """Build the optional FailureConfig from --mtbf/--mttr flags."""
+    """Build the optional FailureConfig from --mtbf/--mttr flags.
+
+    Raises:
+        SchedulingError: For non-positive or non-finite values (argparse
+            catches these first for CLI flags; this guards programmatic
+            callers building a namespace by hand).
+    """
     mtbf = getattr(args, "mtbf", None)
     mttr = getattr(args, "mttr", None)
     if mtbf is None and mttr is None:
@@ -73,6 +109,8 @@ def _run_experiment(
     rho: float,
     workers: int | None = None,
     failures=None,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ):
     config = ExperimentConfig(
         objective=objective,
@@ -84,8 +122,10 @@ def _run_experiment(
     if workers is not None:
         from repro.sim import ParallelRunner
 
-        return ParallelRunner(config, workers=workers).run()
-    return ExperimentRunner(config).run()
+        return ParallelRunner(config, workers=workers).run(
+            checkpoint=checkpoint, resume=resume
+        )
+    return ExperimentRunner(config).run(checkpoint=checkpoint, resume=resume)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -93,6 +133,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     objective = Criterion(args.objective)
     failures = _failure_config(args)
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.checkpoint is not None and args.resume:
+        from repro.sim import ExperimentCheckpoint, config_fingerprint  # noqa: F401
+
+        # Resume status goes to stderr so stdout stays byte-comparable
+        # with an uninterrupted run (the CI crash-resume smoke diffs it).
+        print(
+            f"resuming from checkpoint {args.checkpoint}",
+            file=sys.stderr,
+        )
     result = _run_experiment(
         objective,
         args.iterations,
@@ -100,6 +152,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         args.rho,
         workers=args.workers,
         failures=failures,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     if failures is not None:
         print(
@@ -208,13 +262,28 @@ def _cmd_vo(args: argparse.Namespace) -> int:
         RetryPolicy(max_revocations=args.max_revocations) if args.recovery else None
     )
     meta = Metascheduler(
-        environment, period=args.period, horizon=args.horizon, recovery=recovery
+        environment,
+        period=args.period,
+        horizon=args.horizon,
+        recovery=recovery,
+        max_pending=args.max_pending,
     )
     generator = JobGenerator(seed=args.seed)
     rng = random.Random(args.seed)
+    shed = 0
     for index in range(args.jobs):
         request = generator.generate_request()
-        meta.submit(Job(request, name=f"user-job{index}"), at_time=rng.uniform(0.0, args.until / 2))
+        job = Job(request, name=f"user-job{index}")
+        at_time = rng.uniform(0.0, args.until / 2)
+        try:
+            meta.submit(job, at_time=at_time)
+        except AdmissionRejectedError:
+            shed += 1
+    if shed:
+        print(
+            f"admission control: {shed}/{args.jobs} submissions shed "
+            f"(backlog limit {args.max_pending})"
+        )
     if failures is not None:
         driver = SimulationDriver(meta)
         driver.add_ticks(0.0, args.until)
@@ -318,12 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run the Section 5 study", parents=[telemetry_options]
     )
     experiment.add_argument("--objective", choices=["time", "cost"], default="time")
-    experiment.add_argument("--iterations", type=int, default=1000)
+    experiment.add_argument("--iterations", type=_positive_int, default=1000)
     experiment.add_argument("--seed", type=int, default=20110368)
-    experiment.add_argument("--rho", type=float, default=1.0)
+    experiment.add_argument("--rho", type=_positive_float, default=1.0)
     experiment.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help=(
@@ -333,14 +402,32 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     experiment.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record every completed iteration to PATH (checksummed JSONL) "
+            "so a killed run can be resumed with --resume; without "
+            "--resume an existing file is replaced"
+        ),
+    )
+    experiment.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip iterations already recorded in --checkpoint PATH; the "
+            "merged result is identical to an uninterrupted run"
+        ),
+    )
+    experiment.add_argument(
         "--mtbf",
-        type=float,
+        type=_positive_float,
         default=None,
         help="enable failure injection: mean time between failures per node",
     )
     experiment.add_argument(
         "--mttr",
-        type=float,
+        type=_positive_float,
         default=None,
         help="mean time to repair for injected failures",
     )
@@ -394,15 +481,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     vo.add_argument(
         "--mtbf",
-        type=float,
+        type=_positive_float,
         default=None,
         help="enable node failures: mean time between failures per node",
     )
     vo.add_argument(
         "--mttr",
-        type=float,
+        type=_positive_float,
         default=None,
         help="mean time to repair for injected node failures",
+    )
+    vo.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=None,
+        dest="max_pending",
+        metavar="N",
+        help=(
+            "bounded admission: shed submissions once the backlog reaches "
+            "N instead of growing the queue without bound"
+        ),
     )
     vo.add_argument(
         "--failure-seed",
@@ -476,10 +574,16 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     Library failures (:class:`~repro.core.SchedulingError`, which covers
     telemetry-trace errors too) are reported on stderr and map to exit
-    code 2; argparse usage errors keep their conventional SystemExit.
+    code 2; argparse usage errors (including the positive-value checks on
+    ``--iterations``/``--workers``/``--mtbf``/``--mttr``) are converted
+    from their ``SystemExit`` into the same exit code 2 so embedders
+    calling :func:`main` directly observe a return, not an exit.
     """
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_request:
+        return int(exit_request.code or 0)
     trace_path: str | None = getattr(args, "trace", None)
     wants_metrics: bool = getattr(args, "metrics", False)
     telemetry = None

@@ -28,17 +28,29 @@ from repro.core.criteria import (
     total_time,
 )
 from repro.core.errors import (
+    AdmissionRejectedError,
+    CheckpointMismatchError,
     InfeasibleConstraintError,
     InvalidRequestError,
+    JournalCorruptError,
     OptimizationError,
+    PersistenceError,
     RecoveryExhaustedError,
     SchedulingError,
     SlotListError,
     WindowNotFoundError,
 )
 from repro.core.job import Batch, Job, ResourceRequest
+from repro.core.journal import (
+    JournalRecord,
+    JournalWriter,
+    journal_header,
+    read_journal,
+    verify_record,
+)
 from repro.core.optimize import (
     Combination,
+    OptimizationBudget,
     brute_force,
     minimize_cost,
     minimize_time,
@@ -114,6 +126,7 @@ __all__ = [
     "total_cost",
     "total_time",
     "Combination",
+    "OptimizationBudget",
     "optimize",
     "minimize_time",
     "minimize_cost",
@@ -142,6 +155,12 @@ __all__ = [
     "scenario_from_dict",
     "save_scenario",
     "load_scenario",
+    # durable state
+    "JournalRecord",
+    "JournalWriter",
+    "journal_header",
+    "read_journal",
+    "verify_record",
     # auditing
     "Violation",
     "AuditError",
@@ -167,4 +186,8 @@ __all__ = [
     "WindowNotFoundError",
     "OptimizationError",
     "InfeasibleConstraintError",
+    "AdmissionRejectedError",
+    "PersistenceError",
+    "JournalCorruptError",
+    "CheckpointMismatchError",
 ]

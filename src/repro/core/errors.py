@@ -16,7 +16,11 @@ __all__ = [
     "OptimizationError",
     "InfeasibleConstraintError",
     "RecoveryExhaustedError",
+    "AdmissionRejectedError",
     "TelemetryError",
+    "PersistenceError",
+    "JournalCorruptError",
+    "CheckpointMismatchError",
 ]
 
 
@@ -105,6 +109,72 @@ class RecoveryExhaustedError(SchedulingError):
         self.revocations = revocations
         #: The retry policy's revocation budget.
         self.limit = limit
+
+
+class AdmissionRejectedError(SchedulingError):
+    """A submission was shed because the pending queue is full.
+
+    Bounded admission (the metascheduler's ``max_pending`` knob) keeps an
+    overloaded VO from growing an unbounded backlog: once the number of
+    jobs waiting for a window reaches the limit, further submissions are
+    rejected *at the door* with this typed error rather than silently
+    queued behind work that cannot drain.  Callers decide the shed
+    policy — drop, retry later, or route to another VO.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        job_name: str | None = None,
+        backlog: int | None = None,
+        limit: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Name of the job that was turned away.
+        self.job_name = job_name
+        #: Queue depth (pending + future submissions) at rejection time.
+        self.backlog = backlog
+        #: The configured admission limit.
+        self.limit = limit
+
+
+class PersistenceError(SchedulingError):
+    """Durable scheduler state could not be written, read, or replayed.
+
+    Base class for the checkpoint/journal subsystem
+    (:mod:`repro.core.journal`, :mod:`repro.grid.checkpoint`); deriving
+    from :class:`SchedulingError` maps these failures to the CLI's
+    standard exit code 2.
+    """
+
+
+class JournalCorruptError(PersistenceError):
+    """A journal record failed validation somewhere other than the tail.
+
+    A *trailing* torn record is expected after a crash and is skipped
+    with a warning; corruption in the middle of a journal (bad checksum,
+    sequence gap, malformed JSON) means the file cannot be trusted and
+    replay refuses to guess.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None, line: int | None = None) -> None:
+        super().__init__(message)
+        #: The journal file, when known.
+        self.path = path
+        #: 1-based line number of the offending record, when known.
+        self.line = line
+
+
+class CheckpointMismatchError(PersistenceError):
+    """A checkpoint or resume file does not match the requested run.
+
+    Raised when resuming an experiment against a checkpoint written for
+    a different configuration (seed, iteration count, generator
+    parameters…), or when a snapshot declares an unsupported format.
+    Resuming against the wrong state would silently produce corrupt
+    merged results; refusing loudly is the only safe behaviour.
+    """
 
 
 class TelemetryError(SchedulingError):

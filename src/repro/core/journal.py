@@ -1,0 +1,324 @@
+"""Append-only, checksummed JSONL write-ahead journal.
+
+Durable scheduler state is kept as *snapshot + journal*: a periodic
+atomic snapshot of the full state, plus an append-only log of every
+state-changing event since.  Restoring after a crash loads the latest
+snapshot and replays the journal on top — the classical write-ahead
+recipe, shrunk to the needs of this reproduction:
+
+* one JSON object per line, so journals are greppable and diffable;
+* every record carries a monotonically increasing sequence number and a
+  CRC-32 checksum of its payload, so torn writes and bit rot are
+  *detected*, never silently replayed;
+* appends are flushed (and optionally ``fsync``-ed) per record — after
+  :meth:`JournalWriter.append` returns, the record survives a process
+  kill;
+* a **torn trailing record** — the half-written line a ``SIGKILL``
+  mid-append leaves behind — is tolerated: :func:`read_journal` skips
+  it with a warning and returns every record before it.  Corruption
+  anywhere *else* raises :class:`~repro.core.errors.JournalCorruptError`
+  (a mid-file tear means the file cannot be trusted).
+
+The line format is ``{"seq": n, "crc": c, "kind": k, "data": {...}}``
+where ``c`` is the CRC-32 of the canonical (compact, key-sorted) JSON
+encoding of ``data``.  The first record of a fresh journal is a header
+of kind ``"journal"`` declaring :data:`JOURNAL_FORMAT`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.core.errors import JournalCorruptError, PersistenceError
+from repro.obs.telemetry import get_telemetry
+
+__all__ = [
+    "HEADER_KIND",
+    "JOURNAL_FORMAT",
+    "JournalRecord",
+    "JournalWriter",
+    "journal_header",
+    "read_journal",
+    "verify_record",
+]
+
+#: Format tag stamped into every journal's header record; bump on
+#: breaking layout changes so replay can refuse files it cannot parse.
+JOURNAL_FORMAT = "repro-journal/1"
+
+#: Kind of the header record every fresh journal starts with.
+HEADER_KIND = "journal"
+
+
+def _canonical(data: dict[str, Any]) -> str:
+    """The canonical payload encoding the checksum is computed over."""
+    return json.dumps(data, separators=(",", ":"), sort_keys=True)
+
+
+def _crc(data: dict[str, Any]) -> int:
+    return zlib.crc32(_canonical(data).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One validated journal entry.
+
+    Attributes:
+        seq: Monotonic sequence number (the header is ``seq == 0``).
+        kind: Application-level record type (``"submit"``,
+            ``"iteration"``, ``"outcome"``, …).
+        data: The JSON payload.
+    """
+
+    seq: int
+    kind: str
+    data: dict[str, Any]
+
+
+def verify_record(payload: Any) -> tuple[int, str, dict[str, Any]]:
+    """Validate one parsed journal line; returns ``(seq, kind, data)``.
+
+    Raises:
+        JournalCorruptError: On a non-object line, missing envelope
+            fields, or a checksum mismatch.
+    """
+    if not isinstance(payload, dict):
+        raise JournalCorruptError(
+            f"journal record must be a JSON object, got {type(payload).__name__}"
+        )
+    try:
+        seq = int(payload["seq"])
+        crc = int(payload["crc"])
+        kind = str(payload["kind"])
+        data = payload["data"]
+    except (KeyError, TypeError, ValueError) as error:
+        raise JournalCorruptError(f"malformed journal envelope: {error!r}") from None
+    if not isinstance(data, dict):
+        raise JournalCorruptError(
+            f"journal payload must be a JSON object, got {type(data).__name__}"
+        )
+    actual = _crc(data)
+    if actual != crc:
+        raise JournalCorruptError(
+            f"checksum mismatch on record seq={seq}: stored {crc}, computed {actual}"
+        )
+    return seq, kind, data
+
+
+class JournalWriter:
+    """Appends checksummed records to a journal file.
+
+    Opening an existing journal resumes its sequence numbering (the tail
+    is scanned once); opening a fresh path writes the format header.
+    The writer is a context manager; :meth:`close` is idempotent.
+
+    Args:
+        path: Journal file location (parent directory must exist).
+        fsync: Force every append to stable storage.  ``True`` is the
+            crash-safe default; pass ``False`` for bulk runs where an
+            OS-buffered flush per record is an acceptable risk.
+        header: Extra fields merged into the header record of a fresh
+            journal (e.g. a config fingerprint for resume validation).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: bool = True,
+        header: dict[str, Any] | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._stream = None
+        existing = 0
+        fresh = True
+        if self.path.exists() and self.path.stat().st_size > 0:
+            records, valid_lines, torn = _scan(self.path)
+            existing = records[-1].seq + 1 if records else 0
+            fresh = not records
+            if torn:
+                # Truncate the torn tail before appending: a new record
+                # written after the fragment would share its line and be
+                # unreadable forever.
+                try:
+                    with open(self.path, "w", encoding="utf-8") as stream:
+                        for line in valid_lines:
+                            stream.write(line)
+                            stream.write("\n")
+                        stream.flush()
+                        os.fsync(stream.fileno())
+                except OSError as error:
+                    raise PersistenceError(
+                        f"cannot truncate torn journal {str(self.path)!r}: {error}"
+                    ) from error
+        try:
+            self._stream = open(self.path, "a", encoding="utf-8")
+        except OSError as error:
+            raise PersistenceError(f"cannot open journal {str(self.path)!r}: {error}") from error
+        self._seq = existing
+        if fresh:
+            self.append(HEADER_KIND, {"format": JOURNAL_FORMAT, **(header or {})})
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next :meth:`append` will use."""
+        return self._seq
+
+    def append(self, kind: str, data: dict[str, Any]) -> int:
+        """Durably append one record; returns its sequence number.
+
+        Raises:
+            PersistenceError: When the journal is closed or the write
+                fails.
+        """
+        if self._stream is None:
+            raise PersistenceError(f"journal {str(self.path)!r} is closed")
+        record = {
+            "seq": self._seq,
+            "crc": _crc(data),
+            "kind": kind,
+            "data": data,
+        }
+        try:
+            self._stream.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+            self._stream.write("\n")
+            self._stream.flush()
+            if self._fsync:
+                os.fsync(self._stream.fileno())
+        except OSError as error:
+            raise PersistenceError(
+                f"cannot append to journal {str(self.path)!r}: {error}"
+            ) from error
+        self._seq += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("journal.appends", 1, kind=kind)
+        return record["seq"]
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_journal(
+    path: str | Path,
+    *,
+    expect_format: str = JOURNAL_FORMAT,
+) -> list[JournalRecord]:
+    """Read and validate a journal; tolerates a torn trailing record.
+
+    Every line is parsed, checksum-verified, and sequence-checked.  A
+    record that fails validation on the **last** line is the expected
+    residue of a crash mid-append: it is skipped with a
+    :class:`UserWarning` and everything before it is returned.  A
+    missing file yields an empty list (nothing was ever journaled).
+
+    Raises:
+        JournalCorruptError: On corruption anywhere but the tail — bad
+            JSON, bad checksum, a sequence gap, or an unsupported
+            declared format.
+        PersistenceError: When the file exists but cannot be read.
+    """
+    records, _, _ = _scan(path, expect_format=expect_format)
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.count("journal.replayed", len(records))
+    return records
+
+
+def _scan(
+    path: str | Path,
+    *,
+    expect_format: str = JOURNAL_FORMAT,
+) -> tuple[list[JournalRecord], list[str], bool]:
+    """Validate a journal file; returns ``(records, valid_lines, torn)``.
+
+    ``valid_lines`` are the raw source lines of the validated records (so
+    a writer can truncate a torn tail losslessly) and ``torn`` says
+    whether a trailing fragment was skipped.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], [], False
+    try:
+        lines = path.read_text(encoding="utf-8").split("\n")
+    except OSError as error:
+        raise PersistenceError(f"cannot read journal {str(path)!r}: {error}") from error
+    # A well-formed journal ends with "\n", so the final split element is
+    # empty; anything else is a candidate torn tail.
+    numbered = [(index + 1, line) for index, line in enumerate(lines) if line.strip()]
+    records: list[JournalRecord] = []
+    valid_lines: list[str] = []
+    torn = False
+    expected_seq: int | None = None
+    for position, (line_number, line) in enumerate(numbered):
+        last = position == len(numbered) - 1
+        try:
+            seq, kind, data = verify_record(json.loads(line))
+        except (json.JSONDecodeError, JournalCorruptError) as error:
+            if last:
+                warnings.warn(
+                    f"{path}:{line_number}: skipping torn trailing journal record "
+                    f"({error})",
+                    stacklevel=2,
+                )
+                telemetry = get_telemetry()
+                if telemetry.enabled:
+                    telemetry.count("journal.torn_records")
+                torn = True
+                break
+            if isinstance(error, json.JSONDecodeError):
+                raise JournalCorruptError(
+                    f"{path}:{line_number}: not valid JSON ({error.msg})",
+                    path=str(path),
+                    line=line_number,
+                ) from None
+            raise JournalCorruptError(
+                f"{path}:{line_number}: {error}", path=str(path), line=line_number
+            ) from None
+        if expected_seq is not None and seq != expected_seq:
+            # A parseable, checksum-valid record with the wrong sequence
+            # number means records were *lost*, not torn — even on the
+            # tail this is unrecoverable corruption.
+            raise JournalCorruptError(
+                f"{path}:{line_number}: sequence gap: expected seq "
+                f"{expected_seq}, found {seq}",
+                path=str(path),
+                line=line_number,
+            )
+        if seq == 0 and kind == HEADER_KIND:
+            declared = data.get("format")
+            if declared != expect_format:
+                raise JournalCorruptError(
+                    f"{path}: unsupported journal format {declared!r} "
+                    f"(expected {expect_format!r})",
+                    path=str(path),
+                )
+        records.append(JournalRecord(seq=seq, kind=kind, data=data))
+        valid_lines.append(line)
+        expected_seq = seq + 1
+    return records, valid_lines, torn
+
+
+def journal_header(records: Iterable[JournalRecord]) -> dict[str, Any] | None:
+    """The header payload of a record stream, or ``None`` when absent."""
+    for record in records:
+        if record.seq == 0 and record.kind == HEADER_KIND:
+            return record.data
+        break
+    return None

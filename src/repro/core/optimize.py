@@ -37,8 +37,9 @@ from __future__ import annotations
 
 import itertools
 import math
+import time
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from repro.obs.telemetry import get_telemetry
 
 __all__ = [
     "Combination",
+    "OptimizationBudget",
     "time_quota",
     "vo_budget",
     "minimize_time",
@@ -67,6 +69,64 @@ DEFAULT_RESOLUTION: int = 2000
 
 
 @dataclass(frozen=True)
+class OptimizationBudget:
+    """Resource budget bounding one phase-2 optimization run.
+
+    Under overload (huge batches, many alternatives, a fine
+    discretization) the backward-run DP can dominate an iteration.  A
+    budget makes :func:`optimize` / :func:`vo_budget` *degrade* instead
+    of blocking or failing:
+
+    1. the discretization ``resolution`` is halved until the DP table
+       fits ``max_cells`` (never below ``min_resolution``);
+    2. if the table still does not fit — or ``deadline`` has already
+       elapsed — the DP is skipped entirely and a greedy per-job
+       selection is returned.
+
+    Degraded results are always *feasible* (floor rounding keeps every
+    truly feasible combination DP-feasible at any resolution, and the
+    greedy fallback starts from the most-affordable window per job);
+    only optimality is sacrificed.  Genuine infeasibility — no selection
+    fits the limit even ignoring the budget — still raises
+    :class:`~repro.core.errors.InfeasibleConstraintError`.
+
+    Attributes:
+        max_cells: Cap on DP table entries (alternatives × bins) per
+            run; ``None`` leaves the table size unbounded.
+        deadline: Wall-clock seconds allowed per optimization call;
+            checked before the DP starts, ``None`` disables the check.
+        min_resolution: Floor for the resolution step-down; below this
+            the discretization error (``n / resolution`` per batch)
+            would distort the constraint more than the DP is worth.
+    """
+
+    max_cells: int | None = None
+    deadline: float | None = None
+    min_resolution: int = 50
+
+    def __post_init__(self) -> None:
+        """Validate the budget knobs.
+
+        Raises:
+            OptimizationError: On non-positive or non-finite values.
+        """
+        if self.max_cells is not None and self.max_cells < 1:
+            raise OptimizationError(
+                f"max_cells must be >= 1, got {self.max_cells!r}"
+            )
+        if self.deadline is not None and (
+            not math.isfinite(self.deadline) or self.deadline <= 0
+        ):
+            raise OptimizationError(
+                f"deadline must be positive and finite, got {self.deadline!r}"
+            )
+        if self.min_resolution < 1:
+            raise OptimizationError(
+                f"min_resolution must be >= 1, got {self.min_resolution!r}"
+            )
+
+
+@dataclass(frozen=True)
 class Combination:
     """A chosen slot combination ``s̄ = (s̄_1, ..., s̄_n)`` with its measures.
 
@@ -76,6 +136,9 @@ class Combination:
         total_time: ``T(s̄)`` in exact arithmetic.
         objective: Which criterion was minimized.
         limit: The constraint value the DP ran under.
+        degraded: ``True`` when an :class:`OptimizationBudget` forced a
+            stepped-down resolution or the greedy fallback — the
+            selection is feasible but possibly sub-optimal.
     """
 
     selection: dict[Job, Window]
@@ -83,6 +146,7 @@ class Combination:
     total_time: float
     objective: Criterion
     limit: float
+    degraded: bool = False
 
     @property
     def mean_job_time(self) -> float:
@@ -167,6 +231,82 @@ def _discretize(values: list[float], limit: float, resolution: int) -> tuple[lis
     return weights, capacity
 
 
+def _fit_resolution(
+    total_alternatives: int,
+    resolution: int,
+    limit: float,
+    budget: OptimizationBudget | None,
+) -> tuple[int, bool]:
+    """Step ``resolution`` down until the DP table fits ``budget.max_cells``.
+
+    Halves repeatedly, clamped at ``budget.min_resolution``.  Returns the
+    fitted resolution and whether the budget is *exhausted* — the table
+    does not fit even at the floor, so the caller must skip the DP.
+    Lowering the resolution never manufactures infeasibility: floor
+    rounding keeps every truly feasible selection DP-feasible at any bin
+    count (see :func:`_discretize`), so step-down only coarsens the
+    optimum.
+    """
+    if budget is None or budget.max_cells is None:
+        return resolution, False
+
+    def cells(bins: int) -> int:
+        capacity = bins if limit > 0 else 0
+        return total_alternatives * (capacity + 1)
+
+    fitted = resolution
+    while cells(fitted) > budget.max_cells and fitted > budget.min_resolution:
+        fitted = max(budget.min_resolution, fitted // 2)
+    return fitted, cells(fitted) > budget.max_cells
+
+
+def _out_of_time(started: float, budget: OptimizationBudget | None) -> bool:
+    """Whether the budget's deadline elapsed since ``started`` (monotonic)."""
+    return (
+        budget is not None
+        and budget.deadline is not None
+        and time.monotonic() - started >= budget.deadline
+    )
+
+
+def _greedy_choose(
+    lists: list[list[Window]],
+    value: Callable[[Window], float],
+    weight: Callable[[Window], float],
+    limit: float,
+    *,
+    maximize: bool,
+) -> list[Window] | None:
+    """Budget-free greedy selection: one window per job under ``limit``.
+
+    Starts from the most-affordable base (minimal ``weight`` per job, the
+    selection with the best chance of fitting), then makes one sweep
+    spending the remaining slack where it improves ``value``.  O(total
+    alternatives) — the degradation path must stay cheap.  Returns
+    ``None`` when even the base selection exceeds the limit, i.e. the
+    instance is genuinely infeasible.
+    """
+    sign = -1.0 if maximize else 1.0
+    base = [
+        min(windows, key=lambda w: (weight(w), sign * value(w))) for windows in lists
+    ]
+    slack = limit - sum(weight(window) for window in base)
+    if slack < -1e-9:
+        return None
+    chosen = list(base)
+    for index, windows in enumerate(lists):
+        current = chosen[index]
+        best = current
+        for window in windows:
+            extra = weight(window) - weight(current)
+            if extra <= slack + 1e-9 and sign * value(window) < sign * value(best):
+                best = window
+        if best is not current:
+            slack -= weight(best) - weight(current)
+            chosen[index] = best
+    return chosen
+
+
 def _backward_run(
     g_values: list[list[float]],
     z_weights: list[list[int]],
@@ -221,16 +361,26 @@ def optimize(
     limit: float,
     *,
     resolution: int = DEFAULT_RESOLUTION,
+    budget: OptimizationBudget | None = None,
 ) -> Combination:
     """Choose one window per job minimizing ``objective`` under ``limit``.
 
     The limit constrains the *dual* criterion: minimizing time runs under
     the VO budget ``B*``; minimizing cost runs under the quota ``T*``.
 
+    With a ``budget``, overload degrades instead of failing: the DP
+    resolution is stepped down to fit ``budget.max_cells``, and when the
+    table still does not fit (or ``budget.deadline`` already elapsed)
+    a greedy per-job selection is returned.  Either way the result is
+    marked ``degraded=True`` and stays feasible — budget exhaustion
+    never raises.
+
     Raises:
-        InfeasibleConstraintError: When no selection fits the limit.
+        InfeasibleConstraintError: When no selection fits the limit
+            (genuine infeasibility — independent of any budget).
         OptimizationError: When a job has no alternatives.
     """
+    started = time.monotonic()
     jobs, lists = _as_job_lists(alternatives)
     if not jobs:
         return Combination({}, 0.0, 0.0, objective, limit)
@@ -243,10 +393,34 @@ def optimize(
         phase_span = NOOP_SPAN
     with phase_span:
         constrained = objective.dual
-        g_values = [[objective.of(window) for window in windows] for windows in lists]
         z_values = [[constrained.of(window) for window in windows] for windows in lists]
+        total_alternatives = sum(len(values) for values in z_values)
+        fitted, exhausted = _fit_resolution(
+            total_alternatives, resolution, limit, budget
+        )
+        if exhausted or _out_of_time(started, budget):
+            reason = "max_cells" if exhausted else "deadline"
+            chosen = _greedy_choose(
+                lists, objective.of, constrained.of, limit, maximize=False
+            )
+            if chosen is None:
+                telemetry.count("dp.infeasible", 1, objective=objective.value)
+                best = sum(min(values) for values in z_values)
+                raise InfeasibleConstraintError(
+                    f"no combination satisfies {constrained.value} <= {limit:g} "
+                    f"(cheapest possible is >= {best:g})",
+                    limit=limit,
+                    best=best,
+                )
+            telemetry.count(
+                "optimize.degraded", 1, objective=objective.value, mode=reason
+            )
+            return _combination_of(
+                dict(zip(jobs, chosen)), objective, limit, degraded=True
+            )
+        g_values = [[objective.of(window) for window in windows] for windows in lists]
         flat_z = [value for job_values in z_values for value in job_values]
-        weights_flat, capacity = _discretize(flat_z, limit, resolution)
+        weights_flat, capacity = _discretize(flat_z, limit, fitted)
         z_weights: list[list[int]] = []
         cursor = 0
         for windows in lists:
@@ -264,17 +438,34 @@ def optimize(
                 limit=limit,
                 best=best,
             )
+        degraded = fitted != resolution
+        if degraded:
+            telemetry.count(
+                "optimize.degraded", 1, objective=objective.value, mode="stepdown"
+            )
         chosen, _ = solved
         selection = {
             job: lists[index][alt] for index, (job, alt) in enumerate(zip(jobs, chosen))
         }
-        return Combination(
-            selection=selection,
-            total_cost=sum(window.cost for window in selection.values()),
-            total_time=sum(window.length for window in selection.values()),
-            objective=objective,
-            limit=limit,
-        )
+        return _combination_of(selection, objective, limit, degraded=degraded)
+
+
+def _combination_of(
+    selection: dict[Job, Window],
+    objective: Criterion,
+    limit: float,
+    *,
+    degraded: bool = False,
+) -> Combination:
+    """Build a :class:`Combination` with exact totals over ``selection``."""
+    return Combination(
+        selection=selection,
+        total_cost=sum(window.cost for window in selection.values()),
+        total_time=sum(window.length for window in selection.values()),
+        objective=objective,
+        limit=limit,
+        degraded=degraded,
+    )
 
 
 def _count_dp_run(telemetry, total_alternatives: int, capacity: int, label: str) -> None:
@@ -297,6 +488,7 @@ def vo_budget(
     quota: float | None = None,
     *,
     resolution: int = DEFAULT_RESOLUTION,
+    budget: OptimizationBudget | None = None,
 ) -> float:
     """The VO budget ``B*`` of eq. (3).
 
@@ -307,12 +499,16 @@ def vo_budget(
     Args:
         alternatives: Phase-1 output; every job must have alternatives.
         quota: The time quota ``T*``; computed by eq. (2) when omitted.
+        budget: Optional degradation budget; on exhaustion ``B*`` is
+            estimated by a greedy selection instead of the DP (a lower
+            bound on the exact income, still quota-feasible).
 
     Raises:
         InfeasibleConstraintError: When even the fastest combination
             exceeds the quota (the scheduling iteration is then dropped,
             matching the paper's experimental protocol).
     """
+    started = time.monotonic()
     jobs, lists = _as_job_lists(alternatives)
     if not jobs:
         return 0.0
@@ -324,10 +520,34 @@ def vo_budget(
     else:
         phase_span = NOOP_SPAN
     with phase_span:
-        g_values = [[window.cost for window in windows] for windows in lists]
         z_values = [[window.length for window in windows] for windows in lists]
+        total_alternatives = sum(len(values) for values in z_values)
+        fitted, exhausted = _fit_resolution(
+            total_alternatives, resolution, quota, budget
+        )
+        if exhausted or _out_of_time(started, budget):
+            reason = "max_cells" if exhausted else "deadline"
+            chosen = _greedy_choose(
+                lists,
+                lambda window: window.cost,
+                lambda window: window.length,
+                quota,
+                maximize=True,
+            )
+            if chosen is None:
+                telemetry.count("dp.infeasible", 1, objective="budget")
+                best = sum(min(values) for values in z_values)
+                raise InfeasibleConstraintError(
+                    f"no combination satisfies time <= quota {quota:g} "
+                    f"(fastest possible is >= {best:g})",
+                    limit=quota,
+                    best=best,
+                )
+            telemetry.count("optimize.degraded", 1, objective="budget", mode=reason)
+            return float(sum(window.cost for window in chosen))
+        g_values = [[window.cost for window in windows] for windows in lists]
         flat_z = [value for job_values in z_values for value in job_values]
-        weights_flat, capacity = _discretize(flat_z, quota, resolution)
+        weights_flat, capacity = _discretize(flat_z, quota, fitted)
         z_weights: list[list[int]] = []
         cursor = 0
         for windows in lists:
@@ -345,6 +565,10 @@ def vo_budget(
                 limit=quota,
                 best=best,
             )
+        if fitted != resolution:
+            telemetry.count(
+                "optimize.degraded", 1, objective="budget", mode="stepdown"
+            )
         _, income = solved
         return income
 
@@ -354,9 +578,16 @@ def minimize_time(
     budget_limit: float,
     *,
     resolution: int = DEFAULT_RESOLUTION,
+    budget: OptimizationBudget | None = None,
 ) -> Combination:
     """``min T(s̄)`` subject to ``C(s̄) <= B*`` (the Fig. 4 experiment)."""
-    return optimize(alternatives, Criterion.TIME, budget_limit, resolution=resolution)
+    return optimize(
+        alternatives,
+        Criterion.TIME,
+        budget_limit,
+        resolution=resolution,
+        budget=budget,
+    )
 
 
 def minimize_cost(
@@ -364,9 +595,12 @@ def minimize_cost(
     quota: float,
     *,
     resolution: int = DEFAULT_RESOLUTION,
+    budget: OptimizationBudget | None = None,
 ) -> Combination:
     """``min C(s̄)`` subject to ``T(s̄) <= T*`` (the Fig. 6 experiment)."""
-    return optimize(alternatives, Criterion.COST, quota, resolution=resolution)
+    return optimize(
+        alternatives, Criterion.COST, quota, resolution=resolution, budget=budget
+    )
 
 
 def brute_force(

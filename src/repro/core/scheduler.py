@@ -26,6 +26,7 @@ from repro.core.job import Batch, Job
 from repro.core.optimize import (
     DEFAULT_RESOLUTION,
     Combination,
+    OptimizationBudget,
     minimize_cost,
     minimize_time,
     time_quota,
@@ -63,6 +64,9 @@ class SchedulerConfig:
         resolution: DP discretization bins.
         max_alternatives_per_job: Optional cap on phase-1 alternatives.
         infeasible_policy: Behaviour when the DP constraint cannot be met.
+        budget: Optional deadline/operation budget for phase 2; under
+            overload the DP degrades (stepped-down resolution, then a
+            greedy per-job selection) instead of stalling the iteration.
     """
 
     algorithm: SlotSearchAlgorithm = SlotSearchAlgorithm.AMP
@@ -71,6 +75,7 @@ class SchedulerConfig:
     resolution: int = DEFAULT_RESOLUTION
     max_alternatives_per_job: int | None = None
     infeasible_policy: InfeasiblePolicy = InfeasiblePolicy.RAISE
+    budget: OptimizationBudget | None = None
 
 
 @dataclass
@@ -88,6 +93,9 @@ class ScheduleOutcome:
             minimization, where the quota itself is the constraint).
         used_fallback: ``True`` when the earliest-alternative fallback
             replaced an infeasible DP (see :class:`InfeasiblePolicy`).
+        degraded: ``True`` when the phase-2 optimization ran degraded
+            (stepped-down resolution or greedy fallback) because of an
+            :class:`~repro.core.optimize.OptimizationBudget`.
     """
 
     combination: Combination
@@ -96,6 +104,7 @@ class ScheduleOutcome:
     quota: float
     budget: float | None
     used_fallback: bool = False
+    degraded: bool = False
 
     @property
     def scheduled_jobs(self) -> dict[Job, Window]:
@@ -172,13 +181,24 @@ class BatchScheduler:
             used_fallback = False
             try:
                 if config.objective is Criterion.TIME:
-                    budget = vo_budget(covered, quota, resolution=config.resolution)
+                    budget = vo_budget(
+                        covered,
+                        quota,
+                        resolution=config.resolution,
+                        budget=config.budget,
+                    )
                     combination = minimize_time(
-                        covered, budget, resolution=config.resolution
+                        covered,
+                        budget,
+                        resolution=config.resolution,
+                        budget=config.budget,
                     )
                 else:
                     combination = minimize_cost(
-                        covered, quota, resolution=config.resolution
+                        covered,
+                        quota,
+                        resolution=config.resolution,
+                        budget=config.budget,
                     )
             except InfeasibleConstraintError:
                 if config.infeasible_policy is InfeasiblePolicy.RAISE:
@@ -196,4 +216,5 @@ class BatchScheduler:
                 quota=quota,
                 budget=budget,
                 used_fallback=used_fallback,
+                degraded=combination.degraded,
             )

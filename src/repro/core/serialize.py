@@ -43,6 +43,29 @@ __all__ = [
 FORMAT = "repro/1"
 
 
+def _finite(value: float, what: str) -> float:
+    """Validate that a numeric field is finite; returns it as ``float``.
+
+    ``json.dumps`` happily emits ``NaN`` and ``Infinity`` (non-standard
+    JSON that many parsers reject), and a NaN slot time or price would
+    silently corrupt every downstream comparison.  Both encoding and
+    decoding funnel numeric fields through this guard so a bad value is
+    rejected loudly at the serialization boundary, not discovered as a
+    nonsense schedule later.
+
+    Raises:
+        InvalidRequestError: When the value is NaN or infinite (or not a
+            number at all).
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise InvalidRequestError(f"{what} must be a number, got {value!r}") from None
+    if not math.isfinite(value):
+        raise InvalidRequestError(f"{what} must be finite, got {value!r}")
+    return value
+
+
 class Scenario:
     """A serializable bundle: slot list + batch + optional assignment.
 
@@ -79,24 +102,26 @@ class _Encoder:
             self.resources[resource.uid] = {
                 "uid": resource.uid,
                 "name": resource.name,
-                "performance": resource.performance,
-                "price": resource.price,
+                "performance": _finite(resource.performance, f"resource {resource.name!r} performance"),
+                "price": _finite(resource.price, f"resource {resource.name!r} price"),
             }
         return resource.uid
 
     def slot(self, slot: Slot) -> dict[str, Any]:
         return {
             "resource": self.resource(slot.resource),
-            "start": slot.start,
-            "end": slot.end,
-            "price": slot.price,
+            "start": _finite(slot.start, "slot start"),
+            "end": _finite(slot.end, "slot end"),
+            "price": _finite(slot.price, "slot price"),
         }
 
     def request(self, request: ResourceRequest) -> dict[str, Any]:
+        if math.isnan(request.max_price):
+            raise InvalidRequestError("request max_price must not be NaN")
         return {
             "node_count": request.node_count,
-            "volume": request.volume,
-            "min_performance": request.min_performance,
+            "volume": _finite(request.volume, "request volume"),
+            "min_performance": _finite(request.min_performance, "request min_performance"),
             "max_price": None if math.isinf(request.max_price) else request.max_price,
         }
 
@@ -114,8 +139,8 @@ class _Encoder:
             "allocations": [
                 {
                     "source": self.slot(allocation.source),
-                    "start": allocation.start,
-                    "end": allocation.end,
+                    "start": _finite(allocation.start, "allocation start"),
+                    "end": _finite(allocation.end, "allocation end"),
                 }
                 for allocation in window.allocations
             ],
@@ -149,9 +174,9 @@ def _decode_request(payload: dict[str, Any]) -> ResourceRequest:
     max_price = payload.get("max_price")
     return ResourceRequest(
         node_count=int(payload["node_count"]),
-        volume=float(payload["volume"]),
-        min_performance=float(payload["min_performance"]),
-        max_price=math.inf if max_price is None else float(max_price),
+        volume=_finite(payload["volume"], "request volume"),
+        min_performance=_finite(payload["min_performance"], "request min_performance"),
+        max_price=math.inf if max_price is None else _finite(max_price, "request max_price"),
     )
 
 
@@ -170,8 +195,8 @@ def scenario_from_dict(data: dict[str, Any]) -> Scenario:
     for payload in data.get("resources", []):
         resource = Resource(
             name=str(payload["name"]),
-            performance=float(payload["performance"]),
-            price=float(payload["price"]),
+            performance=_finite(payload["performance"], "resource performance"),
+            price=_finite(payload["price"], "resource price"),
             uid=int(payload["uid"]),
         )
         resources[resource.uid] = resource
@@ -185,9 +210,9 @@ def scenario_from_dict(data: dict[str, Any]) -> Scenario:
     def decode_slot(payload: dict[str, Any]) -> Slot:
         return Slot(
             resource_of(int(payload["resource"])),
-            float(payload["start"]),
-            float(payload["end"]),
-            price=float(payload["price"]),
+            _finite(payload["start"], "slot start"),
+            _finite(payload["end"], "slot end"),
+            price=_finite(payload["price"], "slot price"),
         )
 
     slots = SlotList(decode_slot(payload) for payload in data.get("slots", []))

@@ -15,6 +15,8 @@ builds that somewhere:
   with postponement;
 * :mod:`repro.grid.resilience` — stochastic failure injection and the
   alternative-backed fault-recovery subsystem;
+* :mod:`repro.grid.checkpoint` — crash-safe durable state: atomic
+  snapshots plus command-journal replay;
 * :mod:`repro.grid.trace` — job life-cycle records and run metrics.
 """
 
@@ -27,6 +29,13 @@ from repro.grid.accounting import (
     user_statement,
 )
 from repro.grid.arrivals import BurstyArrivals, PoissonArrivals
+from repro.grid.checkpoint import (
+    DurableMetascheduler,
+    load_snapshot,
+    restore_metascheduler,
+    save_snapshot,
+    snapshot_metascheduler,
+)
 from repro.grid.cluster import Cluster, ClusterSpec
 from repro.grid.environment import VOEnvironment
 from repro.grid.events import EventKind, SimulationDriver, SimulationEvent
@@ -91,6 +100,11 @@ __all__ = [
     "VOEnvironment",
     "Metascheduler",
     "IterationReport",
+    "DurableMetascheduler",
+    "snapshot_metascheduler",
+    "restore_metascheduler",
+    "save_snapshot",
+    "load_snapshot",
     "FailureConfig",
     "FailureGenerator",
     "Outage",

@@ -1,0 +1,728 @@
+"""Durable metascheduler state: atomic snapshots + command journal.
+
+A 25 000-iteration run that dies at iteration 24 999 should not start
+over.  This module makes a :class:`~repro.grid.metascheduler.Metascheduler`
+run *crash-safe* with the classical write-ahead recipe:
+
+* **Snapshots** capture the full scheduler state — the VO environment
+  (every node's occupancy schedule), the workload trace, the pending
+  queue, future submissions, iteration reports, and the fault-recovery
+  store (retained alternatives, revocation budgets) — as one JSON
+  document in the ``repro/1`` family (format tag
+  :data:`CHECKPOINT_FORMAT`).  Writes are atomic: tmp file + ``fsync``
+  + ``rename``, so a crash mid-snapshot leaves the previous snapshot
+  intact and never a half-written file.
+
+* **The journal** (:mod:`repro.core.journal`) logs every *command*
+  applied after the snapshot — ``submit``, ``iteration``, ``outage``,
+  ``completions`` — as checksummed JSONL.  Because the metascheduler is
+  deterministic given its state, :func:`DurableMetascheduler.restore`
+  replays commands by re-executing them on the restored snapshot,
+  arriving at exactly the pre-crash state.  A torn trailing journal
+  record (the residue of a kill mid-append) is skipped with a warning;
+  the run resumes from the last fully journaled command.
+
+Commands are journaled *after* they execute successfully, so the
+journal is a redo log of committed operations: a crash mid-command
+restores the consistent state just before it.
+
+Typical use::
+
+    meta = Metascheduler(environment, period=60.0)
+    durable = DurableMetascheduler(meta, "state/")   # initial snapshot
+    durable.submit(job)                               # journaled
+    durable.run(until=2000.0)                         # journaled per tick
+    ...
+    # after a crash:
+    durable = DurableMetascheduler.restore("state/")
+    durable.run(until=4000.0)                         # picks up where it died
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.core import job as job_module
+from repro.core import resource as resource_module
+from repro.core.criteria import Criterion
+from repro.core.errors import CheckpointMismatchError, PersistenceError
+from repro.core.journal import JournalWriter, read_journal
+from repro.core.pricing import DemandAdjustedPricing, ExponentialPricing
+from repro.core.resource import Resource
+from repro.core.scheduler import BatchScheduler, InfeasiblePolicy, SchedulerConfig
+from repro.core.search import SlotSearchAlgorithm
+from repro.core.serialize import _decode_request, _Encoder, _finite
+from repro.core.slot import Slot
+from repro.core.window import TaskAllocation, Window
+from repro.core.job import Job
+from repro.grid.cluster import Cluster
+from repro.grid.environment import VOEnvironment
+from repro.grid.metascheduler import IterationReport, Metascheduler
+from repro.grid.node import ComputeNode
+from repro.grid.resilience import RecoveryManager, RetryPolicy
+from repro.grid.trace import JobState
+from repro.obs.telemetry import get_telemetry
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "DurableMetascheduler",
+    "load_snapshot",
+    "restore_metascheduler",
+    "save_snapshot",
+    "snapshot_metascheduler",
+]
+
+#: Snapshot document format tag (the ``repro/1`` data model extended to
+#: full VO environment + metascheduler queue state).
+CHECKPOINT_FORMAT = "repro/1-checkpoint"
+
+#: File names used inside a durable-state directory.
+SNAPSHOT_NAME = "snapshot.json"
+JOURNAL_NAME = "journal.jsonl"
+
+
+# --------------------------------------------------------------------- #
+# Snapshot encoding                                                     #
+# --------------------------------------------------------------------- #
+
+
+def _encode_window(encoder: _Encoder, window: Window) -> dict[str, Any]:
+    return encoder.window(window)
+
+
+def _encode_environment(encoder: _Encoder, environment: VOEnvironment) -> dict[str, Any]:
+    clusters = []
+    for cluster in environment.clusters:
+        nodes = []
+        for node in cluster:
+            nodes.append(
+                {
+                    "resource": encoder.resource(node.resource),
+                    "intervals": [
+                        [
+                            _finite(interval.start, "interval start"),
+                            _finite(interval.end, "interval end"),
+                            interval.label,
+                        ]
+                        for interval in node.schedule
+                    ],
+                }
+            )
+        clusters.append({"name": cluster.name, "nodes": nodes})
+    return {"clusters": clusters}
+
+
+def _encode_scheduler(config: SchedulerConfig) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "algorithm": config.algorithm.value,
+        "objective": config.objective.value,
+        "rho": config.rho,
+        "resolution": config.resolution,
+        "max_alternatives_per_job": config.max_alternatives_per_job,
+        "infeasible_policy": config.infeasible_policy.value,
+    }
+    budget = getattr(config, "budget", None)
+    if budget is not None:
+        payload["budget"] = {
+            "max_cells": budget.max_cells,
+            "deadline": budget.deadline,
+            "min_resolution": budget.min_resolution,
+        }
+    return payload
+
+
+def _encode_pricing(pricing: DemandAdjustedPricing | None) -> dict[str, Any] | None:
+    if pricing is None:
+        return None
+    return {
+        "sensitivity": pricing.sensitivity,
+        "base": {
+            "base": pricing.base.base,
+            "low_factor": pricing.base.low_factor,
+            "high_factor": pricing.base.high_factor,
+        },
+    }
+
+
+def _encode_recovery(encoder: _Encoder, recovery: RecoveryManager | None) -> dict[str, Any] | None:
+    if recovery is None:
+        return None
+    policy = recovery.policy
+    return {
+        "policy": {
+            "max_revocations": policy.max_revocations,
+            "backoff_base": policy.backoff_base,
+            "backoff_factor": policy.backoff_factor,
+            "backoff_cap": policy.backoff_cap,
+        },
+        "revocations": {str(uid): count for uid, count in recovery._revocations.items()},
+        "retained": {
+            str(uid): [_encode_window(encoder, window) for window in windows]
+            for uid, windows in recovery._retained.items()
+        },
+    }
+
+
+def snapshot_metascheduler(meta: Metascheduler) -> dict[str, Any]:
+    """Encode the full state of a metascheduler run as one JSON document.
+
+    Everything the scheduling cycle depends on is captured: the
+    environment's per-node occupancy (reservations, local jobs, outage
+    intervals), the workload trace, pending/future submissions,
+    iteration reports, resilience counters, and — when fault recovery is
+    configured — the retained phase-1 alternatives and per-job
+    revocation budgets, so a restored run recovers exactly like the
+    original would have.
+
+    The recovery *audit log* (``RecoveryManager.events``) is
+    observability, not scheduling state, and is not persisted.
+    """
+    encoder = _Encoder()
+    environment = _encode_environment(encoder, meta.environment)
+    trace = []
+    for record in meta.trace:
+        trace.append(
+            {
+                "job": encoder.job(record.job),
+                "submit_time": record.submit_time,
+                "state": record.state.value,
+                "window": None
+                if record.window is None
+                else _encode_window(encoder, record.window),
+                "scheduled_iteration": record.scheduled_iteration,
+                "postponements": record.postponements,
+                "resubmissions": record.resubmissions,
+                "recoveries": record.recoveries,
+            }
+        )
+    reports = [report.__dict__.copy() for report in meta.reports]
+    recovery = _encode_recovery(encoder, meta.recovery)
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "environment": environment,
+        "scheduler": _encode_scheduler(meta.scheduler.config),
+        "metascheduler": {
+            "period": meta.period,
+            "horizon": meta.horizon,
+            "min_slot_length": meta.min_slot_length,
+            "max_batch_size": meta.max_batch_size,
+            "max_postponements": meta.max_postponements,
+            "max_pending": meta.max_pending,
+            "admission_rejections": meta.admission_rejections,
+            "iteration": meta._iteration,
+            "pending": [job.uid for job in meta._pending],
+            "submissions": [[time, job.uid] for time, job in meta._submissions],
+            "outage_counts": dict(meta._outage_counts),
+            "revoked_at": {str(uid): tick for uid, tick in meta._revoked_at.items()},
+            "demand_pricing": _encode_pricing(meta.demand_pricing),
+            "recovery": recovery,
+        },
+        "trace": trace,
+        "reports": reports,
+        # The interned resource table last: encoding the environment and
+        # every window above fills it.
+        "resources": list(encoder.resources.values()),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Snapshot decoding                                                     #
+# --------------------------------------------------------------------- #
+
+
+def _decode_resources(data: dict[str, Any]) -> dict[int, Resource]:
+    resources: dict[int, Resource] = {}
+    for payload in data.get("resources", []):
+        resource = Resource(
+            name=str(payload["name"]),
+            performance=_finite(payload["performance"], "resource performance"),
+            price=_finite(payload["price"], "resource price"),
+            uid=int(payload["uid"]),
+        )
+        resources[resource.uid] = resource
+    return resources
+
+
+def _resource_of(resources: dict[int, Resource], uid: int) -> Resource:
+    try:
+        return resources[uid]
+    except KeyError:
+        raise CheckpointMismatchError(
+            f"snapshot references undeclared resource uid {uid}"
+        ) from None
+
+
+def _decode_slot(payload: dict[str, Any], resources: dict[int, Resource]) -> Slot:
+    return Slot(
+        _resource_of(resources, int(payload["resource"])),
+        _finite(payload["start"], "slot start"),
+        _finite(payload["end"], "slot end"),
+        price=_finite(payload["price"], "slot price"),
+    )
+
+
+def _decode_window(payload: dict[str, Any], resources: dict[int, Resource]) -> Window:
+    request = _decode_request(payload["request"])
+    allocations = [
+        TaskAllocation(
+            _decode_slot(item["source"], resources),
+            _finite(item["start"], "allocation start"),
+            _finite(item["end"], "allocation end"),
+        )
+        for item in payload["allocations"]
+    ]
+    return Window(request, allocations)
+
+
+def _decode_job(payload: dict[str, Any]) -> Job:
+    return Job(
+        _decode_request(payload["request"]),
+        name=str(payload["name"]),
+        priority=int(payload["priority"]),
+        uid=int(payload["uid"]),
+    )
+
+
+def _decode_environment(
+    data: dict[str, Any], resources: dict[int, Resource]
+) -> VOEnvironment:
+    clusters = []
+    for cluster_payload in data["clusters"]:
+        nodes = []
+        for node_payload in cluster_payload["nodes"]:
+            resource = _resource_of(resources, int(node_payload["resource"]))
+            node = ComputeNode(
+                resource.name, performance=resource.performance, price=resource.price
+            )
+            # Re-intern the snapshot's resource so uids (and therefore
+            # window → node references) survive the round trip.
+            node.resource = resource
+            for start, end, label in node_payload["intervals"]:
+                node.schedule.reserve(
+                    _finite(start, "interval start"),
+                    _finite(end, "interval end"),
+                    str(label),
+                )
+            nodes.append(node)
+        clusters.append(Cluster(str(cluster_payload["name"]), nodes))
+    return VOEnvironment(clusters)
+
+
+def _decode_scheduler(data: dict[str, Any]) -> BatchScheduler:
+    kwargs: dict[str, Any] = {}
+    if data.get("budget") is not None:
+        from repro.core.optimize import OptimizationBudget
+
+        budget = data["budget"]
+        kwargs["budget"] = OptimizationBudget(
+            max_cells=budget.get("max_cells"),
+            deadline=budget.get("deadline"),
+            min_resolution=budget.get("min_resolution", 50),
+        )
+    config = SchedulerConfig(
+        algorithm=SlotSearchAlgorithm(data["algorithm"]),
+        objective=Criterion(data["objective"]),
+        rho=float(data["rho"]),
+        resolution=int(data["resolution"]),
+        max_alternatives_per_job=data.get("max_alternatives_per_job"),
+        infeasible_policy=InfeasiblePolicy(data["infeasible_policy"]),
+        **kwargs,
+    )
+    return BatchScheduler(config)
+
+
+def _decode_pricing(data: dict[str, Any] | None) -> DemandAdjustedPricing | None:
+    if data is None:
+        return None
+    base = data["base"]
+    return DemandAdjustedPricing(
+        base=ExponentialPricing(
+            base=float(base["base"]),
+            low_factor=float(base["low_factor"]),
+            high_factor=float(base["high_factor"]),
+        ),
+        sensitivity=float(data["sensitivity"]),
+    )
+
+
+def _decode_recovery(
+    data: dict[str, Any] | None, resources: dict[int, Resource]
+) -> RecoveryManager | None:
+    if data is None:
+        return None
+    policy_payload = data["policy"]
+    manager = RecoveryManager(
+        RetryPolicy(
+            max_revocations=policy_payload["max_revocations"],
+            backoff_base=float(policy_payload["backoff_base"]),
+            backoff_factor=float(policy_payload["backoff_factor"]),
+            backoff_cap=float(policy_payload["backoff_cap"]),
+        )
+    )
+    manager._revocations = {
+        int(uid): int(count) for uid, count in data.get("revocations", {}).items()
+    }
+    manager._retained = {
+        int(uid): [_decode_window(window, resources) for window in windows]
+        for uid, windows in data.get("retained", {}).items()
+    }
+    return manager
+
+
+def _advance_uid_counters(resources: dict[int, Resource], jobs: list[Job]) -> None:
+    """Keep auto-assigned uids ahead of everything the snapshot restored.
+
+    New jobs and resources created after a restore must never collide
+    with restored uids — a collision would alias two distinct jobs in
+    the trace (keyed by uid) and corrupt the run silently.
+    """
+    if resources:
+        floor = max(resources) + 1
+        current = next(resource_module._resource_counter)
+        resource_module._resource_counter = itertools.count(max(current, floor))
+    if jobs:
+        floor = max(job.uid for job in jobs) + 1
+        current = next(job_module._job_counter)
+        job_module._job_counter = itertools.count(max(current, floor))
+
+
+def restore_metascheduler(data: dict[str, Any]) -> Metascheduler:
+    """Rebuild a metascheduler from :func:`snapshot_metascheduler` output.
+
+    Raises:
+        CheckpointMismatchError: On an unknown format tag or dangling
+            internal references.
+    """
+    if data.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointMismatchError(
+            f"unsupported checkpoint format {data.get('format')!r}; "
+            f"expected {CHECKPOINT_FORMAT!r}"
+        )
+    resources = _decode_resources(data)
+    environment = _decode_environment(data["environment"], resources)
+    state = data["metascheduler"]
+    meta = Metascheduler(
+        environment,
+        scheduler=_decode_scheduler(data["scheduler"]),
+        period=float(state["period"]),
+        horizon=float(state["horizon"]),
+        min_slot_length=float(state["min_slot_length"]),
+        max_batch_size=state["max_batch_size"],
+        max_postponements=state["max_postponements"],
+        max_pending=state.get("max_pending"),
+        demand_pricing=_decode_pricing(state.get("demand_pricing")),
+        recovery=_decode_recovery(state.get("recovery"), resources),
+    )
+    jobs_by_uid: dict[int, Job] = {}
+    for entry in data.get("trace", []):
+        job = _decode_job(entry["job"])
+        jobs_by_uid[job.uid] = job
+        record = meta.trace.add(job, float(entry["submit_time"]))
+        record.state = JobState(entry["state"])
+        record.window = (
+            None
+            if entry["window"] is None
+            else _decode_window(entry["window"], resources)
+        )
+        record.scheduled_iteration = entry["scheduled_iteration"]
+        record.postponements = int(entry["postponements"])
+        record.resubmissions = int(entry["resubmissions"])
+        record.recoveries = int(entry["recoveries"])
+
+    def job_of(uid: int) -> Job:
+        try:
+            return jobs_by_uid[uid]
+        except KeyError:
+            raise CheckpointMismatchError(
+                f"snapshot references undeclared job uid {uid}"
+            ) from None
+
+    meta._pending = [job_of(int(uid)) for uid in state.get("pending", [])]
+    meta._submissions = [
+        (float(time), job_of(int(uid))) for time, uid in state.get("submissions", [])
+    ]
+    meta._iteration = int(state["iteration"])
+    meta._outage_counts.update(
+        {key: int(value) for key, value in state.get("outage_counts", {}).items()}
+    )
+    meta._revoked_at = {
+        int(uid): int(tick) for uid, tick in state.get("revoked_at", {}).items()
+    }
+    meta.admission_rejections = int(state.get("admission_rejections", 0))
+    meta.reports = [IterationReport(**report) for report in data.get("reports", [])]
+    _advance_uid_counters(resources, list(jobs_by_uid.values()))
+    return meta
+
+
+# --------------------------------------------------------------------- #
+# Snapshot files                                                        #
+# --------------------------------------------------------------------- #
+
+
+def save_snapshot(data: dict[str, Any], path: str | Path) -> Path:
+    """Write a snapshot document atomically: tmp + fsync + rename.
+
+    A crash at any point leaves either the previous snapshot or the new
+    one — never a torn file.  The temporary file lives next to the
+    target so the rename stays within one filesystem.
+
+    Raises:
+        PersistenceError: When the snapshot cannot be written.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as stream:
+            json.dump(data, stream, separators=(",", ":"), sort_keys=True)
+            stream.write("\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, path)
+        directory = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(directory)
+        finally:
+            os.close(directory)
+    except OSError as error:
+        raise PersistenceError(
+            f"cannot write snapshot {str(path)!r}: {error}"
+        ) from error
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.count("checkpoint.snapshots")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    """Read a snapshot document written by :func:`save_snapshot`.
+
+    Raises:
+        PersistenceError: When the file is missing or unreadable.
+        CheckpointMismatchError: When it parses but is not a snapshot.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise PersistenceError(
+            f"cannot read snapshot {str(path)!r}: {error}"
+        ) from error
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CheckpointMismatchError(
+            f"snapshot {str(path)!r} is not valid JSON ({error.msg})"
+        ) from None
+    if not isinstance(data, dict):
+        raise CheckpointMismatchError(
+            f"snapshot {str(path)!r} must be a JSON object"
+        )
+    return data
+
+
+# --------------------------------------------------------------------- #
+# The durable wrapper                                                   #
+# --------------------------------------------------------------------- #
+
+
+class DurableMetascheduler:
+    """Crash-safe façade over a :class:`Metascheduler`.
+
+    Wraps the scheduling cycle's mutating entry points — :meth:`submit`,
+    :meth:`run_iteration`, :meth:`run`, :meth:`inject_outage` — and
+    journals each as a command after it executes.  Every
+    ``snapshot_every`` iterations the full state is snapshotted
+    atomically and the journal compacted, bounding replay work.
+
+    Args:
+        meta: The metascheduler to make durable.
+        directory: Where ``snapshot.json`` and ``journal.jsonl`` live
+            (created if missing).
+        snapshot_every: Iterations between automatic snapshots.
+        fsync: Force journal appends to stable storage per record.
+    """
+
+    def __init__(
+        self,
+        meta: Metascheduler,
+        directory: str | Path,
+        *,
+        snapshot_every: int = 25,
+        fsync: bool = True,
+        _restored: bool = False,
+    ) -> None:
+        if snapshot_every < 1:
+            raise PersistenceError(
+                f"snapshot_every must be >= 1, got {snapshot_every!r}"
+            )
+        self.meta = meta
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshot_every = snapshot_every
+        self._since_snapshot = 0
+        self._journal = JournalWriter(
+            self.directory / JOURNAL_NAME,
+            fsync=fsync,
+            header={"checkpoint": CHECKPOINT_FORMAT},
+        )
+        if not _restored:
+            # A snapshot must always exist: restore() without one would
+            # have no base state to replay the journal onto.
+            self.snapshot()
+
+    # -------------------------------------------------------------- #
+    # Journaled commands                                              #
+    # -------------------------------------------------------------- #
+
+    def submit(self, job: Job, at_time: float = 0.0) -> None:
+        """Queue a global job and journal the submission.
+
+        Raises:
+            AdmissionRejectedError: Propagated from the metascheduler;
+                shed submissions are *not* journaled (they changed no
+                state).
+        """
+        self.meta.submit(job, at_time)
+        encoder = _Encoder()
+        self._journal.append(
+            "submit", {"time": at_time, "job": encoder.job(job)}
+        )
+
+    def run_iteration(self, now: float) -> IterationReport:
+        """Execute one scheduling iteration durably."""
+        report = self.meta.run_iteration(now)
+        self._journal.append("iteration", {"now": now})
+        self._since_snapshot += 1
+        if self._since_snapshot >= self.snapshot_every:
+            self.snapshot()
+        return report
+
+    def run(self, until: float, *, start: float = 0.0) -> list[IterationReport]:
+        """Run iterations every ``period`` from ``start`` until ``until``.
+
+        Mirrors :meth:`Metascheduler.run`, journaling every tick plus
+        the final completion sweep.
+        """
+        first = len(self.meta.reports)
+        now = start
+        while now <= until:
+            self.run_iteration(now)
+            now += self.meta.period
+        self.mark_completions(until)
+        return self.meta.reports[first:]
+
+    def mark_completions(self, now: float) -> int:
+        """Sweep finished windows into COMPLETED, durably."""
+        completed = self.meta.trace.mark_completions(now)
+        self._journal.append("completions", {"now": now})
+        return completed
+
+    def inject_outage(self, node: ComputeNode, start: float, end: float) -> list[Job]:
+        """Fail a node durably; see :meth:`Metascheduler.inject_outage`."""
+        resubmitted = self.meta.inject_outage(node, start, end)
+        self._journal.append(
+            "outage", {"node": node.name, "start": start, "end": end}
+        )
+        return resubmitted
+
+    # -------------------------------------------------------------- #
+    # Snapshots and restore                                           #
+    # -------------------------------------------------------------- #
+
+    @property
+    def snapshot_path(self) -> Path:
+        """Location of the current snapshot document."""
+        return self.directory / SNAPSHOT_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        """Location of the command journal."""
+        return self.directory / JOURNAL_NAME
+
+    def snapshot(self) -> Path:
+        """Write an atomic snapshot now; resets the journal watermark."""
+        data = snapshot_metascheduler(self.meta)
+        data["journal_seq"] = self._journal.next_seq
+        path = save_snapshot(data, self.snapshot_path)
+        self._since_snapshot = 0
+        return path
+
+    def close(self) -> None:
+        """Snapshot once more and close the journal."""
+        self.snapshot()
+        self._journal.close()
+
+    def __enter__(self) -> "DurableMetascheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str | Path,
+        *,
+        snapshot_every: int = 25,
+        fsync: bool = True,
+    ) -> "DurableMetascheduler":
+        """Rebuild the durable run from its snapshot + journal.
+
+        Loads the latest snapshot and re-executes every journaled
+        command at or past the snapshot's watermark.  A torn trailing
+        journal record is skipped with a warning (the crash artefact);
+        corruption elsewhere raises
+        :class:`~repro.core.errors.JournalCorruptError`.
+
+        Raises:
+            PersistenceError: When no snapshot exists in ``directory``.
+        """
+        directory = Path(directory)
+        snapshot = load_snapshot(directory / SNAPSHOT_NAME)
+        meta = restore_metascheduler(snapshot)
+        watermark = int(snapshot.get("journal_seq", 0))
+        records = read_journal(directory / JOURNAL_NAME)
+        replayed = 0
+        nodes_by_name = {node.name: node for node in meta.environment.nodes()}
+        for record in records:
+            if record.seq < watermark:
+                continue
+            if record.kind == "submit":
+                meta.submit(_decode_job(record.data["job"]), record.data["time"])
+            elif record.kind == "iteration":
+                meta.run_iteration(float(record.data["now"]))
+            elif record.kind == "completions":
+                meta.trace.mark_completions(float(record.data["now"]))
+            elif record.kind == "outage":
+                node = nodes_by_name.get(str(record.data["node"]))
+                if node is None:
+                    raise CheckpointMismatchError(
+                        f"journal outage references unknown node "
+                        f"{record.data['node']!r}"
+                    )
+                meta.inject_outage(
+                    node, float(record.data["start"]), float(record.data["end"])
+                )
+            elif record.kind == "journal":
+                continue
+            else:
+                raise CheckpointMismatchError(
+                    f"unknown journal command {record.kind!r} (seq {record.seq})"
+                )
+            replayed += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("checkpoint.restores")
+            telemetry.count("checkpoint.replayed_commands", replayed)
+        durable = cls(
+            meta,
+            directory,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+            _restored=True,
+        )
+        return durable

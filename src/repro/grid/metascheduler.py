@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.errors import InvalidRequestError
+from repro.core.errors import AdmissionRejectedError, InvalidRequestError
 from repro.core.job import Batch, Job
 from repro.core.pricing import DemandAdjustedPricing
 from repro.core.scheduler import (
@@ -58,6 +58,9 @@ class IterationReport:
         rejected: Jobs dropped for exceeding the retry limit.
         total_alternatives: Phase-1 alternatives found for the batch.
         used_fallback: Whether the earliest-alternative fallback fired.
+        degraded: Whether phase 2 ran under a degraded regime this
+            iteration (stepped-down DP resolution or the greedy
+            fallback) because of a deadline/operation budget.
         revocations: Windows revoked by outages since the previous tick.
         hot_swaps: Revocations recovered from retained alternatives in
             the same event (no queue round trip).
@@ -75,6 +78,7 @@ class IterationReport:
     rejected: int
     total_alternatives: int
     used_fallback: bool
+    degraded: bool = False
     revocations: int = 0
     hot_swaps: int = 0
     replacements: int = 0
@@ -94,6 +98,7 @@ class Metascheduler:
         min_slot_length: float = 0.0,
         max_batch_size: int | None = None,
         max_postponements: int | None = None,
+        max_pending: int | None = None,
         demand_pricing: DemandAdjustedPricing | None = None,
         recovery: RecoveryManager | RetryPolicy | None = None,
     ) -> None:
@@ -111,6 +116,12 @@ class Metascheduler:
                 overflow simply waits (it is not a postponement).
             max_postponements: Drop a job after this many postponements
                 (``None`` retries forever, as the paper's scheme does).
+            max_pending: Bounded admission: once the backlog (pending
+                jobs plus not-yet-absorbed submissions) reaches this
+                limit, further :meth:`submit` calls are shed with a
+                typed :class:`~repro.core.errors.AdmissionRejectedError`
+                instead of growing the queue without bound (``None``
+                admits everything, the legacy behaviour).
             demand_pricing: Optional supply-and-demand pricing (paper
                 Section 7 future work): at every iteration, published
                 slot prices are scaled by the demand multiplier for the
@@ -131,6 +142,10 @@ class Metascheduler:
             raise InvalidRequestError(
                 f"max_batch_size must be >= 1, got {max_batch_size!r}"
             )
+        if max_pending is not None and max_pending < 1:
+            raise InvalidRequestError(
+                f"max_pending must be >= 1, got {max_pending!r}"
+            )
         self.environment = environment
         self.scheduler = scheduler or BatchScheduler(
             SchedulerConfig(infeasible_policy=InfeasiblePolicy.EARLIEST)
@@ -140,6 +155,9 @@ class Metascheduler:
         self.min_slot_length = min_slot_length
         self.max_batch_size = max_batch_size
         self.max_postponements = max_postponements
+        self.max_pending = max_pending
+        #: Submissions shed by bounded admission over the run's lifetime.
+        self.admission_rejections = 0
         self.demand_pricing = demand_pricing
         if isinstance(recovery, RetryPolicy):
             recovery = RecoveryManager(recovery)
@@ -165,7 +183,32 @@ class Metascheduler:
     # ------------------------------------------------------------------ #
 
     def submit(self, job: Job, at_time: float = 0.0) -> None:
-        """Queue a global job, effective from ``at_time``."""
+        """Queue a global job, effective from ``at_time``.
+
+        Raises:
+            AdmissionRejectedError: When bounded admission is configured
+                (``max_pending``) and the backlog is already at the
+                limit.  The job is *not* queued and does not enter the
+                workload trace; the caller owns the shed policy.
+        """
+        if self.max_pending is not None and self.backlog() >= self.max_pending:
+            self.admission_rejections += 1
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.count("meta.admission_rejected")
+                telemetry.event(
+                    "meta.admission_rejected",
+                    job=job.name,
+                    backlog=self.backlog(),
+                    limit=self.max_pending,
+                )
+            raise AdmissionRejectedError(
+                f"job {job.name!r} rejected: backlog {self.backlog()} is at the "
+                f"admission limit {self.max_pending}",
+                job_name=job.name,
+                backlog=self.backlog(),
+                limit=self.max_pending,
+            )
         self.trace.add(job, at_time)
         self._submissions.append((at_time, job))
         self._submissions.sort(key=lambda pair: pair[0])
@@ -276,6 +319,7 @@ class Metascheduler:
             rejected=rejected,
             total_alternatives=outcome.search.total_alternatives,
             used_fallback=outcome.used_fallback,
+            degraded=outcome.degraded,
             revocations=resilience["revocations"],
             hot_swaps=resilience["hot_swaps"],
             replacements=resilience["replacements"],
@@ -305,6 +349,8 @@ class Metascheduler:
         telemetry.count("meta.rejected", report.rejected)
         if report.used_fallback:
             telemetry.count("meta.fallbacks")
+        if report.degraded:
+            telemetry.count("meta.degraded_iterations")
         telemetry.set_gauge("meta.backlog", self.backlog())
         telemetry.observe("meta.batch_size", report.batch_size)
         telemetry.observe("meta.slot_count", report.slot_count)
@@ -321,6 +367,7 @@ class Metascheduler:
             rejected=report.rejected,
             total_alternatives=report.total_alternatives,
             used_fallback=report.used_fallback,
+            degraded=report.degraded,
             price_multiplier=price_multiplier,
             backlog=self.backlog(),
             revocations=report.revocations,

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import math
 import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
@@ -89,10 +90,17 @@ class FailureConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.mtbf <= 0:
-            raise InvalidRequestError(f"mtbf must be positive, got {self.mtbf!r}")
-        if self.mttr <= 0:
-            raise InvalidRequestError(f"mttr must be positive, got {self.mttr!r}")
+        # NaN slips past a bare `<= 0` (every NaN comparison is False),
+        # then poisons the exponential draws downstream — check
+        # finiteness explicitly.
+        if not math.isfinite(self.mtbf) or self.mtbf <= 0:
+            raise InvalidRequestError(
+                f"mtbf must be positive and finite, got {self.mtbf!r}"
+            )
+        if not math.isfinite(self.mttr) or self.mttr <= 0:
+            raise InvalidRequestError(
+                f"mttr must be positive and finite, got {self.mttr!r}"
+            )
 
 
 @dataclass(frozen=True)

@@ -118,46 +118,72 @@ def read_trace(path: str) -> TraceData:
     """Parse a JSONL telemetry trace back into a :class:`TraceData`.
 
     Tolerates missing ``meta`` (sink-streamed traces start with whatever
-    was emitted first) but rejects unreadable files and non-JSON lines.
+    was emitted first) but rejects unreadable files and malformed lines.
+    Every failure mode maps to one diagnostic line naming the file and
+    line number — a truncated trailing record (the writer was killed
+    mid-append) is called out as such rather than as generic bad JSON,
+    and no parse problem ever escapes as a raw traceback.
 
     Raises:
-        TelemetryError: When the file is missing, malformed, or declares
-            an unknown trace format.
+        TelemetryError: When the file is missing, malformed, truncated,
+            or declares an unknown trace format.
     """
     data = TraceData()
     try:
         with open(path, "r", encoding="utf-8") as stream:
-            for line_number, line in enumerate(stream, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as error:
-                    raise TelemetryError(
-                        f"{path}:{line_number}: not valid JSON ({error.msg})"
-                    ) from error
-                kind = record.get("kind")
-                if kind == "meta":
-                    declared = record.get("format")
-                    if declared != TRACE_FORMAT:
-                        raise TelemetryError(
-                            f"{path}: unsupported trace format {declared!r} "
-                            f"(expected {TRACE_FORMAT!r})"
-                        )
-                    data.meta = record
-                elif kind in ("counter", "gauge", "histogram"):
-                    data.metrics.append(record)
-                elif kind == "span":
-                    data.spans.append(SpanRecord.from_dict(record))
-                elif kind == "event":
-                    data.events.append(record)
-                else:
-                    raise TelemetryError(
-                        f"{path}:{line_number}: unknown record kind {kind!r}"
-                    )
+            lines = stream.readlines()
     except OSError as error:
         raise TelemetryError(f"cannot read trace {path!r}: {error}") from error
+    last_content = 0
+    for line_number, line in enumerate(lines, start=1):
+        if line.strip():
+            last_content = line_number
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            if line_number == last_content:
+                raise TelemetryError(
+                    f"{path}:{line_number}: truncated trailing record — the "
+                    "file ends mid-JSON, most likely the writing process was "
+                    "killed during an append; re-run or trim the last line"
+                ) from error
+            raise TelemetryError(
+                f"{path}:{line_number}: not valid JSON ({error.msg})"
+            ) from error
+        if not isinstance(record, dict):
+            raise TelemetryError(
+                f"{path}:{line_number}: expected a JSON object per line, "
+                f"got {type(record).__name__}"
+            )
+        kind = record.get("kind")
+        if kind == "meta":
+            declared = record.get("format")
+            if declared != TRACE_FORMAT:
+                raise TelemetryError(
+                    f"{path}: unsupported trace format {declared!r} "
+                    f"(expected {TRACE_FORMAT!r})"
+                )
+            data.meta = record
+        elif kind in ("counter", "gauge", "histogram"):
+            data.metrics.append(record)
+        elif kind == "span":
+            try:
+                data.spans.append(SpanRecord.from_dict(record))
+            except (KeyError, TypeError, AttributeError) as error:
+                raise TelemetryError(
+                    f"{path}:{line_number}: malformed span record "
+                    f"({error.__class__.__name__}: {error})"
+                ) from error
+        elif kind == "event":
+            data.events.append(record)
+        else:
+            raise TelemetryError(
+                f"{path}:{line_number}: unknown record kind {kind!r}"
+            )
     return data
 
 

@@ -4,6 +4,8 @@
   published parameter ranges;
 * :mod:`repro.sim.experiment` — the ALP-vs-AMP experiment protocol
   (same inputs, both pipelines, count only mutual successes);
+* :mod:`repro.sim.checkpoint` — resumable series: per-iteration outcome
+  journals with config fingerprints;
 * :mod:`repro.sim.stats` — the reported aggregates and ratios;
 * :mod:`repro.sim.figures` — regeneration of Figs. 4, 5, 6 and the
   in-text statistics, with the paper's values as references;
@@ -11,6 +13,12 @@
 """
 
 from repro.sim.ascii_plot import bar_chart, line_chart, table
+from repro.sim.checkpoint import (
+    ExperimentCheckpoint,
+    config_fingerprint,
+    decode_outcome,
+    encode_outcome,
+)
 from repro.sim.calibration import (
     PAPER_TARGET,
     CalibrationResult,
@@ -87,6 +95,10 @@ __all__ = [
     "IterationOutcome",
     "AlgorithmSample",
     "ParallelRunner",
+    "ExperimentCheckpoint",
+    "config_fingerprint",
+    "encode_outcome",
+    "decode_outcome",
     "derive_iteration_seed",
     "generate_iteration",
     "run_iteration",

@@ -22,10 +22,12 @@ from __future__ import annotations
 import hashlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.grid.resilience import FailureConfig
+    from repro.sim.checkpoint import ExperimentCheckpoint
 
 from repro.core.criteria import Criterion
 from repro.core.errors import InfeasibleConstraintError, InvalidRequestError
@@ -138,6 +140,18 @@ class ExperimentConfig:
     resolution: int = DEFAULT_RESOLUTION
     rho: float = 1.0
     failures: "FailureConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise InvalidRequestError(
+                f"iterations must be >= 1, got {self.iterations!r}"
+            )
+        if self.resolution < 2:
+            raise InvalidRequestError(
+                f"resolution must be >= 2, got {self.resolution!r}"
+            )
+        if self.rho <= 0:
+            raise InvalidRequestError(f"rho must be positive, got {self.rho!r}")
 
 
 @dataclass
@@ -294,6 +308,17 @@ class _SeriesAccumulator:
         )
 
 
+def _open_checkpoint(
+    config: ExperimentConfig, checkpoint: "str | Path | None", resume: bool
+) -> "ExperimentCheckpoint | None":
+    """Open the optional resume journal for a runner (shared helper)."""
+    if checkpoint is None:
+        return None
+    from repro.sim.checkpoint import ExperimentCheckpoint
+
+    return ExperimentCheckpoint(checkpoint, config, resume=resume)
+
+
 class ExperimentRunner:
     """Runs an experiment series per :class:`ExperimentConfig`.
 
@@ -308,24 +333,57 @@ class ExperimentRunner:
     def __init__(self, config: ExperimentConfig | None = None) -> None:
         self.config = config or ExperimentConfig()
 
-    def run(self, *, progress: Callable[[int, int], None] | None = None) -> ExperimentResult:
+    def run(
+        self,
+        *,
+        progress: Callable[[int, int], None] | None = None,
+        checkpoint: "str | Path | None" = None,
+        resume: bool = False,
+    ) -> ExperimentResult:
         """Execute the series.
 
         Args:
             progress: Optional callback ``(attempted_so_far, counted)``
                 invoked after every attempted iteration.
+            checkpoint: Optional path to a resumable checkpoint journal;
+                every completed iteration is appended so a killed run
+                can be resumed.  Without ``resume``, an existing file is
+                replaced.
+            resume: Skip iterations already recorded in ``checkpoint``,
+                replaying their outcomes from disk.  The generators are
+                still advanced through skipped iterations, so the merged
+                result is identical to an uninterrupted run.
+
+        Raises:
+            CheckpointMismatchError: When resuming against a checkpoint
+                written for a different configuration.
         """
         config = self.config
+        store = _open_checkpoint(config, checkpoint, resume)
         slot_generator = SlotGenerator(config.slot_config, seed=config.seed)
         job_generator = JobGenerator(config.job_config, rng=slot_generator.rng)
         accumulator = _SeriesAccumulator()
-        for attempt in range(config.iterations):
-            slots = slot_generator.generate()
-            batch = job_generator.generate()
-            slots = _degrade_slots(config, slots, salt=attempt)
-            accumulator.add(run_iteration(config, attempt, slots, batch))
-            if progress is not None:
-                progress(attempt + 1, len(accumulator.samples))
+        try:
+            for attempt in range(config.iterations):
+                # Draws happen unconditionally: the streamed RNG must
+                # advance through completed iterations for the remaining
+                # ones to see the same stream an uninterrupted run would.
+                slots = slot_generator.generate()
+                batch = job_generator.generate()
+                cached = store.get(attempt) if store is not None else None
+                if cached is not None:
+                    outcome = cached
+                else:
+                    slots = _degrade_slots(config, slots, salt=attempt)
+                    outcome = run_iteration(config, attempt, slots, batch)
+                    if store is not None:
+                        store.record(attempt, outcome)
+                accumulator.add(outcome)
+                if progress is not None:
+                    progress(attempt + 1, len(accumulator.samples))
+        finally:
+            if store is not None:
+                store.close()
         return accumulator.result(config, config.iterations)
 
 
@@ -381,6 +439,25 @@ def _run_span(config: ExperimentConfig, start: int, stop: int) -> ExperimentResu
     return accumulator.result(config, stop - start)
 
 
+def _run_indices(config: ExperimentConfig, indices: list[int]) -> list[IterationOutcome]:
+    """Run the listed iterations of the seeded series, in the given order.
+
+    The checkpointing counterpart of :func:`_run_span`: a resumed series
+    has *holes* (iterations already on disk), so shards are arbitrary
+    index lists rather than contiguous spans.
+    """
+    outcomes = []
+    for index in indices:
+        slots, batch = generate_iteration(config, index)
+        outcomes.append(run_iteration(config, index, slots, batch))
+    return outcomes
+
+
+def _count_samples(outcomes: dict[int, IterationOutcome]) -> int:
+    """Counted (both-pipelines-succeeded) iterations in an outcome map."""
+    return sum(1 for outcome in outcomes.values() if outcome.comparison is not None)
+
+
 def _shard_spans(iterations: int, shards: int) -> list[tuple[int, int]]:
     """Split ``range(iterations)`` into ``shards`` contiguous spans."""
     base, extra = divmod(iterations, shards)
@@ -412,17 +489,42 @@ class ParallelRunner:
         self.config = config or ExperimentConfig()
         self.workers = workers
 
-    def run(self, *, progress: Callable[[int, int], None] | None = None) -> ExperimentResult:
+    def run(
+        self,
+        *,
+        progress: Callable[[int, int], None] | None = None,
+        checkpoint: "str | Path | None" = None,
+        resume: bool = False,
+    ) -> ExperimentResult:
         """Execute the series across ``workers`` processes.
 
         Args:
             progress: Optional callback ``(attempted_so_far, counted)``;
                 with multiple workers it fires once per merged shard
                 rather than per iteration.
+            checkpoint: Optional path to a resumable checkpoint journal;
+                completed iterations are appended (in the parent
+                process) as shards finish.  Without ``resume``, an
+                existing file is replaced.
+            resume: Skip iterations already recorded in ``checkpoint``.
+                Per-iteration derived seeds make every iteration
+                independent, so only the missing indices run; the merged
+                result is identical to an uninterrupted run for any
+                worker count.
+
+        Raises:
+            CheckpointMismatchError: When resuming against a checkpoint
+                written for a different configuration.
         """
         from repro.sim.stats import merge_results
 
         config = self.config
+        store = _open_checkpoint(config, checkpoint, resume)
+        if store is not None:
+            try:
+                return self._run_checkpointed(store, progress)
+            finally:
+                store.close()
         if self.workers == 1:
             accumulator = _SeriesAccumulator()
             for index in range(config.iterations):
@@ -449,3 +551,45 @@ class ParallelRunner:
                 counted += shard.counted
                 progress(attempted, counted)
         return merge_results(shards, config=config)
+
+    def _run_checkpointed(
+        self,
+        store: "ExperimentCheckpoint",
+        progress: Callable[[int, int], None] | None,
+    ) -> ExperimentResult:
+        """Run only the iterations missing from ``store``, then fold all.
+
+        Outcomes are folded strictly in index order — recorded and fresh
+        alike — so the result is byte-identical to an uninterrupted run
+        regardless of where the previous run died or how many workers
+        compute the remainder.
+        """
+        config = self.config
+        outcomes: dict[int, IterationOutcome] = dict(store.outcomes)
+        remaining = [
+            index for index in range(config.iterations) if index not in outcomes
+        ]
+        if self.workers == 1 or len(remaining) <= 1:
+            for index in remaining:
+                slots, batch = generate_iteration(config, index)
+                outcome = run_iteration(config, index, slots, batch)
+                store.record(index, outcome)
+                outcomes[index] = outcome
+                if progress is not None:
+                    progress(len(outcomes), _count_samples(outcomes))
+        else:
+            spans = _shard_spans(len(remaining), self.workers)
+            chunks = [remaining[start:stop] for start, stop in spans]
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                for chunk, results in zip(
+                    chunks, pool.map(_run_indices, [config] * len(chunks), chunks)
+                ):
+                    for index, outcome in zip(chunk, results):
+                        store.record(index, outcome)
+                        outcomes[index] = outcome
+                    if progress is not None:
+                        progress(len(outcomes), _count_samples(outcomes))
+        accumulator = _SeriesAccumulator()
+        for index in range(config.iterations):
+            accumulator.add(outcomes[index])
+        return accumulator.result(config, config.iterations)

@@ -1,0 +1,268 @@
+"""Tests for durable metascheduler state (repro.grid.checkpoint)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import Job, Resource, ResourceRequest
+from repro.core.errors import CheckpointMismatchError, PersistenceError
+from repro.grid import (
+    Cluster,
+    ComputeNode,
+    Metascheduler,
+    RetryPolicy,
+    VOEnvironment,
+)
+from repro.grid.checkpoint import (
+    CHECKPOINT_FORMAT,
+    DurableMetascheduler,
+    load_snapshot,
+    restore_metascheduler,
+    save_snapshot,
+    snapshot_metascheduler,
+)
+
+
+def build_meta(**kwargs) -> Metascheduler:
+    nodes = []
+    for i in range(4):
+        node = ComputeNode(f"n{i}", performance=1.0 + i * 0.5, price=1.0 + i)
+        # Pin resource uids so independent builds (a reference run vs a
+        # durable run) produce byte-identical snapshots.
+        node.resource = Resource(
+            f"n{i}", performance=1.0 + i * 0.5, price=1.0 + i, uid=900 + i
+        )
+        nodes.append(node)
+    environment = VOEnvironment([Cluster("c0", nodes)])
+    return Metascheduler(environment, period=50.0, horizon=500.0, **kwargs)
+
+
+def make_job(index: int, *, nodes: int = 2) -> Job:
+    return Job(
+        ResourceRequest(node_count=nodes, volume=60.0, max_price=10.0),
+        name=f"job{index}",
+        uid=1000 + index,
+    )
+
+
+def canonical(meta: Metascheduler) -> str:
+    return json.dumps(snapshot_metascheduler(meta), sort_keys=True)
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_restores_identical_state(self):
+        meta = build_meta()
+        for i in range(4):
+            meta.submit(make_job(i), at_time=i * 10.0)
+        meta.run(200.0)
+        data = json.loads(json.dumps(snapshot_metascheduler(meta)))
+        restored = restore_metascheduler(data)
+        assert canonical(restored) == canonical(meta)
+        assert restored._iteration == meta._iteration
+        assert len(restored.trace) == len(meta.trace)
+        assert restored.reports == meta.reports
+
+    def test_snapshot_preserves_pending_and_future_submissions(self):
+        meta = build_meta()
+        meta.submit(make_job(0), at_time=0.0)
+        meta.submit(make_job(1), at_time=500.0)  # future arrival
+        meta.run_iteration(0.0)
+        restored = restore_metascheduler(snapshot_metascheduler(meta))
+        assert [job.uid for job in restored.pending_jobs()] == [
+            job.uid for job in meta.pending_jobs()
+        ]
+        assert [
+            (time, job.uid) for time, job in restored._submissions
+        ] == [(time, job.uid) for time, job in meta._submissions]
+
+    def test_snapshot_preserves_recovery_state(self):
+        meta = build_meta(recovery=RetryPolicy(max_revocations=2, backoff_base=10.0))
+        for i in range(3):
+            meta.submit(make_job(i), at_time=0.0)
+        meta.run(100.0)
+        node = next(meta.environment.nodes())
+        meta.inject_outage(node, 110.0, 150.0)
+        restored = restore_metascheduler(snapshot_metascheduler(meta))
+        assert restored.recovery is not None
+        assert restored.recovery.policy == meta.recovery.policy
+        assert restored.recovery._revocations == meta.recovery._revocations
+        assert restored.recovery._retained == meta.recovery._retained
+
+    def test_restored_run_continues_like_the_original(self):
+        meta = build_meta()
+        for i in range(5):
+            meta.submit(make_job(i), at_time=i * 20.0)
+        meta.run(100.0)
+        restored = restore_metascheduler(snapshot_metascheduler(meta))
+        meta.run(400.0, start=150.0)
+        restored.run(400.0, start=150.0)
+        assert canonical(restored) == canonical(meta)
+
+    def test_new_jobs_after_restore_get_fresh_uids(self):
+        meta = build_meta()
+        meta.submit(make_job(7), at_time=0.0)  # uid 1007
+        restored = restore_metascheduler(snapshot_metascheduler(meta))
+        fresh = Job(ResourceRequest(node_count=1, volume=10.0))
+        assert fresh.uid > 1007
+        assert all(fresh.uid != job.uid for job in restored.pending_jobs())
+
+    def test_unknown_format_rejected(self):
+        meta = build_meta()
+        data = snapshot_metascheduler(meta)
+        data["format"] = "repro/99-checkpoint"
+        with pytest.raises(CheckpointMismatchError, match="unsupported checkpoint"):
+            restore_metascheduler(data)
+
+
+class TestAtomicSnapshotFiles:
+    def test_save_then_load(self, tmp_path):
+        meta = build_meta()
+        path = tmp_path / "snap.json"
+        save_snapshot(snapshot_metascheduler(meta), path)
+        data = load_snapshot(path)
+        assert data["format"] == CHECKPOINT_FORMAT
+        assert not path.with_name("snap.json.tmp").exists()
+
+    def test_crash_between_tmp_write_and_rename_keeps_old_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        meta = build_meta()
+        meta.submit(make_job(0), at_time=0.0)
+        path = tmp_path / "snap.json"
+        save_snapshot(snapshot_metascheduler(meta), path)
+        before = path.read_text(encoding="utf-8")
+
+        meta.run_iteration(0.0)
+
+        def explode(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(PersistenceError, match="cannot write snapshot"):
+            save_snapshot(snapshot_metascheduler(meta), path)
+        monkeypatch.undo()
+        # The visible snapshot is untouched and still restorable.
+        assert path.read_text(encoding="utf-8") == before
+        restored = restore_metascheduler(load_snapshot(path))
+        assert restored._iteration == 0
+
+    def test_load_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(PersistenceError, match="cannot read snapshot"):
+            load_snapshot(tmp_path / "absent.json")
+
+    def test_load_garbage_snapshot_raises(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text('{"format": "repro/1-checkpoint', encoding="utf-8")
+        with pytest.raises(CheckpointMismatchError, match="not valid JSON"):
+            load_snapshot(path)
+
+
+class TestDurableMetascheduler:
+    def run_workload(self, durable: DurableMetascheduler) -> None:
+        for i in range(4):
+            durable.submit(make_job(i), at_time=i * 10.0)
+        durable.run(200.0)
+        node = next(durable.meta.environment.nodes())
+        durable.inject_outage(node, 210.0, 260.0)
+        durable.run_iteration(250.0)
+
+    def test_restore_after_kill_matches_live_state(self, tmp_path):
+        meta = build_meta(recovery=RetryPolicy())
+        durable = DurableMetascheduler(meta, tmp_path, snapshot_every=3, fsync=False)
+        self.run_workload(durable)
+        # No close(): simulate an abrupt kill, then restore from disk.
+        restored = DurableMetascheduler.restore(tmp_path, fsync=False)
+        assert canonical(restored.meta) == canonical(meta)
+
+    def test_restore_tolerates_torn_journal_tail(self, tmp_path):
+        meta = build_meta()
+        durable = DurableMetascheduler(meta, tmp_path, snapshot_every=100, fsync=False)
+        durable.submit(make_job(0), at_time=0.0)
+        durable.run_iteration(0.0)
+        state_before_tear = canonical(meta)
+        durable.run_iteration(50.0)
+        durable._journal._stream.flush()
+        # Tear the final journal record in half, as a mid-append kill would.
+        journal = tmp_path / "journal.jsonl"
+        text = journal.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        journal.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2],
+            encoding="utf-8",
+        )
+        with pytest.warns(UserWarning, match="torn trailing journal record"):
+            restored = DurableMetascheduler.restore(tmp_path, fsync=False)
+        # The torn iteration is lost; everything before it is intact.
+        assert canonical(restored.meta) == state_before_tear
+
+    def test_restore_then_continue_equals_uninterrupted_run(self, tmp_path):
+        # Reference: one uninterrupted run.
+        reference = build_meta()
+        for i in range(4):
+            reference.submit(make_job(i), at_time=i * 10.0)
+        reference.run(400.0)
+        # Durable: same workload, killed after 200, restored, continued.
+        meta = build_meta()
+        durable = DurableMetascheduler(meta, tmp_path, snapshot_every=2, fsync=False)
+        for i in range(4):
+            durable.submit(make_job(i), at_time=i * 10.0)
+        now = 0.0
+        while now <= 200.0:
+            durable.run_iteration(now)
+            now += meta.period
+        restored = DurableMetascheduler.restore(tmp_path, fsync=False)
+        while now <= 400.0:
+            restored.run_iteration(now)
+            now += restored.meta.period
+        restored.mark_completions(400.0)
+        assert canonical(restored.meta) == canonical(reference)
+
+    def test_restore_without_snapshot_raises(self, tmp_path):
+        with pytest.raises(PersistenceError, match="cannot read snapshot"):
+            DurableMetascheduler.restore(tmp_path)
+
+    def test_rejected_submission_is_not_journaled(self, tmp_path):
+        from repro.core.errors import AdmissionRejectedError
+        from repro.core.journal import read_journal
+
+        meta = build_meta(max_pending=1)
+        durable = DurableMetascheduler(meta, tmp_path, fsync=False)
+        durable.submit(make_job(0), at_time=0.0)
+        with pytest.raises(AdmissionRejectedError):
+            durable.submit(make_job(1), at_time=0.0)
+        durable.close()
+        kinds = [record.kind for record in read_journal(tmp_path / "journal.jsonl")]
+        assert kinds.count("submit") == 1
+
+    def test_snapshot_every_bounds_replay(self, tmp_path):
+        from repro.core.journal import read_journal
+
+        meta = build_meta()
+        durable = DurableMetascheduler(meta, tmp_path, snapshot_every=2, fsync=False)
+        durable.submit(make_job(0), at_time=0.0)
+        durable.run(300.0)  # 7 iterations -> several snapshots
+        snapshot = load_snapshot(tmp_path / "snapshot.json")
+        records = read_journal(tmp_path / "journal.jsonl")
+        pending_replay = [
+            record for record in records if record.seq >= snapshot["journal_seq"]
+        ]
+        assert len(pending_replay) <= 2
+
+    def test_invalid_snapshot_every_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError, match="snapshot_every"):
+            DurableMetascheduler(build_meta(), tmp_path, snapshot_every=0)
+
+    def test_context_manager_snapshots_on_exit(self, tmp_path):
+        meta = build_meta()
+        with DurableMetascheduler(meta, tmp_path, snapshot_every=100, fsync=False) as durable:
+            durable.submit(make_job(0), at_time=0.0)
+            durable.run_iteration(0.0)
+        restored = DurableMetascheduler.restore(tmp_path, fsync=False)
+        assert canonical(restored.meta) == canonical(meta)
+        # Everything is in the snapshot; nothing left to replay.
+        snapshot = load_snapshot(tmp_path / "snapshot.json")
+        assert restored.meta._iteration == 1
+        assert snapshot["journal_seq"] >= 1

@@ -83,6 +83,31 @@ class TestCommands:
         )
         assert "workers" in capsys.readouterr().err
 
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["experiment", "--iterations", "0"],
+            ["experiment", "--iterations", "-3"],
+            ["experiment", "--iterations", "4", "--workers", "-1"],
+            ["experiment", "--iterations", "4", "--rho", "0"],
+            ["experiment", "--iterations", "4", "--mtbf", "0"],
+            ["experiment", "--iterations", "4", "--mtbf", "nan"],
+            ["experiment", "--iterations", "4", "--mttr", "-2.5"],
+            ["experiment", "--iterations", "4", "--mttr", "inf"],
+            ["vo", "--mtbf", "0"],
+            ["vo", "--mttr", "-1"],
+            ["vo", "--max-pending", "0"],
+        ],
+    )
+    def test_non_positive_parameters_exit_2_with_diagnosis(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "must be a positive" in err
+
+    def test_resume_without_checkpoint_exits_2(self, capsys):
+        assert main(["experiment", "--iterations", "4", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
     def test_experiment_cost_objective(self, capsys):
         assert (
             main(["experiment", "--objective", "cost", "--iterations", "12", "--seed", "5"])
@@ -174,6 +199,28 @@ class TestTelemetryOptions:
     def test_stats_missing_file_exits_nonzero(self, capsys):
         assert main(["stats", "/nonexistent/trace.jsonl"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_stats_truncated_trace_diagnosed_in_one_line(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(["example", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        # Chop the trailing record in half, as a mid-append SIGKILL would.
+        text = trace.read_text()
+        trace.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        assert main(["stats", str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "truncated trailing record" in err
+        # One diagnostic line, no traceback.
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_stats_non_object_line_exits_2(self, capsys, tmp_path):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('"just a string"\n')
+        assert main(["stats", str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "expected a JSON object" in err
+        assert "Traceback" not in err
 
     def test_trace_unwritable_path_exits_nonzero(self, capsys):
         assert main(["example", "--trace", "/nonexistent-dir/t.jsonl"]) == 2

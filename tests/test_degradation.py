@@ -1,0 +1,274 @@
+"""Graceful degradation: budget-bounded phase-2 optimization.
+
+Under an :class:`OptimizationBudget` the DP must *degrade* — step the
+discretization down, then fall back to a greedy per-job selection — and
+never raise on budget exhaustion.  Genuine infeasibility (no selection
+fits the limit at all) must still raise, budget or not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BatchScheduler,
+    Criterion,
+    InfeasibleConstraintError,
+    Job,
+    OptimizationBudget,
+    OptimizationError,
+    ResourceRequest,
+    SchedulerConfig,
+    Slot,
+    TaskAllocation,
+    Window,
+)
+from repro.core.optimize import brute_force, optimize, time_quota, vo_budget
+
+from tests.conftest import make_resource
+
+
+def _window(price: float, volume: float, start: float = 0.0) -> Window:
+    node = make_resource(price=price)
+    slot = Slot(node, start, start + volume)
+    request = ResourceRequest(node_count=1, volume=volume)
+    return Window(request, [TaskAllocation(slot, start, start + volume)])
+
+
+def _job(name: str) -> Job:
+    return Job(ResourceRequest(1, 10.0), name=name)
+
+
+def _alts(spec: dict[str, list[tuple[float, float]]]) -> dict[Job, list[Window]]:
+    mapping: dict[Job, list[Window]] = {}
+    cursor = 0.0
+    for name, pairs in spec.items():
+        windows = []
+        for price, volume in pairs:
+            windows.append(_window(price, volume, start=cursor))
+            cursor += volume + 1.0
+        mapping[_job(name)] = windows
+    return mapping
+
+
+SPEC = {
+    "a": [(4.0, 3.0), (2.0, 6.0), (1.0, 9.0)],
+    "b": [(5.0, 2.0), (3.0, 5.0), (2.0, 8.0)],
+    "c": [(3.0, 4.0), (2.0, 7.0)],
+}
+
+
+class TestBudgetValidation:
+    def test_rejects_non_positive_max_cells(self):
+        with pytest.raises(OptimizationError, match="max_cells"):
+            OptimizationBudget(max_cells=0)
+
+    def test_rejects_non_positive_or_non_finite_deadline(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(OptimizationError, match="deadline"):
+                OptimizationBudget(deadline=bad)
+
+    def test_rejects_non_positive_min_resolution(self):
+        with pytest.raises(OptimizationError, match="min_resolution"):
+            OptimizationBudget(min_resolution=0)
+
+    def test_defaults_are_unbounded(self):
+        budget = OptimizationBudget()
+        assert budget.max_cells is None
+        assert budget.deadline is None
+
+
+class TestResolutionStepdown:
+    def test_stepped_down_result_is_feasible_and_degraded(self):
+        alts = _alts(SPEC)
+        limit = 20.0
+        exact = optimize(alts, Criterion.COST, limit)
+        assert not exact.degraded
+        # 8 alternatives x (2000 + 1) bins >> 2000 cells: forces step-down
+        # but still leaves room for a small DP table.
+        squeezed = optimize(
+            alts,
+            Criterion.COST,
+            limit,
+            budget=OptimizationBudget(max_cells=2000, min_resolution=10),
+        )
+        assert squeezed.degraded
+        # Floor rounding: bounded overshoot, never more than limit*(1+n/res).
+        jobs = len(alts)
+        assert squeezed.total_time <= limit * (1 + jobs / 10) + 1e-9
+        assert set(squeezed.selection) == set(alts)
+
+    def test_unbounded_budget_changes_nothing(self):
+        alts = _alts(SPEC)
+        plain = optimize(alts, Criterion.TIME, 40.0)
+        budgeted = optimize(
+            alts, Criterion.TIME, 40.0, budget=OptimizationBudget()
+        )
+        assert budgeted == plain
+        assert not budgeted.degraded
+
+    def test_exact_resolution_still_exact_when_it_fits(self):
+        alts = _alts(SPEC)
+        reference = brute_force(alts, Criterion.COST, 20.0)
+        generous = optimize(
+            alts,
+            Criterion.COST,
+            20.0,
+            budget=OptimizationBudget(max_cells=100_000_000),
+        )
+        assert not generous.degraded
+        assert generous.total_cost == pytest.approx(reference.total_cost)
+
+
+class TestGreedyFallback:
+    def test_exhausted_cells_fall_back_to_greedy_not_raise(self):
+        alts = _alts(SPEC)
+        limit = 20.0
+        # Even min_resolution=1 needs 8 * 2 = 16 cells; cap below that.
+        result = optimize(
+            alts,
+            Criterion.COST,
+            limit,
+            budget=OptimizationBudget(max_cells=8, min_resolution=1),
+        )
+        assert result.degraded
+        assert set(result.selection) == set(alts)
+        # Greedy works in exact arithmetic: the limit is strictly honoured.
+        assert result.total_time <= limit + 1e-9
+
+    def test_elapsed_deadline_falls_back_to_greedy(self):
+        alts = _alts(SPEC)
+        result = optimize(
+            alts,
+            Criterion.COST,
+            20.0,
+            budget=OptimizationBudget(deadline=1e-12),
+        )
+        assert result.degraded
+        assert result.total_time <= 20.0 + 1e-9
+
+    def test_greedy_improves_on_base_selection_within_slack(self):
+        # Cheapest-time base picks the short windows; slack then buys the
+        # cheaper long window for at least one job.
+        alts = _alts({"a": [(4.0, 3.0), (1.0, 9.0)], "b": [(5.0, 2.0)]})
+        result = optimize(
+            alts,
+            Criterion.COST,
+            20.0,
+            budget=OptimizationBudget(deadline=1e-12),
+        )
+        assert result.degraded
+        # With slack 20 - (3+2) = 15 the sweep swaps job a to the
+        # 9-long window costing 9 instead of 12.
+        assert result.total_cost == pytest.approx(9.0 + 10.0)
+
+    def test_genuine_infeasibility_still_raises_under_budget(self):
+        alts = _alts(SPEC)
+        # Fastest possible total time is 3 + 2 + 4 = 9; limit below that
+        # is infeasible no matter how we degrade.
+        with pytest.raises(InfeasibleConstraintError):
+            optimize(
+                alts,
+                Criterion.COST,
+                5.0,
+                budget=OptimizationBudget(max_cells=8, min_resolution=1),
+            )
+
+    def test_empty_batch_short_circuits(self):
+        result = optimize(
+            {}, Criterion.TIME, 0.0, budget=OptimizationBudget(deadline=1e-12)
+        )
+        assert result.selection == {}
+        assert not result.degraded
+
+
+class TestVoBudgetDegradation:
+    def test_greedy_budget_is_feasible_lower_bound(self):
+        alts = _alts(SPEC)
+        quota = time_quota(alts)
+        exact = vo_budget(alts, quota)
+        degraded = vo_budget(
+            alts,
+            quota,
+            budget=OptimizationBudget(max_cells=8, min_resolution=1),
+        )
+        assert 0.0 < degraded <= exact + 1e-9
+
+    def test_infeasible_quota_still_raises_under_budget(self):
+        alts = _alts(SPEC)
+        with pytest.raises(InfeasibleConstraintError):
+            vo_budget(
+                alts,
+                5.0,
+                budget=OptimizationBudget(max_cells=8, min_resolution=1),
+            )
+
+
+class TestSchedulerWiring:
+    def _pipeline(self, budget):
+        from repro.core import SlotList
+
+        slots = []
+        cursor = 0.0
+        for price in (1.0, 2.0, 3.0, 4.0):
+            node = make_resource(price=price)
+            slots.append(Slot(node, cursor, cursor + 50.0))
+        batch_jobs = [
+            Job(ResourceRequest(1, 12.0), name=f"j{i}") for i in range(3)
+        ]
+        from repro.core.job import Batch
+
+        config = SchedulerConfig(budget=budget)
+        outcome = BatchScheduler(config).schedule(SlotList(slots), Batch(batch_jobs))
+        return outcome
+
+    def test_outcome_reports_degraded(self):
+        strict = OptimizationBudget(deadline=1e-12)
+        outcome = self._pipeline(strict)
+        if outcome.combination.selection:
+            assert outcome.degraded
+            assert outcome.combination.degraded
+        unbounded = self._pipeline(None)
+        assert not unbounded.degraded
+
+    def test_degraded_flag_reaches_iteration_report(self):
+        meta = _build_meta(
+            scheduler=BatchScheduler(
+                SchedulerConfig(budget=OptimizationBudget(deadline=1e-12))
+            )
+        )
+        for i in range(3):
+            meta.submit(Job(ResourceRequest(1, 10.0), name=f"job{i}"))
+        report = meta.run_iteration(0.0)
+        if report.scheduled:
+            assert report.degraded
+
+
+def _build_meta(**kwargs):
+    from repro.grid import Cluster, ComputeNode, Metascheduler, VOEnvironment
+
+    nodes = [
+        ComputeNode(f"n{i}", performance=1.0 + i * 0.5, price=1.0 + i)
+        for i in range(4)
+    ]
+    environment = VOEnvironment([Cluster("c0", nodes)])
+    return Metascheduler(environment, period=50.0, horizon=500.0, **kwargs)
+
+
+class TestCheckpointRoundTrip:
+    def test_budget_survives_snapshot_restore(self):
+        from repro.grid import restore_metascheduler, snapshot_metascheduler
+
+        budget = OptimizationBudget(max_cells=5000, deadline=2.5, min_resolution=25)
+        meta = _build_meta(
+            scheduler=BatchScheduler(SchedulerConfig(budget=budget))
+        )
+        restored = restore_metascheduler(snapshot_metascheduler(meta))
+        assert restored.scheduler.config.budget == budget
+
+    def test_absent_budget_round_trips_as_none(self):
+        from repro.grid import restore_metascheduler, snapshot_metascheduler
+
+        meta = _build_meta()
+        restored = restore_metascheduler(snapshot_metascheduler(meta))
+        assert restored.scheduler.config.budget is None

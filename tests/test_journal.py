@@ -1,0 +1,161 @@
+"""Tests for the checksummed write-ahead journal (repro.core.journal)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import JournalCorruptError, PersistenceError
+from repro.core.journal import (
+    JOURNAL_FORMAT,
+    JournalWriter,
+    journal_header,
+    read_journal,
+)
+
+
+def _write(path, events):
+    with JournalWriter(path, fsync=False) as journal:
+        for kind, data in events:
+            journal.append(kind, data)
+
+
+class TestRoundTrip:
+    def test_empty_path_reads_as_empty(self, tmp_path):
+        assert read_journal(tmp_path / "missing.jsonl") == []
+
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [("submit", {"job": 1})])
+        records = read_journal(path)
+        assert records[0].kind == "journal"
+        assert records[0].data["format"] == JOURNAL_FORMAT
+        assert journal_header(records) == {"format": JOURNAL_FORMAT}
+
+    def test_records_round_trip_in_order(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        events = [("submit", {"job": i, "t": i * 0.5}) for i in range(5)]
+        _write(path, events)
+        records = read_journal(path)
+        assert [r.seq for r in records] == list(range(6))
+        assert [(r.kind, r.data) for r in records[1:]] == events
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [("a", {"x": 1})])
+        with JournalWriter(path, fsync=False) as journal:
+            assert journal.next_seq == 2
+            journal.append("b", {"x": 2})
+        records = read_journal(path)
+        assert [r.kind for r in records] == ["journal", "a", "b"]
+        assert [r.seq for r in records] == [0, 1, 2]
+
+    def test_custom_header_fields(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path, fsync=False, header={"fingerprint": "abc"}):
+            pass
+        assert read_journal(path)[0].data["fingerprint"] == "abc"
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = JournalWriter(tmp_path / "j.jsonl", fsync=False)
+        journal.close()
+        with pytest.raises(PersistenceError):
+            journal.append("late", {})
+
+
+class TestTornTail:
+    def test_half_written_last_line_is_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [("a", {"x": 1}), ("b", {"x": 2})])
+        text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        # Simulate a crash mid-append: cut the final record in half.
+        torn = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        path.write_text(torn, encoding="utf-8")
+        with pytest.warns(UserWarning, match="torn trailing journal record"):
+            records = read_journal(path)
+        assert [r.kind for r in records] == ["journal", "a"]
+
+    def test_corrupt_checksum_on_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [("a", {"x": 1}), ("b", {"x": 2})])
+        lines = path.read_text(encoding="utf-8").splitlines()
+        last = json.loads(lines[-1])
+        last["data"]["x"] = 99  # payload no longer matches the CRC
+        lines[-1] = json.dumps(last, separators=(",", ":"), sort_keys=True)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.warns(UserWarning, match="checksum mismatch"):
+            records = read_journal(path)
+        assert [r.kind for r in records] == ["journal", "a"]
+
+    def test_writer_reopen_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [("a", {"x": 1})])
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"seq": 2, "crc":')  # torn append
+        with pytest.warns(UserWarning):
+            journal = JournalWriter(path, fsync=False)
+        # Reopening truncated the fragment, so the next append lands on
+        # its own line and the journal reads back clean.
+        journal.append("b", {"x": 2})
+        journal.close()
+        records = read_journal(path)
+        assert [r.kind for r in records] == ["journal", "a", "b"]
+        assert [r.seq for r in records] == [0, 1, 2]
+
+
+class TestCorruption:
+    def test_mid_file_bad_json_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [("a", {"x": 1}), ("b", {"x": 2})])
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalCorruptError, match="not valid JSON"):
+            read_journal(path)
+
+    def test_mid_file_checksum_mismatch_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [("a", {"x": 1}), ("b", {"x": 2})])
+        lines = path.read_text(encoding="utf-8").splitlines()
+        middle = json.loads(lines[1])
+        middle["data"] = {"tampered": True}
+        lines[1] = json.dumps(middle, separators=(",", ":"), sort_keys=True)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalCorruptError, match="checksum mismatch"):
+            read_journal(path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [("a", {"x": 1}), ("b", {"x": 2}), ("c", {"x": 3})])
+        lines = path.read_text(encoding="utf-8").splitlines()
+        del lines[2]  # drop a middle record entirely
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalCorruptError, match="sequence gap"):
+            read_journal(path)
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [("a", {"x": 1}), ("b", {"x": 2})])
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "42"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalCorruptError, match="JSON object"):
+            read_journal(path)
+
+    def test_unknown_format_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [("a", {"x": 1})])
+        lines = path.read_text(encoding="utf-8").splitlines()
+        header = json.loads(lines[0])
+        header["data"]["format"] = "repro-journal/99"
+        import zlib
+
+        header["crc"] = zlib.crc32(
+            json.dumps(header["data"], separators=(",", ":"), sort_keys=True).encode()
+        )
+        lines[0] = json.dumps(header, separators=(",", ":"), sort_keys=True)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(JournalCorruptError, match="unsupported journal format"):
+            read_journal(path)

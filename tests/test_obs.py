@@ -362,6 +362,40 @@ class TestTraceExport:
         with pytest.raises(TelemetryError):
             obs.read_trace(str(path))
 
+    def test_truncated_tail_is_diagnosed_as_truncation(self, tmp_path):
+        # A SIGKILL mid-append leaves half a JSON line at the end; the
+        # diagnosis must say so (with the line number), not just
+        # "not valid JSON".
+        telemetry = _populated_telemetry()
+        path = tmp_path / "cut.jsonl"
+        obs.write_trace(str(path), telemetry)
+        text = path.read_text()
+        path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        lines = len(path.read_text().splitlines())
+        with pytest.raises(TelemetryError, match=rf"cut\.jsonl:{lines}: truncated"):
+            obs.read_trace(str(path))
+
+    def test_mid_file_corruption_is_not_reported_as_truncation(self, tmp_path):
+        path = tmp_path / "mid.jsonl"
+        path.write_text("{broken\n" + json.dumps({"kind": "event"}) + "\n")
+        with pytest.raises(TelemetryError, match="not valid JSON"):
+            obs.read_trace(str(path))
+
+    def test_non_object_line_raises_not_tracebacks(self, tmp_path):
+        # A bare array parses as JSON but is not a record; this used to
+        # escape as AttributeError on .get().
+        path = tmp_path / "arr.jsonl"
+        path.write_text("[1, 2, 3]\n" + json.dumps({"kind": "event"}) + "\n")
+        with pytest.raises(TelemetryError, match="expected a JSON object"):
+            obs.read_trace(str(path))
+
+    def test_malformed_span_record_raises_not_tracebacks(self, tmp_path):
+        # A span record missing required keys used to escape as KeyError.
+        path = tmp_path / "span.jsonl"
+        path.write_text(json.dumps({"kind": "span", "duration": 1.0}) + "\n")
+        with pytest.raises(TelemetryError, match="malformed span record"):
+            obs.read_trace(str(path))
+
 
 class TestPrometheusText:
     def test_counters_gauges_and_histograms(self):

@@ -14,7 +14,10 @@ from repro.core import (
     Batch,
     InvalidRequestError,
     Job,
+    Resource,
     ResourceRequest,
+    Slot,
+    SlotList,
     SlotSearchAlgorithm,
     find_alternatives,
 )
@@ -102,6 +105,57 @@ class TestRoundTrip:
         data = scenario_to_dict(_scenario())
         json.dumps(data)  # must not raise
         assert data["format"] == FORMAT
+
+
+class TestNonFiniteRejection:
+    """NaN/Infinity must be rejected loudly at the serialization boundary.
+
+    A NaN passes bare ``<= 0`` sanity checks (every NaN comparison is
+    False) and ``json.dumps`` emits non-standard ``NaN``/``Infinity``
+    tokens, so these values would otherwise slip through and corrupt
+    schedules downstream.
+    """
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_decode_rejects_non_finite_slot_fields(self, bad):
+        data = scenario_to_dict(_scenario(with_assignment=False))
+        data["slots"][0]["start"] = bad
+        with pytest.raises(InvalidRequestError, match="slot start"):
+            scenario_from_dict(data)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_decode_rejects_non_finite_resource_price(self, bad):
+        data = scenario_to_dict(_scenario(with_assignment=False))
+        data["resources"][0]["price"] = bad
+        with pytest.raises(InvalidRequestError, match="price"):
+            scenario_from_dict(data)
+
+    def test_decode_rejects_nan_volume(self):
+        data = scenario_to_dict(_scenario(with_assignment=False))
+        data["jobs"][0]["request"]["volume"] = float("nan")
+        with pytest.raises(InvalidRequestError, match="volume"):
+            scenario_from_dict(data)
+
+    def test_decode_rejects_non_numeric_fields(self):
+        data = scenario_to_dict(_scenario(with_assignment=False))
+        data["slots"][0]["end"] = "soon"
+        with pytest.raises(InvalidRequestError, match="must be a number"):
+            scenario_from_dict(data)
+
+    def test_encode_rejects_nan_slot_price(self):
+        resource = Resource("n", performance=1.0, price=1.0)
+        slot = Slot(resource, 0.0, 10.0, price=float("nan"))
+        scenario = Scenario(SlotList([slot]), Batch([Job(ResourceRequest(1, 5.0))]))
+        with pytest.raises(InvalidRequestError, match="slot price"):
+            scenario_to_dict(scenario)
+
+    def test_encode_rejects_nan_max_price(self):
+        request = ResourceRequest(1, 5.0, max_price=float("nan"))
+        scenario = Scenario(
+            _scenario(with_assignment=False).slots, Batch([Job(request)])
+        )
+        with pytest.raises(InvalidRequestError, match="max_price"):
+            scenario_to_dict(scenario)
 
 
 class TestFileHelpers:
