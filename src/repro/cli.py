@@ -34,7 +34,11 @@ import argparse
 import random
 import sys
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.grid.resilience import FailureConfig
+    from repro.sim.experiment import ExperimentResult
 
 from repro import obs
 from repro.core import (
@@ -81,7 +85,7 @@ def _positive_float(text: str) -> float:
     return value
 
 
-def _failure_config(args: argparse.Namespace):
+def _failure_config(args: argparse.Namespace) -> "FailureConfig | None":
     """Build the optional FailureConfig from --mtbf/--mttr flags.
 
     Raises:
@@ -108,10 +112,10 @@ def _run_experiment(
     seed: int,
     rho: float,
     workers: int | None = None,
-    failures=None,
+    failures: "FailureConfig | None" = None,
     checkpoint: str | None = None,
     resume: bool = False,
-):
+) -> "ExperimentResult":
     config = ExperimentConfig(
         objective=objective,
         iterations=iterations,

@@ -32,6 +32,7 @@ from repro.core.errors import (
     CheckpointMismatchError,
     InfeasibleConstraintError,
     InvalidRequestError,
+    InvariantViolationError,
     JournalCorruptError,
     OptimizationError,
     PersistenceError,
@@ -181,6 +182,7 @@ __all__ = [
     # errors
     "RecoveryExhaustedError",
     "SchedulingError",
+    "InvariantViolationError",
     "InvalidRequestError",
     "SlotListError",
     "WindowNotFoundError",

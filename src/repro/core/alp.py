@@ -27,7 +27,7 @@ from repro.core.errors import WindowNotFoundError
 from repro.core.job import ResourceRequest
 from repro.core.slot import Slot, SlotList
 from repro.core.window import TaskAllocation, Window
-from repro.obs.telemetry import get_telemetry
+from repro.obs.telemetry import Telemetry, get_telemetry
 
 __all__ = ["ForwardScan", "find_window", "require_window", "slot_is_suited"]
 
@@ -151,7 +151,7 @@ def find_window(slot_list: SlotList, request: ResourceRequest, *, check_price: b
 
 
 def _find_window_instrumented(
-    telemetry, slot_list: SlotList, request: ResourceRequest, check_price: bool
+    telemetry: Telemetry, slot_list: SlotList, request: ResourceRequest, check_price: bool
 ) -> Window | None:
     """The :func:`find_window` loop with scan accounting (telemetry on).
 

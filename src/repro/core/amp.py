@@ -33,7 +33,7 @@ from repro.core.errors import WindowNotFoundError
 from repro.core.job import ResourceRequest
 from repro.core.slot import Slot, SlotList
 from repro.core.window import Window
-from repro.obs.telemetry import get_telemetry
+from repro.obs.telemetry import Telemetry, get_telemetry
 
 __all__ = ["find_window", "require_window", "cheapest_subset"]
 
@@ -104,7 +104,7 @@ def find_window(slot_list: SlotList, request: ResourceRequest, *, budget: float 
 
 
 def _find_window_instrumented(
-    telemetry, slot_list: SlotList, request: ResourceRequest, budget: float
+    telemetry: Telemetry, slot_list: SlotList, request: ResourceRequest, budget: float
 ) -> Window | None:
     """The :func:`find_window` loop with scan accounting (telemetry on)."""
     scan = ForwardScan(request, check_price=False)

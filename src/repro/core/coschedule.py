@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.core.errors import InvalidRequestError
 from repro.core.job import Batch, Job
@@ -108,7 +109,7 @@ def _global(
     batch: Batch,
     finder: WindowFinder,
     *,
-    key,
+    key: Callable[[Window], Any],
 ) -> BatchAssignment:
     windows: dict[Job, Window] = {}
     postponed: list[Job] = []

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 __all__ = [
     "SchedulingError",
+    "InvariantViolationError",
     "InvalidRequestError",
     "SlotListError",
     "WindowNotFoundError",
@@ -26,6 +27,18 @@ __all__ = [
 
 class SchedulingError(Exception):
     """Base class for all errors raised by the repro scheduling library."""
+
+
+class InvariantViolationError(SchedulingError):
+    """An internal consistency check failed — a library bug, not bad input.
+
+    This is the typed replacement for ``assert``: ``python -O`` strips
+    assert statements, so any invariant worth checking in production is
+    checked with an explicit ``raise InvariantViolationError(...)``
+    instead (``repro-lint`` rule RPR003 enforces this).  Seeing one of
+    these means internal state the library guarantees by construction
+    was violated; please report it with the traceback.
+    """
 
 
 class InvalidRequestError(SchedulingError, ValueError):

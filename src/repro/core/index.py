@@ -49,6 +49,7 @@ from typing import Iterable, Iterator
 
 from repro.core.errors import SlotListError
 from repro.core.job import ResourceRequest
+from repro.core.resource import Resource
 from repro.core.slot import Slot, SlotList
 from repro.core.window import TaskAllocation, Window
 
@@ -321,7 +322,7 @@ class SlotIndex:
         if slot.start < self._hint_floor:
             self._hint_floor = slot.start
 
-    def subtract(self, resource, start: float, end: float) -> Slot:
+    def subtract(self, resource: Resource, start: float, end: float) -> Slot:
         """Cut ``[start, end)`` on ``resource`` out of the index.
 
         Mirrors :meth:`SlotList.subtract` for spans that do not carry a

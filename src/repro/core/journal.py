@@ -211,7 +211,7 @@ class JournalWriter:
     def __enter__(self) -> "JournalWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

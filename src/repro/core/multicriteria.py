@@ -26,7 +26,11 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.core.criteria import Criterion
-from repro.core.errors import InvalidRequestError, OptimizationError
+from repro.core.errors import (
+    InvalidRequestError,
+    InvariantViolationError,
+    OptimizationError,
+)
 from repro.core.job import Job
 from repro.core.optimize import (
     DEFAULT_RESOLUTION,
@@ -154,7 +158,10 @@ def minimize_weighted(
 
     constrained = Criterion.COST if budget is not None else Criterion.TIME
     limit = budget if budget is not None else quota
-    assert limit is not None
+    if limit is None:
+        raise InvariantViolationError(
+            "constrained weighted run reached with neither budget nor quota"
+        )
     g_values = [[weighted(window) for window in windows] for windows in lists]
     z_values = [[constrained.of(window) for window in windows] for windows in lists]
     flat_z = [value for job_values in z_values for value in job_values]

@@ -48,7 +48,7 @@ from repro.core.errors import InfeasibleConstraintError, OptimizationError
 from repro.core.job import Job
 from repro.core.window import Window
 from repro.obs.spans import NOOP_SPAN
-from repro.obs.telemetry import get_telemetry
+from repro.obs.telemetry import Telemetry, get_telemetry
 
 __all__ = [
     "Combination",
@@ -468,7 +468,9 @@ def _combination_of(
     )
 
 
-def _count_dp_run(telemetry, total_alternatives: int, capacity: int, label: str) -> None:
+def _count_dp_run(
+    telemetry: Telemetry, total_alternatives: int, capacity: int, label: str
+) -> None:
     """Record the size of one backward run before it executes.
 
     ``dp.table_cells`` is the exact number of ``f_i`` table entries the

@@ -18,7 +18,7 @@ experiment harness all run exactly the same pipeline.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.criteria import Criterion
 from repro.core.errors import InfeasibleConstraintError

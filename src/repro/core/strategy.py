@@ -21,7 +21,7 @@ the paper is after, versus a full rescheduling pass.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.criteria import Criterion
 from repro.core.errors import InvalidRequestError
@@ -92,7 +92,7 @@ class ScheduleStrategy:
     def __len__(self) -> int:
         return len(self._versions)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ScheduleVersion]:
         return iter(self._versions)
 
     @property

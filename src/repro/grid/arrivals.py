@@ -22,7 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.core.errors import InvalidRequestError
+from repro.core.errors import InvalidRequestError, InvariantViolationError
 from repro.core.job import Job
 from repro.sim.generators import JobGenerator
 
@@ -57,13 +57,19 @@ class PoissonArrivals:
         if end < start:
             raise InvalidRequestError(f"end {end!r} precedes start {start!r}")
         now = start
-        assert self.generator is not None
+        generator = self._checked_generator()
         while True:
             now += self._rng.expovariate(self.rate)
             if now >= end:
                 return
             self._counter += 1
-            yield now, Job(self.generator.generate_request(), name=f"arr{self._counter}")
+            yield now, Job(generator.generate_request(), name=f"arr{self._counter}")
+
+    def _checked_generator(self) -> JobGenerator:
+        """The job generator, which ``__post_init__`` always installs."""
+        if self.generator is None:
+            raise InvariantViolationError("PoissonArrivals has no job generator")
+        return self.generator
 
 
 @dataclass
@@ -110,7 +116,7 @@ class BurstyArrivals:
             raise InvalidRequestError(f"end {end!r} precedes start {start!r}")
         peak = self.base_rate * self.burst_factor
         now = start
-        assert self.generator is not None
+        generator = self._checked_generator()
         while True:
             now += self._rng.expovariate(peak)
             if now >= end:
@@ -119,5 +125,11 @@ class BurstyArrivals:
             if self._rng.random() <= self._rate_at(now) / peak:
                 self._counter += 1
                 yield now, Job(
-                    self.generator.generate_request(), name=f"burst{self._counter}"
+                    generator.generate_request(), name=f"burst{self._counter}"
                 )
+
+    def _checked_generator(self) -> JobGenerator:
+        """The job generator, which ``__post_init__`` always installs."""
+        if self.generator is None:
+            raise InvariantViolationError("BurstyArrivals has no job generator")
+        return self.generator

@@ -659,7 +659,7 @@ class DurableMetascheduler:
     def __enter__(self) -> "DurableMetascheduler":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     @classmethod

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Protocol
 
 from repro.core.errors import InvalidRequestError

@@ -20,7 +20,7 @@ The run produces a :class:`~repro.grid.trace.WorkloadTrace` plus one
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import AdmissionRejectedError, InvalidRequestError
 from repro.core.job import Batch, Job
@@ -38,8 +38,9 @@ from repro.grid.resilience import (
     RetryPolicy,
 )
 from repro.grid.trace import JobState, WorkloadTrace
+from repro.grid.node import ComputeNode
 from repro.obs.spans import NOOP_SPAN
-from repro.obs.telemetry import get_telemetry
+from repro.obs.telemetry import Telemetry, get_telemetry
 
 __all__ = ["IterationReport", "Metascheduler"]
 
@@ -241,7 +242,7 @@ class Metascheduler:
             report = self._run_iteration(now, telemetry)
         return report
 
-    def _run_iteration(self, now: float, telemetry) -> IterationReport:
+    def _run_iteration(self, now: float, telemetry: Telemetry) -> IterationReport:
         self._absorb_arrivals(now)
         self.trace.mark_completions(now)
         if self.recovery is not None:
@@ -332,7 +333,9 @@ class Metascheduler:
             self._record_iteration(telemetry, report, price_multiplier)
         return report
 
-    def _record_iteration(self, telemetry, report: IterationReport, price_multiplier: float) -> None:
+    def _record_iteration(
+        self, telemetry: Telemetry, report: IterationReport, price_multiplier: float
+    ) -> None:
         """Feed one iteration's outcome into the telemetry layer.
 
         Counter and gauge definitions deliberately mirror the audit
@@ -395,7 +398,7 @@ class Metascheduler:
     # Dynamics (Section 7): node failures                                #
     # ------------------------------------------------------------------ #
 
-    def inject_outage(self, node, start: float, end: float) -> list[Job]:
+    def inject_outage(self, node: ComputeNode, start: float, end: float) -> list[Job]:
         """Fail ``node`` during ``[start, end)`` and recover revoked jobs.
 
         Jobs whose reservations overlapped the outage lose their windows
@@ -449,7 +452,7 @@ class Metascheduler:
                 resubmitted.append(job)
         return resubmitted
 
-    def _recover(self, job: Job, now: float, telemetry) -> RecoveryOutcome:
+    def _recover(self, job: Job, now: float, telemetry: Telemetry) -> RecoveryOutcome:
         """Walk the recovery ladder for one revoked job; returns the rung."""
         manager = self.recovery
         revocations = manager.register_revocation(job)

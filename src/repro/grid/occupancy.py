@@ -15,7 +15,7 @@ algorithms' :class:`~repro.core.slot.SlotList`.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.errors import SlotListError

@@ -44,7 +44,7 @@ import enum
 import hashlib
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
 from repro.core.errors import InvalidRequestError, RecoveryExhaustedError

@@ -1,0 +1,76 @@
+"""repro-lint: the project's invariant linter.
+
+The reproduction's headline property — byte-identical results for any
+worker count, across crashes and resumes — rests on a handful of coding
+invariants that no general-purpose linter knows about:
+
+* no ambient entropy (wall-clock timestamps, the global ``random``
+  state, OS randomness) in the scheduling and simulation code;
+* every RNG in a sharded path is seeded through the derivation helpers
+  (:func:`repro.sim.experiment.derive_iteration_seed`,
+  :func:`repro.grid.resilience.derive_node_seed`), never ad hoc;
+* invariants raise typed errors from :mod:`repro.core.errors` rather
+  than ``assert`` (which vanishes under ``python -O``);
+* everything feeding serialization or journal writes iterates in a
+  defined order;
+* no handler is broad enough to swallow
+  :class:`~repro.core.errors.JournalCorruptError` or
+  :class:`~repro.core.errors.CheckpointMismatchError`.
+
+This package checks those invariants statically, at lint time, instead
+of waiting for a 25 000-iteration differential run to diverge.  Run it
+as ``repro-lint src/`` (console script) or ``python -m repro.lint src/``;
+rules are one class each (:mod:`repro.lint.rules`), findings print as
+``file:line:col CODE message``, and inline
+``# repro-lint: disable=RPR00x`` comments suppress (and are counted).
+See ``docs/static-analysis.md`` for the full rule catalog and the
+suppression policy.
+"""
+
+from repro.lint.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    module_key,
+    parse_suppressions,
+)
+from repro.lint.engine import (
+    LintReport,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.rules import (
+    ALL_RULES,
+    BroadExceptRule,
+    DerivedSeedRule,
+    EntropyRule,
+    NoAssertRule,
+    OrderedSerializationRule,
+    rules_by_code,
+)
+from repro.lint.cli import main
+
+__all__ = [
+    # data model
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "module_key",
+    "parse_suppressions",
+    # engine
+    "LintReport",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    # rules
+    "ALL_RULES",
+    "EntropyRule",
+    "DerivedSeedRule",
+    "NoAssertRule",
+    "OrderedSerializationRule",
+    "BroadExceptRule",
+    "rules_by_code",
+    # entry point
+    "main",
+]

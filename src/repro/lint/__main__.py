@@ -1,0 +1,6 @@
+"""``python -m repro.lint`` — module entry point for the invariant linter."""
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,196 @@
+"""Data model shared by every lint rule: findings, context, suppressions.
+
+A rule sees one :class:`ModuleContext` per file — the parsed AST plus an
+import-alias map so calls can be resolved to qualified names
+(``from time import time; time()`` and ``import time; time.time()``
+both resolve to ``"time.time"``).  Rules yield :class:`Finding` values;
+the engine (:mod:`repro.lint.engine`) handles file walking, suppression
+comments, ordering, and exit codes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import ClassVar, Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "module_key",
+    "parse_suppressions",
+    "SUPPRESS_ALL",
+]
+
+#: Wildcard accepted in ``# repro-lint: disable=...`` directives.
+SUPPRESS_ALL = "ALL"
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: The file the finding is in, as given to the engine.
+        line: 1-based source line.
+        col: 0-based column (AST convention).
+        code: Rule code, e.g. ``"RPR003"``.
+        message: Human-readable explanation with the suggested fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``file:line:col CODE message`` output line."""
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+
+def module_key(path: str) -> str:
+    """Normalize ``path`` to a ``repro/...`` key for rule scoping.
+
+    Rules scope by package-relative path (``repro/core/...``) so the
+    linter behaves identically whether invoked on ``src/``, an installed
+    site-packages tree, or a test fixture directory that mimics the
+    layout.  When no ``repro`` component exists the posix form of the
+    whole path is returned, so suffix-based scoping still works on
+    loose fixture files.
+    """
+    posix = PurePath(path).as_posix()
+    parts = posix.split("/")
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[anchor:])
+    return posix
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> suppressed rule codes for inline directives.
+
+    A directive is ``# repro-lint: disable=RPR001`` (one code),
+    ``disable=RPR001,RPR004`` (several), or ``disable=all`` (that line
+    opts out of every rule).  Codes are case-insensitive; unknown codes
+    are kept verbatim so typos surface as *unused* suppressions rather
+    than silently widening the disabled set.
+    """
+    suppressions: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        codes = {
+            code.strip().upper()
+            for code in match.group(1).split(",")
+            if code.strip()
+        }
+        if codes:
+            suppressions[lineno] = codes
+    return suppressions
+
+
+class ModuleContext:
+    """Everything a rule may inspect about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        """Wrap a parsed module.
+
+        Args:
+            path: The path the file was read from (used in findings).
+            source: Full source text (used for suppression parsing).
+            tree: The parsed AST.
+        """
+        self.path = path
+        self.key = module_key(path)
+        self.source = source
+        self.tree = tree
+        self.imports = _import_aliases(tree)
+
+    def qualified_name(self, node: ast.expr) -> str | None:
+        """Resolve a ``Name``/``Attribute`` chain to a dotted name.
+
+        Import aliases are expanded (``import numpy.random as npr`` +
+        ``npr.default_rng`` -> ``"numpy.random.default_rng"``).  Returns
+        ``None`` for expressions that are not plain dotted access
+        (subscripts, calls, literals).
+        """
+        attrs: list[str] = []
+        while isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        attrs.append(self.imports.get(node.id, node.id))
+        return ".".join(reversed(attrs))
+
+    def call_name(self, call: ast.Call) -> str | None:
+        """The resolved qualified name of a call's function, if dotted."""
+        return self.qualified_name(call.func)
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully qualified name, from every import statement."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                aliases[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+@dataclass
+class Rule:
+    """Base class: one statically checkable project invariant.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` narrows the rule to a path scope (entropy rules
+    exempt the clock shim, serialization rules only run on serializing
+    modules, and so on).
+    """
+
+    #: Stable identifier, ``RPR0xx``.
+    code: ClassVar[str] = "RPR000"
+    #: Short kebab-case name for ``--list-rules``.
+    name: ClassVar[str] = "abstract-rule"
+    #: One-line rationale tying the rule to a repo guarantee.
+    rationale: ClassVar[str] = ""
+
+    #: Extra path suffixes (beyond the built-in scope) — for tests.
+    extra_paths: tuple[str, ...] = field(default=())
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Whether this rule runs on ``module`` (default: every file)."""
+        return True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for ``module``; the base class yields none."""
+        return iter(())
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` for ``node`` under this rule's code."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+def matches_suffix(key: str, suffixes: Iterable[str]) -> bool:
+    """Whether a module key ends with any of the scoping suffixes."""
+    return any(key.endswith(suffix) for suffix in suffixes)

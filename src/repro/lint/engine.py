@@ -1,0 +1,147 @@
+"""The lint engine: file walking, suppression handling, reporting.
+
+The engine is pure (no process exit, no printing) so tests and other
+tools can call it directly; :mod:`repro.lint.cli` layers the console
+behaviour (output format, summary, exit codes) on top.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.base import SUPPRESS_ALL, Finding, ModuleContext, Rule, parse_suppressions
+from repro.lint.rules import ALL_RULES
+
+__all__ = [
+    "LintReport",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+#: Code attached to files the engine cannot parse at all.
+SYNTAX_ERROR_CODE = "RPR900"
+
+
+def _finding_key(finding: Finding) -> tuple[str, int, int, str]:
+    return (finding.path, finding.line, finding.col, finding.code)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over any number of files.
+
+    Attributes:
+        findings: Active violations, sorted by location then code.
+        suppressed: Findings silenced by an inline directive (counted,
+            never fatal — the suppression *is* the paper trail).
+        files_checked: Number of files parsed and checked.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """``1`` when any active finding exists, else ``0``."""
+        return 1 if self.findings else 0
+
+    def extend(self, other: "LintReport") -> None:
+        """Fold another report into this one."""
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+    def sort(self) -> None:
+        """Order findings by path, line, column, code (stable output)."""
+        self.findings.sort(key=_finding_key)
+        self.suppressed.sort(key=_finding_key)
+
+
+def _instantiate(rules: Sequence[Rule | type[Rule]] | None) -> list[Rule]:
+    chosen = ALL_RULES if rules is None else rules
+    return [rule() if isinstance(rule, type) else rule for rule in chosen]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule | type[Rule]] | None = None,
+) -> LintReport:
+    """Lint one source string as if it lived at ``path``.
+
+    ``path`` drives rule scoping (see :func:`repro.lint.base.module_key`),
+    so fixture tests pass paths like ``"repro/core/sample.py"`` to opt
+    into the core-scoped rules.  A file that does not parse yields one
+    :data:`SYNTAX_ERROR_CODE` finding instead of raising.
+    """
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        report.findings.append(
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                code=SYNTAX_ERROR_CODE,
+                message=f"file does not parse: {error.msg}",
+            )
+        )
+        return report
+    module = ModuleContext(path, source, tree)
+    suppressions = parse_suppressions(source)
+    for rule in _instantiate(rules):
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            allowed = suppressions.get(finding.line, set())
+            if finding.code.upper() in allowed or SUPPRESS_ALL in allowed:
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    report.sort()
+    return report
+
+
+def lint_file(
+    path: str | Path, rules: Sequence[Rule | type[Rule]] | None = None
+) -> LintReport:
+    """Lint one file from disk (UTF-8)."""
+    file_path = Path(path)
+    return lint_source(
+        file_path.read_text(encoding="utf-8"), str(file_path), rules
+    )
+
+
+def _python_files(path: Path) -> list[Path]:
+    """Every ``*.py`` under ``path`` (or the file itself), sorted."""
+    if path.is_file():
+        return [path]
+    return sorted(candidate for candidate in path.rglob("*.py") if candidate.is_file())
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule | type[Rule]] | None = None,
+) -> LintReport:
+    """Lint every Python file under the given files/directories.
+
+    Raises:
+        FileNotFoundError: When a given path does not exist (a linter
+            that silently checks nothing is worse than no linter).
+    """
+    instantiated = _instantiate(rules)
+    report = LintReport()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+        for file_path in _python_files(path):
+            report.extend(lint_file(file_path, instantiated))
+    report.sort()
+    return report

@@ -22,12 +22,18 @@ the full metric catalog, trace schema, and overhead notes).  Exporters
 ``repro.cli stats``), the Prometheus text format, and human-readable
 summary tables.
 
+Wall-clock timestamps flow through the injectable
+:mod:`repro.obs.clock` — the single module the ``repro-lint`` RPR001
+entropy rule allowlists — so tests can freeze time and every other
+wall-clock read in the library is a lint error.
+
 Import-order note: the submodules up to and including ``telemetry`` are
 standard-library-only and are imported by the core algorithm modules;
 ``export`` (which touches :mod:`repro.core.errors`) must stay *last*
 here so that partially initialized packages always resolve.
 """
 
+from repro.obs.clock import freeze, now, reset_clock, set_clock
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -63,6 +69,11 @@ from repro.obs.export import (
 )
 
 __all__ = [
+    # clock
+    "now",
+    "set_clock",
+    "reset_clock",
+    "freeze",
     # instruments
     "Counter",
     "Gauge",

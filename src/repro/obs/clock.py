@@ -1,0 +1,80 @@
+"""The injectable wall clock: the only module allowed to read real time.
+
+Telemetry records (span start times, event timestamps, trace headers)
+carry wall-clock stamps for log correlation.  Those are the *only*
+legitimate wall-clock reads in the library — everywhere else an ambient
+``time.time()`` would make output depend on when the code ran, which is
+exactly what the determinism test matrix forbids (``repro-lint`` rule
+RPR001 enforces this; this module is its entire allowlist).
+
+Funnelling every stamp through :func:`now` buys two things:
+
+* tests freeze time (:func:`freeze` / :func:`set_clock`) and assert on
+  exact timestamps instead of ``pytest.approx`` windows;
+* the lint allowlist shrinks to one module, so a new wall-clock read
+  anywhere else is a lint failure, not a review-time judgement call.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["now", "set_clock", "reset_clock", "freeze", "system_clock"]
+
+#: A clock is any zero-argument callable returning seconds since epoch.
+Clock = Callable[[], float]
+
+
+def system_clock() -> float:
+    """The real wall clock (``time.time``)."""
+    return _time.time()
+
+
+_active: Clock = system_clock
+
+
+def now() -> float:
+    """Seconds since epoch according to the active clock."""
+    return _active()
+
+
+def set_clock(clock: Clock) -> Clock:
+    """Install ``clock`` as the active clock; returns the previous one."""
+    global _active
+    previous = _active
+    _active = clock
+    return previous
+
+
+def reset_clock() -> None:
+    """Restore the real system clock."""
+    set_clock(system_clock)
+
+
+@contextmanager
+def freeze(at: float = 0.0) -> Iterator[Callable[[float], None]]:
+    """Freeze :func:`now` at ``at`` for the duration of the block.
+
+    Yields an ``advance(seconds)`` callable so tests can step time
+    explicitly::
+
+        with freeze(at=1000.0) as advance:
+            telemetry.event("tick")   # stamped 1000.0
+            advance(2.5)
+            telemetry.event("tock")   # stamped 1002.5
+    """
+    frozen = {"value": float(at)}
+
+    def frozen_clock() -> float:
+        return frozen["value"]
+
+    def advance(seconds: float) -> None:
+        frozen["value"] += seconds
+
+    previous = set_clock(frozen_clock)
+    try:
+        yield advance
+    finally:
+        set_clock(previous)

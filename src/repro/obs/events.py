@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
+from types import TracebackType
 from typing import IO, Iterable, Iterator
 
 __all__ = ["RingBuffer", "JsonlSink"]
@@ -98,7 +99,12 @@ class JsonlSink:
         """Support ``with JsonlSink(path) as sink:`` usage."""
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         """Close the sink when the block exits."""
         self.close()
         return False

@@ -19,10 +19,10 @@ Three audiences, three formats:
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 
 from repro.core.errors import TelemetryError
+from repro.obs import clock
 from repro.obs.metrics import MetricRegistry
 from repro.obs.spans import SpanRecord
 from repro.obs.telemetry import Telemetry, get_telemetry
@@ -85,7 +85,7 @@ def trace_records(telemetry: Telemetry | None = None) -> list[dict]:
         {
             "kind": "meta",
             "format": TRACE_FORMAT,
-            "created_at": time.time(),
+            "created_at": clock.now(),
             "metrics": len(telemetry.registry),
             "spans": len(telemetry.traces),
             "events": len(telemetry.events),

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import Callable, Iterator, Mapping, TypeVar
+
+_InstrumentT = TypeVar("_InstrumentT", bound="Counter | Gauge | Histogram")
 
 __all__ = [
     "Counter",
@@ -215,7 +217,12 @@ class MetricRegistry:
         for key in sorted(self._instruments):
             yield self._instruments[key]
 
-    def _get_or_create(self, kind: type, key: str, factory):
+    def _get_or_create(
+        self,
+        kind: type[_InstrumentT],
+        key: str,
+        factory: Callable[[], _InstrumentT],
+    ) -> _InstrumentT:
         instrument = self._instruments.get(key)
         if instrument is None:
             instrument = factory()

@@ -19,6 +19,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from types import TracebackType
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["SpanRecord", "SpanHandle", "NoopSpan", "NOOP_SPAN"]
 
@@ -29,7 +34,8 @@ class SpanRecord:
 
     Attributes:
         name: Operation name, dot-namespaced (``scheduler.schedule``).
-        started_at: Wall-clock start (``time.time``), for log correlation.
+        started_at: Wall-clock start (:func:`repro.obs.clock.now`), for
+            log correlation.
         duration: Elapsed seconds (perf-counter based); 0.0 while open.
         attributes: Caller-supplied context (job name, batch size, …).
         children: Sub-spans, in start order.
@@ -92,12 +98,12 @@ class SpanHandle:
 
     __slots__ = ("_telemetry", "record", "_started")
 
-    def __init__(self, telemetry, record: SpanRecord) -> None:
+    def __init__(self, telemetry: "Telemetry", record: SpanRecord) -> None:
         self._telemetry = telemetry
         self.record = record
         self._started = 0.0
 
-    def annotate(self, **attributes) -> None:
+    def annotate(self, **attributes: object) -> None:
         """Attach extra attributes to the span while it is open."""
         self.record.attributes.update(attributes)
 
@@ -107,7 +113,12 @@ class SpanHandle:
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         """Stop timing, record status, and pop the span stack."""
         self.record.duration = time.perf_counter() - self._started
         if exc_type is not None:
@@ -126,14 +137,19 @@ class NoopSpan:
 
     __slots__ = ()
 
-    def annotate(self, **attributes) -> None:
+    def annotate(self, **attributes: object) -> None:
         """Ignore attributes (telemetry is off)."""
 
     def __enter__(self) -> "NoopSpan":
         """Return self without touching any state."""
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         """Propagate exceptions unchanged."""
         return False
 

@@ -28,9 +28,9 @@ from __future__ import annotations
 import functools
 import os
 import threading
-import time
-from typing import Callable
+from typing import Any, Callable
 
+from repro.obs import clock
 from repro.obs.events import JsonlSink, RingBuffer
 from repro.obs.metrics import MetricRegistry
 from repro.obs.spans import NOOP_SPAN, NoopSpan, SpanHandle, SpanRecord
@@ -114,7 +114,7 @@ class Telemetry:
     # Spans                                                              #
     # ------------------------------------------------------------------ #
 
-    def span(self, name: str, **attributes) -> SpanHandle | NoopSpan:
+    def span(self, name: str, **attributes: object) -> SpanHandle | NoopSpan:
         """A context manager timing ``name``; nests under the active span.
 
         Disabled telemetry returns the shared no-op singleton.  Each
@@ -124,7 +124,7 @@ class Telemetry:
         """
         if not self.enabled:
             return NOOP_SPAN
-        record = SpanRecord(name=name, started_at=time.time(), attributes=attributes)
+        record = SpanRecord(name=name, started_at=clock.now(), attributes=attributes)
         return SpanHandle(self, record)
 
     def current_span(self) -> SpanRecord | None:
@@ -144,7 +144,16 @@ class Telemetry:
     def _pop_span(self, record: SpanRecord) -> None:
         stack = self._local.stack
         popped = stack.pop()
-        assert popped is record, f"span stack corrupted: {popped.name} != {record.name}"
+        if popped is not record:
+            # Deferred import: this module must stay stdlib-only at import
+            # time (core's hot loops import it), and this branch only runs
+            # on a corrupted span stack.
+            from repro.core.errors import TelemetryError
+
+            raise TelemetryError(
+                f"span stack corrupted: popped {popped.name!r}, "
+                f"expected {record.name!r}"
+            )
         self.observe("span.seconds", record.duration, span=record.name)
         if not stack:
             self.traces.append(record)
@@ -157,7 +166,7 @@ class Telemetry:
     # Events                                                             #
     # ------------------------------------------------------------------ #
 
-    def event(self, name: str, **fields) -> None:
+    def event(self, name: str, **fields: object) -> None:
         """Log one structured event (no-op when disabled).
 
         ``fields`` must be JSON-serializable; the event is stamped with
@@ -166,7 +175,7 @@ class Telemetry:
         """
         if not self.enabled:
             return
-        payload = {"kind": "event", "name": name, "ts": time.time(), **fields}
+        payload = {"kind": "event", "name": name, "ts": clock.now(), **fields}
         self.events.append(payload)
         if self.sink is not None:
             self.sink.emit(payload)
@@ -241,7 +250,7 @@ def telemetry_enabled() -> bool:
 # ---------------------------------------------------------------------- #
 
 
-def span(name: str, **attributes) -> SpanHandle | NoopSpan:
+def span(name: str, **attributes: object) -> SpanHandle | NoopSpan:
     """``with span("phase1.find_alternatives", job=...):`` on the active context."""
     return _ACTIVE.span(name, **attributes)
 
@@ -261,12 +270,12 @@ def set_gauge(name: str, value: float, **labels: str) -> None:
     _ACTIVE.set_gauge(name, value, **labels)
 
 
-def event(name: str, **fields) -> None:
+def event(name: str, **fields: object) -> None:
     """Log a structured event on the active context."""
     _ACTIVE.event(name, **fields)
 
 
-def traced(name: str | None = None) -> Callable:
+def traced(name: str | None = None) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator wrapping a function in a span named after it.
 
     ``@traced()`` uses the function's qualified name; ``@traced("x")``
@@ -274,11 +283,11 @@ def traced(name: str | None = None) -> Callable:
     decorated function stays no-op-cheap while telemetry is off.
     """
 
-    def decorate(function: Callable) -> Callable:
+    def decorate(function: Callable[..., Any]) -> Callable[..., Any]:
         span_name = name or function.__qualname__
 
         @functools.wraps(function)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             telemetry = _ACTIVE
             if not telemetry.enabled:
                 return function(*args, **kwargs)

@@ -18,7 +18,6 @@ see ``tests/test_calibration.py`` for usage.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 

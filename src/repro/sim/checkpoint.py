@@ -186,5 +186,5 @@ class ExperimentCheckpoint:
     def __enter__(self) -> "ExperimentCheckpoint":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

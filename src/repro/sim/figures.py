@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.criteria import Criterion
-from repro.core.errors import InvalidRequestError
+from repro.core.errors import InvalidRequestError, InvariantViolationError
 from repro.sim.ascii_plot import bar_chart, line_chart, table
 from repro.sim.experiment import ExperimentResult
 from repro.sim.stats import ExperimentSummary, summarize
@@ -34,6 +34,7 @@ __all__ = [
     "figure4",
     "figure5",
     "figure6",
+    "figure_series",
     "render_figure4",
     "render_figure5",
     "render_figure6",
@@ -158,12 +159,27 @@ def render_figure4(result: ExperimentResult) -> str:
     )
 
 
+def figure_series(panel: FigureData) -> Mapping[str, list[float]]:
+    """The per-experiment series of a panel that must carry one.
+
+    Raises:
+        InvariantViolationError: When ``panel.series`` is ``None`` — the
+            series-bearing builders (:func:`figure5`) always populate
+            it, so a missing series is a library bug, not bad input.
+    """
+    if panel.series is None:
+        raise InvariantViolationError(
+            f"figure panel {panel.name!r} carries no per-experiment series"
+        )
+    return panel.series
+
+
 def render_figure5(result: ExperimentResult, *, first_n: int = 300) -> str:
     """ASCII rendering of the Fig. 5 comparison series."""
     panel = figure5(result, first_n=first_n)
-    assert panel.series is not None
+    series = figure_series(panel)
     chart = line_chart(
-        dict(panel.series),
+        dict(series),
         title=f"Fig. 5 — average job execution time, first {first_n} experiments",
     )
     return (

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.criteria import Criterion
-from repro.sim.experiment import ExperimentResult, IterationComparison
+from repro.sim.experiment import ExperimentConfig, ExperimentResult, IterationComparison
 
 __all__ = [
     "AlgorithmStats",
@@ -134,7 +134,7 @@ class ExperimentSummary:
 def merge_results(
     shards: Sequence[ExperimentResult],
     *,
-    config=None,
+    config: ExperimentConfig | None = None,
 ) -> ExperimentResult:
     """Merge shard results of one sharded series into a single result.
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import importlib
 import inspect
 import pkgutil
+from pathlib import Path
 
 import pytest
 
@@ -23,6 +24,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.sim",
     "repro.obs",
+    "repro.lint",
 ]
 
 
@@ -32,6 +34,33 @@ def test_all_names_resolve(package_name):
     assert hasattr(package, "__all__"), f"{package_name} must declare __all__"
     for name in package.__all__:
         assert hasattr(package, name), f"{package_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_complete(package_name):
+    """Every public name an ``__init__`` exposes is advertised in ``__all__``.
+
+    A name imported into the package namespace but missing from
+    ``__all__`` is a half-public API: reachable, unadvertised, and
+    invisible to ``from package import *`` and to mypy's re-export
+    check under py.typed.  Submodules reachable as attributes (e.g.
+    ``repro.core.alp``) are exempt — they are namespaces, not symbols.
+    """
+    package = importlib.import_module(package_name)
+    advertised = set(package.__all__)
+    stray = [
+        name
+        for name, obj in vars(package).items()
+        if not name.startswith("_")
+        and not inspect.ismodule(obj)
+        and name not in advertised
+    ]
+    assert not stray, f"{package_name} exposes names missing from __all__: {sorted(stray)}"
+
+
+def test_py_typed_marker_ships_with_the_package():
+    marker = Path(repro.__file__).parent / "py.typed"
+    assert marker.is_file(), "py.typed marker missing — typed API is unadvertised"
 
 
 @pytest.mark.parametrize("package_name", PACKAGES)

@@ -24,7 +24,7 @@ from repro.core import (
     SlotList,
 )
 from repro.core import alp, amp
-from repro.grid import Cluster, ComputeNode, VOEnvironment
+from repro.grid import ComputeNode
 
 from tests.conftest import make_resource, make_uniform_slots
 

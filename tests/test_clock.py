@@ -1,0 +1,103 @@
+"""Tests for the injectable wall clock (``repro.obs.clock``).
+
+The clock shim is the sole RPR001 allowlist entry, so its contract —
+swap, restore, freeze, advance — must hold exactly: everything else in
+the library reads time through :func:`repro.obs.clock.now`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import clock
+from repro.obs.export import trace_records
+from repro.obs.telemetry import Telemetry
+
+
+@pytest.fixture(autouse=True)
+def restore_clock():
+    yield
+    clock.reset_clock()
+
+
+class TestClockSwap:
+    def test_default_tracks_system_time(self):
+        before = time.time()
+        stamp = clock.now()
+        after = time.time()
+        assert before <= stamp <= after
+
+    def test_set_clock_returns_previous(self):
+        fake = lambda: 42.0  # noqa: E731
+        previous = clock.set_clock(fake)
+        assert clock.now() == 42.0
+        restored = clock.set_clock(previous)
+        assert restored is fake
+
+    def test_reset_clock_restores_system_clock(self):
+        clock.set_clock(lambda: -1.0)
+        clock.reset_clock()
+        assert clock.now() == pytest.approx(time.time(), abs=5.0)
+
+
+class TestFreeze:
+    def test_freeze_pins_now(self):
+        with clock.freeze(at=1000.0):
+            assert clock.now() == 1000.0
+            assert clock.now() == 1000.0
+
+    def test_advance_steps_time_explicitly(self):
+        with clock.freeze(at=1000.0) as advance:
+            advance(2.5)
+            assert clock.now() == 1002.5
+            advance(0.5)
+            assert clock.now() == 1003.0
+
+    def test_freeze_restores_previous_clock_on_exit(self):
+        clock.set_clock(lambda: 7.0)
+        with clock.freeze(at=0.0):
+            assert clock.now() == 0.0
+        assert clock.now() == 7.0
+
+    def test_freeze_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with clock.freeze(at=5.0):
+                raise RuntimeError("boom")
+        assert clock.now() != 5.0
+
+    def test_nested_freezes(self):
+        with clock.freeze(at=10.0):
+            with clock.freeze(at=20.0) as advance:
+                advance(1.0)
+                assert clock.now() == 21.0
+            assert clock.now() == 10.0
+
+
+class TestTelemetryUsesClock:
+    def test_events_are_stamped_with_frozen_time(self):
+        telemetry = Telemetry(enabled=True)
+        with clock.freeze(at=1000.0) as advance:
+            telemetry.event("tick")
+            advance(2.5)
+            telemetry.event("tock")
+        stamps = [payload["ts"] for payload in telemetry.events.to_list()]
+        assert stamps == [1000.0, 1002.5]
+
+    def test_span_start_uses_frozen_time(self):
+        telemetry = Telemetry(enabled=True)
+        with clock.freeze(at=500.0):
+            with telemetry.span("op"):
+                pass
+        assert telemetry.traces[0].started_at == 500.0
+
+    def test_trace_header_created_at_is_injectable(self):
+        telemetry = Telemetry(enabled=True)
+        with telemetry.span("op"):
+            pass
+        with clock.freeze(at=123.0):
+            records = trace_records(telemetry)
+        header = records[0]
+        assert header["kind"] == "meta"
+        assert header["created_at"] == 123.0

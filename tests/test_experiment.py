@@ -11,9 +11,7 @@ from repro.core import Criterion, InvalidRequestError, SlotSearchAlgorithm
 from repro.sim import (
     ExperimentConfig,
     ExperimentRunner,
-    JobGeneratorConfig,
     ParallelRunner,
-    SlotGeneratorConfig,
     derive_iteration_seed,
     figure4,
     figure5,

@@ -131,9 +131,11 @@ class TestJobGenerator:
         assert [job.priority for job in batch] == list(range(len(batch)))
 
     def test_deterministic_under_seed(self):
-        spec = lambda b: [
-            (j.request.node_count, j.request.volume, j.request.max_price) for j in b
-        ]
+        def spec(b):
+            return [
+                (j.request.node_count, j.request.volume, j.request.max_price) for j in b
+            ]
+
         assert spec(JobGenerator(seed=4).generate()) == spec(
             JobGenerator(seed=4).generate()
         )

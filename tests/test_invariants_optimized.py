@@ -1,0 +1,100 @@
+"""Invariant checks must survive ``python -O``.
+
+``-O`` strips every ``assert`` statement, which is exactly why library
+invariants raise typed errors instead (lint rule RPR003).  These tests
+run the invariant-bearing code paths in a ``python -O`` subprocess and
+require the typed error to fire — if anyone reintroduces an ``assert``,
+the check silently vanishes under ``-O`` and the subprocess exits 0,
+failing the test here.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.errors import InvariantViolationError, SchedulingError
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Marker printed by each probe script when the typed error fired.
+OK = "TYPED-ERROR-RAISED"
+
+ARRIVALS_PROBE = f"""
+from repro.core.errors import InvariantViolationError
+from repro.grid.arrivals import PoissonArrivals
+
+arrivals = PoissonArrivals(rate=1.0, seed=1)
+arrivals.generator = None  # simulate the impossible state
+try:
+    list(arrivals.stream(0.0, 10.0))
+except InvariantViolationError:
+    print("{OK}")
+"""
+
+FIGURE_SERIES_PROBE = f"""
+from repro.core.errors import InvariantViolationError
+from repro.sim.figures import FigureData, figure_series
+
+panel = FigureData(name="fig5", measured={{}}, reference={{}}, series=None)
+try:
+    figure_series(panel)
+except InvariantViolationError:
+    print("{OK}")
+"""
+
+SPAN_STACK_PROBE = f"""
+from repro.core.errors import TelemetryError
+from repro.obs.telemetry import Telemetry
+
+telemetry = Telemetry(enabled=True)
+outer = telemetry.span("outer")
+inner = telemetry.span("inner")
+outer.__enter__()
+inner.__enter__()
+try:
+    outer.__exit__(None, None, None)  # pops inner's record, expects outer's
+except TelemetryError:
+    print("{OK}")
+"""
+
+
+def run_optimized(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-O", "-c", script],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+
+
+@pytest.mark.parametrize(
+    "script",
+    [ARRIVALS_PROBE, FIGURE_SERIES_PROBE, SPAN_STACK_PROBE],
+    ids=["arrivals-generator", "figure-series", "span-stack"],
+)
+def test_invariant_survives_python_O(script):
+    result = run_optimized(script)
+    assert result.returncode == 0, result.stderr
+    assert OK in result.stdout, (
+        "typed invariant did not fire under python -O "
+        f"(stdout={result.stdout!r}, stderr={result.stderr!r})"
+    )
+
+
+def test_asserts_are_actually_stripped_under_O():
+    # Sanity check of the premise: a bare assert does nothing under -O.
+    result = run_optimized("assert False\nprint('survived')")
+    assert result.returncode == 0
+    assert "survived" in result.stdout
+
+
+def test_invariant_violation_is_a_scheduling_error():
+    # CLI exit-code mapping catches SchedulingError; the invariant type
+    # must stay inside that hierarchy.
+    assert issubclass(InvariantViolationError, SchedulingError)
+    with pytest.raises(SchedulingError):
+        raise InvariantViolationError("probe")

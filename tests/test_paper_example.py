@@ -10,7 +10,7 @@ import pytest
 
 from repro.core import SlotSearchAlgorithm, find_alternatives
 from repro.core import alp, amp
-from repro.examples_data import HORIZON, NODE_PRICES, build_example
+from repro.examples_data import HORIZON, build_example
 
 
 @pytest.fixture

@@ -21,7 +21,6 @@ Instances come from the shared seeded builders in ``tests/conftest.py``
 
 from __future__ import annotations
 
-import random
 
 import pytest
 from hypothesis import given, settings
