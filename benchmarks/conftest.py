@@ -35,13 +35,43 @@ BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+#: Append-only measurement log: one compact JSON line per recorded
+#: section, timestamped, so perf trends survive baseline overwrites and
+#: the CI regression gate (``benchmarks/gate.py``) has a trajectory to
+#: compare against.
+HISTORY_PATH = os.path.join(REPO_ROOT, "BENCH_history.jsonl")
+
+
+def record_history(name: str, section: str, payload: dict) -> str:
+    """Append one timestamped measurement entry to ``BENCH_history.jsonl``.
+
+    The timestamp flows through the injectable :mod:`repro.obs.clock`
+    so harness tests can freeze it.  Returns the history path.
+    """
+    from repro.obs import clock
+
+    entry = {
+        "machine": platform.machine(),
+        "name": name,
+        "python": platform.python_version(),
+        "recorded_at": clock.now(),
+        "section": section,
+        "values": payload,
+    }
+    with open(HISTORY_PATH, "a", encoding="utf-8") as stream:
+        stream.write(json.dumps(entry, separators=(",", ":"), sort_keys=True))
+        stream.write("\n")
+    return HISTORY_PATH
+
 
 def record_baseline(name: str, section: str, payload: dict) -> str:
     """Merge ``payload`` into ``BENCH_<name>.json`` at the repo root.
 
     Each benchmark owns one *section* of its file, so a partial run
     updates only what it measured and the committed baselines keep a
-    readable trajectory (see docs/benchmarks.md).  Returns the path.
+    readable trajectory (see docs/benchmarks.md).  Every call also
+    appends the measurement to ``BENCH_history.jsonl`` via
+    :func:`record_history`.  Returns the path.
     """
     path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
     document: dict = {}
@@ -57,6 +87,7 @@ def record_baseline(name: str, section: str, payload: dict) -> str:
     with open(path, "w", encoding="utf-8") as stream:
         json.dump(document, stream, indent=2, sort_keys=True)
         stream.write("\n")
+    record_history(name, section, payload)
     return path
 
 

@@ -1,0 +1,161 @@
+"""Perf-regression gate: compare a candidate bench result to a baseline.
+
+CI's bench-gate job re-measures the EXP-SPEEDUP workload and then runs::
+
+    python -m benchmarks.gate \
+        --baseline BENCH_complexity.json \
+        --candidate /tmp/BENCH_complexity.json \
+        --section experiment_workload \
+        --metric index_speedup \
+        --tolerance 0.25
+
+Exit codes follow the repo's CLI contract: ``0`` the candidate is
+within tolerance of the baseline, ``1`` it regressed, ``2`` the inputs
+are unusable (missing file, unknown section/metric, malformed JSON).
+
+Baselines may be either a merged ``BENCH_<name>.json`` document
+(``{section: {metric: value}}``) or the append-only
+``BENCH_history.jsonl`` log — for history files the *latest* entry
+carrying the requested section/metric wins, so the gate always compares
+against the most recent recorded measurement.
+
+Metrics are higher-is-better by default (speedups); pass
+``--direction lower`` for timings where smaller is faster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+__all__ = ["load_metric", "evaluate", "main"]
+
+
+class GateError(Exception):
+    """Unusable gate input (missing file/section/metric, bad JSON)."""
+
+
+def load_metric(path: str, section: str, metric: str) -> float:
+    """Read ``section.metric`` from a bench document or history log.
+
+    Raises:
+        GateError: When the file is unreadable, not valid JSON, or does
+            not contain the requested section/metric.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            text = stream.read()
+    except OSError as error:
+        raise GateError(f"cannot read {path!r}: {error}") from error
+    if path.endswith(".jsonl"):
+        value: float | None = None
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError as error:
+                raise GateError(f"{path}:{line_number}: not valid JSON ({error})") from error
+            if not isinstance(entry, dict) or entry.get("section") != section:
+                continue
+            values = entry.get("values")
+            if isinstance(values, dict) and metric in values:
+                value = values[metric]  # latest entry wins
+        if value is None:
+            raise GateError(
+                f"{path}: no history entry carries {section}.{metric}"
+            )
+    else:
+        try:
+            document = json.loads(text)
+        except ValueError as error:
+            raise GateError(f"{path}: not valid JSON ({error})") from error
+        try:
+            value = document[section][metric]
+        except (KeyError, TypeError):
+            raise GateError(f"{path}: missing {section}.{metric}") from None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise GateError(f"{path}: {section}.{metric} is not a number: {value!r}")
+    return float(value)
+
+
+def evaluate(
+    baseline: float, candidate: float, tolerance: float, direction: str
+) -> tuple[bool, str]:
+    """Judge ``candidate`` against ``baseline``; returns ``(ok, verdict)``.
+
+    ``direction="higher"`` accepts ``candidate >= baseline * (1 - tol)``;
+    ``direction="lower"`` accepts ``candidate <= baseline * (1 + tol)``.
+    """
+    if direction == "higher":
+        floor = baseline * (1.0 - tolerance)
+        ok = candidate >= floor
+        bound = f"floor {floor:.4g}"
+    else:
+        ceiling = baseline * (1.0 + tolerance)
+        ok = candidate <= ceiling
+        bound = f"ceiling {ceiling:.4g}"
+    if baseline != 0:
+        delta = (candidate - baseline) / baseline * 100.0
+        change = f"{delta:+.1f}%"
+    else:
+        change = "n/a"
+    verdict = (
+        f"candidate {candidate:.4g} vs baseline {baseline:.4g} "
+        f"({change}, {bound}, tolerance {tolerance:.0%})"
+    )
+    return ok, verdict
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.gate",
+        description="fail (exit 1) when a bench metric regressed past tolerance",
+    )
+    parser.add_argument("--baseline", required=True, help="baseline .json or .jsonl")
+    parser.add_argument("--candidate", required=True, help="candidate .json or .jsonl")
+    parser.add_argument("--section", required=True, help="bench section name")
+    parser.add_argument("--metric", required=True, help="metric key inside the section")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative slack (default 0.25 = ±25%%)",
+    )
+    parser.add_argument(
+        "--direction",
+        choices=["higher", "lower"],
+        default="higher",
+        help="whether larger values are better (default: higher)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code (0 pass / 1 fail / 2 error)."""
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exit_request:
+        return int(exit_request.code or 0)
+    if args.tolerance < 0:
+        print("bench-gate error: --tolerance must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_metric(args.baseline, args.section, args.metric)
+        candidate = load_metric(args.candidate, args.section, args.metric)
+    except GateError as error:
+        print(f"bench-gate error: {error}", file=sys.stderr)
+        return 2
+    ok, verdict = evaluate(baseline, candidate, args.tolerance, args.direction)
+    label = f"{args.section}.{args.metric}"
+    if ok:
+        print(f"bench-gate PASS: {label} {verdict}")
+        return 0
+    print(f"bench-gate FAIL: {label} {verdict}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

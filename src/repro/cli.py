@@ -10,13 +10,21 @@ Subcommands:
 * ``complexity`` — time ALP/AMP vs backfilling over growing slot lists;
 * ``vo``         — run the iterative metascheduler against a synthetic
   virtual organization and print the workload-trace summary;
-* ``stats``      — render the summary of a saved telemetry trace.
+* ``stats``      — render the summary of saved telemetry trace(s);
+  several shards (or ``--merge``) are merged into one logical trace
+  first, and ``--prometheus`` emits the text exposition format instead;
+* ``explain``    — replay the recorded decision path of one job
+  (``--job J``) from a trace's decision log;
+* ``profile``    — per-phase cost attribution (index scan, feasibility,
+  cross-job subtraction, DP, journal fsync, …) of a saved trace.
 
 Every run-something subcommand also accepts the telemetry pair
 ``--metrics`` (print the counter/histogram/span summary after the
 command) and ``--trace FILE`` (dump the full telemetry state as JSONL,
 replayable through ``stats``).  Telemetry stays disabled — and free —
-unless one of the two is given.
+unless one of the two is given.  ``experiment --workers N --trace FILE``
+writes one shard per worker (``FILE`` → ``stem.wK.jsonl``); merge them
+with ``stats --merge``.
 
 Examples::
 
@@ -26,6 +34,8 @@ Examples::
     repro-scheduler example
     repro-scheduler vo --until 2000 --jobs 25 --trace vo.jsonl
     repro-scheduler stats vo.jsonl
+    repro-scheduler explain vo.jsonl --job user-job3
+    repro-scheduler profile run.w0.jsonl run.w1.jsonl
 """
 
 from __future__ import annotations
@@ -115,6 +125,7 @@ def _run_experiment(
     failures: "FailureConfig | None" = None,
     checkpoint: str | None = None,
     resume: bool = False,
+    trace_base: str | None = None,
 ) -> "ExperimentResult":
     config = ExperimentConfig(
         objective=objective,
@@ -127,7 +138,7 @@ def _run_experiment(
         from repro.sim import ParallelRunner
 
         return ParallelRunner(config, workers=workers).run(
-            checkpoint=checkpoint, resume=resume
+            checkpoint=checkpoint, resume=resume, trace_base=trace_base
         )
     return ExperimentRunner(config).run(checkpoint=checkpoint, resume=resume)
 
@@ -149,6 +160,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             f"resuming from checkpoint {args.checkpoint}",
             file=sys.stderr,
         )
+    # A parallel run cannot record into the parent's telemetry context
+    # (workers are separate processes), so --workers plus --trace routes
+    # through per-worker shard files instead.
+    trace_base: str | None = None
+    if args.workers is not None and getattr(args, "trace", None):
+        trace_base = args.trace
     result = _run_experiment(
         objective,
         args.iterations,
@@ -158,7 +175,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         failures=failures,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        trace_base=trace_base,
     )
+    if trace_base is not None:
+        from pathlib import Path
+
+        base = Path(trace_base)
+        pattern = base.with_name(f"{base.stem}.w*{base.suffix or '.jsonl'}")
+        print(
+            f"per-worker trace shards: {pattern} "
+            f"(merge with: repro-scheduler stats --merge {pattern})",
+            file=sys.stderr,
+        )
     if failures is not None:
         print(
             f"failure injection: mtbf={failures.mtbf:g}, mttr={failures.mttr:g}, "
@@ -358,9 +386,62 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace(paths: Sequence[str], merge: bool) -> "obs.TraceData":
+    """Read trace file(s); several paths (or ``--merge``) are merged.
+
+    Raises:
+        SchedulingError: Via :exc:`~repro.core.errors.TelemetryError`
+            on a missing/malformed file or mixed-run shards (exit 2).
+    """
+    if merge or len(paths) > 1:
+        return obs.merge_trace_files(list(paths))
+    return obs.read_trace(paths[0])
+
+
+def _reject_empty_trace(data: "obs.TraceData", paths: Sequence[str]) -> int | None:
+    """Exit code 2 with a one-line diagnostic for an empty trace, else None."""
+    if not data.has_data:
+        print(
+            f"error: {', '.join(paths)}: trace contains no records — was the "
+            "run started with --trace/--metrics or REPRO_TELEMETRY=1?",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    data = obs.read_trace(args.trace_file)
+    data = _load_trace(args.trace_file, args.merge)
+    failed = _reject_empty_trace(data, args.trace_file)
+    if failed is not None:
+        return failed
+    if args.prometheus:
+        print(obs.prometheus_from_trace(data))
+        return 0
     print(obs.render_trace_summary(data))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    data = _load_trace(args.trace_file, args.merge)
+    failed = _reject_empty_trace(data, args.trace_file)
+    if failed is not None:
+        return failed
+    decisions = data.decisions
+    if args.iteration is not None:
+        decisions = [
+            record for record in decisions if record.get("iteration") == args.iteration
+        ]
+    print(obs.render_explain(decisions, args.job))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    data = _load_trace(args.trace_file, args.merge)
+    failed = _reject_empty_trace(data, args.trace_file)
+    if failed is not None:
+        return failed
+    print(obs.render_profile(data))
     return 0
 
 
@@ -564,11 +645,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(handler=_cmd_report)
 
-    stats = sub.add_parser(
-        "stats", help="render the summary of a saved telemetry trace"
+    # The trace-reading subcommands share the shard arguments: one or
+    # more trace files, merged into one logical trace when several are
+    # given (or when --merge forces it for a single file).
+    shard_options = argparse.ArgumentParser(add_help=False)
+    shard_options.add_argument(
+        "trace_file",
+        nargs="+",
+        help=(
+            "JSONL trace written by --trace (several worker shards of "
+            "one run are merged before rendering)"
+        ),
     )
-    stats.add_argument("trace_file", help="JSONL trace written by --trace")
+    shard_options.add_argument(
+        "--merge",
+        action="store_true",
+        help="merge the given shard files into one logical trace",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="render the summary of saved telemetry trace(s)",
+        parents=[shard_options],
+    )
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit the Prometheus text exposition format instead of the summary",
+    )
     stats.set_defaults(handler=_cmd_stats)
+
+    explain = sub.add_parser(
+        "explain",
+        help="replay the recorded decision path of one job",
+        parents=[shard_options],
+    )
+    explain.add_argument(
+        "--job",
+        required=True,
+        metavar="NAME",
+        help="job name as recorded in the trace's decision log",
+    )
+    explain.add_argument(
+        "--iteration",
+        type=int,
+        default=None,
+        metavar="N",
+        help="restrict the path to one experiment iteration",
+    )
+    explain.set_defaults(handler=_cmd_explain)
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-phase cost attribution of saved telemetry trace(s)",
+        parents=[shard_options],
+    )
+    profile.set_defaults(handler=_cmd_profile)
 
     return parser
 
@@ -613,6 +745,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except SchedulingError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed stdout mid-report; reopen it onto
+        # /dev/null so the interpreter's exit flush stays quiet.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     finally:
         if telemetry is not None:
             obs.disable()

@@ -160,12 +160,26 @@ def _find_window_instrumented(
     arithmetic per slot.
     """
     scan = ForwardScan(request, check_price=check_price)
+    decisions = telemetry.decisions
+    record_decisions = decisions.enabled
     scanned = 0
     suited = 0
+    pruned_performance = 0
+    pruned_price = 0
+    pruned_length = 0
     window: Window | None = None
     for slot in slot_list:
         scanned += 1
         if not scan.offer(slot):
+            if record_decisions:
+                # Classify the prune reason in check order (2°a → 2°c →
+                # 2°b); only paid when decision logging is on.
+                if not request.admits_performance(slot.resource):
+                    pruned_performance += 1
+                elif check_price and not request.admits_price(slot):
+                    pruned_price += 1
+                else:
+                    pruned_length += 1
             continue
         suited += 1
         if scan.size == request.node_count:
@@ -178,6 +192,28 @@ def _find_window_instrumented(
         telemetry.count("search.windows_found", 1, algo="alp")
     else:
         telemetry.count("search.windows_missed", 1, algo="alp")
+    if record_decisions:
+        if window is not None:
+            decisions.emit(
+                "alp.window",
+                start=window.start,
+                length=window.length,
+                cost=window.cost,
+                scanned=scanned,
+                suited=suited,
+                pruned_price=pruned_price,
+                pruned_performance=pruned_performance,
+                pruned_length=pruned_length,
+            )
+        else:
+            decisions.emit(
+                "alp.no_window",
+                scanned=scanned,
+                suited=suited,
+                pruned_price=pruned_price,
+                pruned_performance=pruned_performance,
+                pruned_length=pruned_length,
+            )
     return window
 
 

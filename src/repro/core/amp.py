@@ -108,6 +108,8 @@ def _find_window_instrumented(
 ) -> Window | None:
     """The :func:`find_window` loop with scan accounting (telemetry on)."""
     scan = ForwardScan(request, check_price=False)
+    decisions = telemetry.decisions
+    record_decisions = decisions.enabled
     scanned = 0
     budget_checks = 0
     window: Window | None = None
@@ -122,6 +124,15 @@ def _find_window_instrumented(
         if total_cost <= budget:
             window = scan.build_window(chosen)
             break
+        if record_decisions:
+            # A candidate window existed but its N cheapest slots still
+            # overran the budget S — the prune AMP is defined by.
+            decisions.emit(
+                "amp.budget_rejected",
+                start=scan.window_start,
+                cost=total_cost,
+                budget=budget,
+            )
     telemetry.count("search.slots_scanned", scanned, algo="amp")
     telemetry.observe("search.scan_depth", scanned, algo="amp")
     telemetry.count("search.budget_checks", budget_checks, algo="amp")
@@ -132,6 +143,24 @@ def _find_window_instrumented(
     else:
         telemetry.count("search.windows_missed", 1, algo="amp")
         telemetry.count("search.budget_rejections", budget_checks, algo="amp")
+    if record_decisions:
+        if window is not None:
+            decisions.emit(
+                "amp.window",
+                start=window.start,
+                length=window.length,
+                cost=window.cost,
+                budget=budget,
+                scanned=scanned,
+                budget_rejections=budget_checks - 1,
+            )
+        else:
+            decisions.emit(
+                "amp.no_window",
+                budget=budget,
+                scanned=scanned,
+                budget_rejections=budget_checks,
+            )
     return window
 
 

@@ -107,6 +107,21 @@ class SlotIndex:
         """Materialise the current state as a plain :class:`SlotList`."""
         return SlotList(row[5] for row in self._rows)
 
+    def hint_skippable(self, start_hint: float) -> int:
+        """Rows the finders' ``start_hint`` fast path skips outright.
+
+        Counts the rows failing the first scan condition
+        (``end <= start_hint``, after the :meth:`insert` clamp) — the
+        monotone start-hint prune the instrumented search reports in its
+        decision records.  ``O(m)``; only called on instrumented runs
+        with decision logging enabled, never on the hot path.
+        """
+        if start_hint > self._hint_floor:
+            start_hint = self._hint_floor
+        if start_hint == NEG_INF:
+            return 0
+        return sum(1 for row in self._rows if row[1] <= start_hint)
+
     # ------------------------------------------------------------------ #
     # Window search                                                      #
     # ------------------------------------------------------------------ #

@@ -31,6 +31,7 @@ import json
 import os
 import warnings
 import zlib
+from time import perf_counter
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable
@@ -186,6 +187,8 @@ class JournalWriter:
             "kind": kind,
             "data": data,
         }
+        telemetry = get_telemetry()
+        began = perf_counter() if telemetry.enabled else 0.0
         try:
             self._stream.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
             self._stream.write("\n")
@@ -197,9 +200,11 @@ class JournalWriter:
                 f"cannot append to journal {str(self.path)!r}: {error}"
             ) from error
         self._seq += 1
-        telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.count("journal.appends", 1, kind=kind)
+            telemetry.observe(
+                "phase.seconds", perf_counter() - began, phase="journal.fsync"
+            )
         return record["seq"]
 
     def close(self) -> None:

@@ -404,7 +404,12 @@ def optimize(
                 lists, objective.of, constrained.of, limit, maximize=False
             )
             if chosen is None:
-                telemetry.count("dp.infeasible", 1, objective=objective.value)
+                if telemetry.enabled:
+                    telemetry.count("dp.infeasible", 1, objective=objective.value)
+                    if telemetry.decisions.enabled:
+                        telemetry.decisions.emit(
+                            "dp.infeasible", objective=objective.value, limit=limit
+                        )
                 best = sum(min(values) for values in z_values)
                 raise InfeasibleConstraintError(
                     f"no combination satisfies {constrained.value} <= {limit:g} "
@@ -412,9 +417,27 @@ def optimize(
                     limit=limit,
                     best=best,
                 )
-            telemetry.count(
-                "optimize.degraded", 1, objective=objective.value, mode=reason
-            )
+            if telemetry.enabled:
+                telemetry.count(
+                    "optimize.degraded", 1, objective=objective.value, mode=reason
+                )
+                if telemetry.decisions.enabled:
+                    decisions = telemetry.decisions
+                    decisions.emit(
+                        "dp.greedy_fallback",
+                        objective=objective.value,
+                        reason=reason,
+                        limit=limit,
+                    )
+                    for job, window in zip(jobs, chosen):
+                        decisions.emit(
+                            "dp.selected",
+                            job=job.name,
+                            objective=objective.value,
+                            start=window.start,
+                            cost=window.cost,
+                            degraded=True,
+                        )
             return _combination_of(
                 dict(zip(jobs, chosen)), objective, limit, degraded=True
             )
@@ -428,9 +451,27 @@ def optimize(
             cursor += len(windows)
         if telemetry.enabled:
             _count_dp_run(telemetry, len(weights_flat), capacity, objective.value)
-        solved = _backward_run(g_values, z_weights, capacity, maximize=False)
+            if fitted != resolution and telemetry.decisions.enabled:
+                telemetry.decisions.emit(
+                    "dp.resolution_stepdown",
+                    objective=objective.value,
+                    requested=resolution,
+                    fitted=fitted,
+                )
+            began = time.perf_counter()
+            solved = _backward_run(g_values, z_weights, capacity, maximize=False)
+            telemetry.observe(
+                "phase.seconds", time.perf_counter() - began, phase="phase2.dp"
+            )
+        else:
+            solved = _backward_run(g_values, z_weights, capacity, maximize=False)
         if solved is None:
-            telemetry.count("dp.infeasible", 1, objective=objective.value)
+            if telemetry.enabled:
+                telemetry.count("dp.infeasible", 1, objective=objective.value)
+                if telemetry.decisions.enabled:
+                    telemetry.decisions.emit(
+                        "dp.infeasible", objective=objective.value, limit=limit
+                    )
             best = sum(min(values) for values in z_values)
             raise InfeasibleConstraintError(
                 f"no combination satisfies {constrained.value} <= {limit:g} "
@@ -439,7 +480,7 @@ def optimize(
                 best=best,
             )
         degraded = fitted != resolution
-        if degraded:
+        if degraded and telemetry.enabled:
             telemetry.count(
                 "optimize.degraded", 1, objective=objective.value, mode="stepdown"
             )
@@ -447,6 +488,19 @@ def optimize(
         selection = {
             job: lists[index][alt] for index, (job, alt) in enumerate(zip(jobs, chosen))
         }
+        if telemetry.enabled and telemetry.decisions.enabled:
+            decisions = telemetry.decisions
+            for index, (job, alt) in enumerate(zip(jobs, chosen)):
+                window = lists[index][alt]
+                decisions.emit(
+                    "dp.selected",
+                    job=job.name,
+                    objective=objective.value,
+                    alternative=alt + 1,
+                    start=window.start,
+                    cost=window.cost,
+                    degraded=degraded,
+                )
         return _combination_of(selection, objective, limit, degraded=degraded)
 
 
@@ -477,6 +531,8 @@ def _count_dp_run(
     run fills: one row per alternative, ``capacity + 1`` constraint bins
     per row (matching the arrays allocated in ``_backward_run``).
     """
+    if not telemetry.enabled:
+        return
     telemetry.count("dp.runs", 1, objective=label)
     telemetry.count(
         "dp.table_cells", total_alternatives * (capacity + 1), objective=label
@@ -537,7 +593,12 @@ def vo_budget(
                 maximize=True,
             )
             if chosen is None:
-                telemetry.count("dp.infeasible", 1, objective="budget")
+                if telemetry.enabled:
+                    telemetry.count("dp.infeasible", 1, objective="budget")
+                    if telemetry.decisions.enabled:
+                        telemetry.decisions.emit(
+                            "dp.infeasible", objective="budget", limit=quota
+                        )
                 best = sum(min(values) for values in z_values)
                 raise InfeasibleConstraintError(
                     f"no combination satisfies time <= quota {quota:g} "
@@ -545,7 +606,17 @@ def vo_budget(
                     limit=quota,
                     best=best,
                 )
-            telemetry.count("optimize.degraded", 1, objective="budget", mode=reason)
+            if telemetry.enabled:
+                telemetry.count(
+                    "optimize.degraded", 1, objective="budget", mode=reason
+                )
+                if telemetry.decisions.enabled:
+                    telemetry.decisions.emit(
+                        "dp.greedy_fallback",
+                        objective="budget",
+                        reason=reason,
+                        limit=quota,
+                    )
             return float(sum(window.cost for window in chosen))
         g_values = [[window.cost for window in windows] for windows in lists]
         flat_z = [value for job_values in z_values for value in job_values]
@@ -557,9 +628,27 @@ def vo_budget(
             cursor += len(windows)
         if telemetry.enabled:
             _count_dp_run(telemetry, len(weights_flat), capacity, "budget")
-        solved = _backward_run(g_values, z_weights, capacity, maximize=True)
+            if fitted != resolution and telemetry.decisions.enabled:
+                telemetry.decisions.emit(
+                    "dp.resolution_stepdown",
+                    objective="budget",
+                    requested=resolution,
+                    fitted=fitted,
+                )
+            began = time.perf_counter()
+            solved = _backward_run(g_values, z_weights, capacity, maximize=True)
+            telemetry.observe(
+                "phase.seconds", time.perf_counter() - began, phase="phase2.dp"
+            )
+        else:
+            solved = _backward_run(g_values, z_weights, capacity, maximize=True)
         if solved is None:
-            telemetry.count("dp.infeasible", 1, objective="budget")
+            if telemetry.enabled:
+                telemetry.count("dp.infeasible", 1, objective="budget")
+                if telemetry.decisions.enabled:
+                    telemetry.decisions.emit(
+                        "dp.infeasible", objective="budget", limit=quota
+                    )
             best = sum(min(values) for values in z_values)
             raise InfeasibleConstraintError(
                 f"no combination satisfies time <= quota {quota:g} "
@@ -567,7 +656,7 @@ def vo_budget(
                 limit=quota,
                 best=best,
             )
-        if fitted != resolution:
+        if fitted != resolution and telemetry.enabled:
             telemetry.count(
                 "optimize.degraded", 1, objective="budget", mode="stepdown"
             )

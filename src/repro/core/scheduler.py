@@ -206,7 +206,14 @@ class BatchScheduler:
                 limit = budget if budget is not None else quota
                 combination = _earliest_combination(covered, config.objective, limit)
                 used_fallback = True
-                telemetry.count("scheduler.fallbacks")
+                if telemetry.enabled:
+                    telemetry.count("scheduler.fallbacks")
+                    if telemetry.decisions.enabled:
+                        telemetry.decisions.emit(
+                            "scheduler.fallback",
+                            objective=config.objective.value,
+                            limit=limit,
+                        )
             if telemetry.enabled:
                 telemetry.count("scheduler.jobs_scheduled", len(combination.selection))
             return ScheduleOutcome(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Mapping
 
 from repro.core import alp, amp
@@ -32,8 +33,7 @@ from repro.core.index import NEG_INF, SlotIndex
 from repro.core.job import Batch, Job, ResourceRequest
 from repro.core.slot import SlotList
 from repro.core.window import Window
-from repro.obs.spans import NOOP_SPAN
-from repro.obs.telemetry import get_telemetry
+from repro.obs.telemetry import Telemetry, get_telemetry
 
 __all__ = ["SlotSearchAlgorithm", "SearchResult", "find_alternatives", "WindowFinder"]
 
@@ -144,9 +144,12 @@ def find_alternatives(
             :class:`~repro.core.index.SlotIndex` (default: the module's
             :data:`DEFAULT_USE_INDEX`).  The indexed path produces
             bit-for-bit the same windows as the reference scan; it is
-            bypassed automatically for custom finder callables and for
-            telemetry-instrumented runs, where the per-slot scan counters
-            of the reference path are part of the contract.
+            bypassed automatically for custom finder callables and — when
+            left at the default — for telemetry-instrumented runs, where
+            the per-slot scan counters of the reference path are part of
+            the contract.  An *explicit* ``use_index=True`` under enabled
+            telemetry runs the instrumented indexed scheme instead
+            (phase timers, start-hint prune accounting).
     """
     if max_passes is not None and max_passes < 1:
         raise InvalidRequestError(f"max_passes must be >= 1, got {max_passes!r}")
@@ -154,13 +157,23 @@ def find_alternatives(
         raise InvalidRequestError(
             f"max_alternatives_per_job must be >= 1, got {max_alternatives_per_job!r}"
         )
+    telemetry = get_telemetry()
     if use_index is None:
         use_index = DEFAULT_USE_INDEX
-    if (
-        use_index
-        and isinstance(algorithm, SlotSearchAlgorithm)
-        and not get_telemetry().enabled
-    ):
+        index_allowed = not telemetry.enabled
+    else:
+        index_allowed = True
+    if use_index and isinstance(algorithm, SlotSearchAlgorithm) and index_allowed:
+        if telemetry.enabled:
+            return _find_alternatives_indexed_instrumented(
+                telemetry,
+                slot_list,
+                batch,
+                algorithm,
+                rho=rho,
+                max_passes=max_passes,
+                max_alternatives_per_job=max_alternatives_per_job,
+            )
         return _find_alternatives_indexed(
             slot_list,
             batch,
@@ -177,14 +190,89 @@ def find_alternatives(
     algo_label = (
         algorithm.value if isinstance(algorithm, SlotSearchAlgorithm) else "custom"
     )
-    telemetry = get_telemetry()
     if telemetry.enabled:
-        phase_span = telemetry.span(
-            "phase1.find_alternatives", algo=algo_label, jobs=len(batch)
+        return _find_alternatives_instrumented(
+            telemetry,
+            slot_list,
+            batch,
+            finder,
+            algo_label,
+            max_passes=max_passes,
+            max_alternatives_per_job=max_alternatives_per_job,
         )
-    else:  # avoid even the keyword-dict allocation on the default path
-        phase_span = NOOP_SPAN
-    with phase_span:
+    # Disabled-telemetry fast path: one enabled check per batch search is
+    # the only cost telemetry ever adds here.
+    working = slot_list.copy()
+    alternatives: dict[Job, list[Window]] = {job: [] for job in batch}
+    passes = 0
+    while max_passes is None or passes < max_passes:
+        passes += 1
+        found_any = False
+        for job in batch:
+            windows = alternatives[job]
+            if (
+                max_alternatives_per_job is not None
+                and len(windows) >= max_alternatives_per_job
+            ):
+                continue
+            window = finder(working, job.request)
+            if window is None:
+                continue
+            for resource, start, end in window.occupied_spans():
+                working.subtract(resource, start, end)
+            windows.append(window)
+            found_any = True
+        if not found_any:
+            break
+    return SearchResult(
+        alternatives=alternatives, remaining_slots=working, passes=passes
+    )
+
+
+def _flush_batch_metrics(
+    telemetry: Telemetry, result: SearchResult, algo_label: str
+) -> None:
+    """Batch-level search counters shared by both instrumented paths."""
+    if not telemetry.enabled:
+        return
+    telemetry.count("search.batches", 1, algo=algo_label)
+    telemetry.count("search.passes", result.passes, algo=algo_label)
+    telemetry.count(
+        "search.windows_collected", result.total_alternatives, algo=algo_label
+    )
+    telemetry.count(
+        "search.jobs_uncovered",
+        len(result.jobs_without_alternatives()),
+        algo=algo_label,
+    )
+    for windows in result.alternatives.values():
+        telemetry.observe("search.alternatives_per_job", len(windows), algo=algo_label)
+
+
+def _find_alternatives_instrumented(
+    telemetry: Telemetry,
+    slot_list: SlotList,
+    batch: Batch,
+    finder: WindowFinder,
+    algo_label: str,
+    *,
+    max_passes: int | None,
+    max_alternatives_per_job: int | None,
+) -> SearchResult:
+    """The reference multi-pass loop with telemetry on.
+
+    Adds the phase-1 span, the per-phase wall timers (window scans vs
+    cross-job slot subtraction, flushed once per batch into
+    ``phase.seconds``), and — when decision logging is on — a ``job=``
+    scope around every finder call, so the ALP/AMP decision records
+    carry the job they were searching for, plus one
+    ``search.alternative_accepted`` record per committed window.
+    """
+    decisions = telemetry.decisions
+    record_decisions = decisions.enabled
+    scan_seconds = 0.0
+    subtract_seconds = 0.0
+    with telemetry.span("phase1.find_alternatives", algo=algo_label, jobs=len(batch)):
         working = slot_list.copy()
         alternatives: dict[Job, list[Window]] = {job: [] for job in batch}
         passes = 0
@@ -198,33 +286,40 @@ def find_alternatives(
                     and len(windows) >= max_alternatives_per_job
                 ):
                     continue
-                window = finder(working, job.request)
+                if record_decisions:
+                    with decisions.scope(job=job.name):
+                        began = perf_counter()
+                        window = finder(working, job.request)
+                        scan_seconds += perf_counter() - began
+                else:
+                    began = perf_counter()
+                    window = finder(working, job.request)
+                    scan_seconds += perf_counter() - began
                 if window is None:
                     continue
+                began = perf_counter()
                 for resource, start, end in window.occupied_spans():
                     working.subtract(resource, start, end)
+                subtract_seconds += perf_counter() - began
                 windows.append(window)
                 found_any = True
+                if record_decisions:
+                    decisions.emit(
+                        "search.alternative_accepted",
+                        job=job.name,
+                        alternative=len(windows),
+                        search_pass=passes,
+                        start=window.start,
+                        cost=window.cost,
+                    )
             if not found_any:
                 break
         result = SearchResult(
             alternatives=alternatives, remaining_slots=working, passes=passes
         )
-        if telemetry.enabled:
-            telemetry.count("search.batches", 1, algo=algo_label)
-            telemetry.count("search.passes", passes, algo=algo_label)
-            telemetry.count(
-                "search.windows_collected", result.total_alternatives, algo=algo_label
-            )
-            telemetry.count(
-                "search.jobs_uncovered",
-                len(result.jobs_without_alternatives()),
-                algo=algo_label,
-            )
-            for windows in alternatives.values():
-                telemetry.observe(
-                    "search.alternatives_per_job", len(windows), algo=algo_label
-                )
+        _flush_batch_metrics(telemetry, result, algo_label)
+        telemetry.observe("phase.seconds", scan_seconds, phase="phase1.scan")
+        telemetry.observe("phase.seconds", subtract_seconds, phase="phase1.subtract")
         return result
 
 
@@ -285,3 +380,109 @@ def _find_alternatives_indexed(
     return SearchResult(
         alternatives=alternatives, remaining_slots=index.slot_list(), passes=passes
     )
+
+
+def _find_alternatives_indexed_instrumented(
+    telemetry: Telemetry,
+    slot_list: SlotList,
+    batch: Batch,
+    algorithm: SlotSearchAlgorithm,
+    *,
+    rho: float,
+    max_passes: int | None,
+    max_alternatives_per_job: int | None,
+) -> SearchResult:
+    """The indexed multi-pass scheme with telemetry on.
+
+    Only reached by an *explicit* ``use_index=True`` under enabled
+    telemetry.  Window-for-window equivalent to
+    :func:`_find_alternatives_indexed` — the timers and counters live
+    outside the finders — while attributing wall time to the index scan
+    and the incremental subtraction, and, when decision logging is on,
+    recording the monotone start-hint prune per search (the extra
+    ``O(m)`` :meth:`~repro.core.index.SlotIndex.hint_skippable` count is
+    only paid under decision logging, never on the hot path).
+    """
+    decisions = telemetry.decisions
+    record_decisions = decisions.enabled
+    scan_seconds = 0.0
+    subtract_seconds = 0.0
+    hint_skips = 0
+    with telemetry.span(
+        "phase1.find_alternatives",
+        algo=algorithm.value,
+        jobs=len(batch),
+        indexed=True,
+    ):
+        index = SlotIndex(slot_list)
+        is_amp = algorithm is SlotSearchAlgorithm.AMP
+        budgets = (
+            {job: job.request.scaled_budget(rho) for job in batch} if is_amp else {}
+        )
+        hints: dict[Job, float] = {job: NEG_INF for job in batch}
+        alternatives: dict[Job, list[Window]] = {job: [] for job in batch}
+        passes = 0
+        while max_passes is None or passes < max_passes:
+            passes += 1
+            found_any = False
+            for job in batch:
+                windows = alternatives[job]
+                if (
+                    max_alternatives_per_job is not None
+                    and len(windows) >= max_alternatives_per_job
+                ):
+                    continue
+                if record_decisions:
+                    skipped = index.hint_skippable(hints[job])
+                    hint_skips += skipped
+                else:
+                    skipped = 0
+                began = perf_counter()
+                if is_amp:
+                    found = index.find_amp_window_at(
+                        job.request, budget=budgets[job], start_hint=hints[job]
+                    )
+                else:
+                    alp_window = index.find_alp_window(
+                        job.request, start_hint=hints[job]
+                    )
+                    found = (
+                        None if alp_window is None else (alp_window, alp_window.start)
+                    )
+                scan_seconds += perf_counter() - began
+                if found is None:
+                    if record_decisions:
+                        decisions.emit(
+                            "index.no_window",
+                            job=job.name,
+                            search_pass=passes,
+                            hint_skips=skipped,
+                        )
+                    continue
+                window, event_time = found
+                began = perf_counter()
+                index.commit(window)
+                subtract_seconds += perf_counter() - began
+                hints[job] = event_time
+                windows.append(window)
+                found_any = True
+                if record_decisions:
+                    decisions.emit(
+                        "search.alternative_accepted",
+                        job=job.name,
+                        alternative=len(windows),
+                        search_pass=passes,
+                        start=window.start,
+                        cost=window.cost,
+                        hint_skips=skipped,
+                    )
+            if not found_any:
+                break
+        result = SearchResult(
+            alternatives=alternatives, remaining_slots=index.slot_list(), passes=passes
+        )
+        _flush_batch_metrics(telemetry, result, algorithm.value)
+        telemetry.count("search.hint_skips", hint_skips, algo=algorithm.value)
+        telemetry.observe("phase.seconds", scan_seconds, phase="phase1.index_scan")
+        telemetry.observe("phase.seconds", subtract_seconds, phase="phase1.subtract")
+        return result

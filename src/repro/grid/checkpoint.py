@@ -44,6 +44,7 @@ import itertools
 import json
 import os
 from pathlib import Path
+from time import perf_counter
 from typing import Any
 
 from repro.core import job as job_module
@@ -65,6 +66,7 @@ from repro.grid.metascheduler import IterationReport, Metascheduler
 from repro.grid.node import ComputeNode
 from repro.grid.resilience import RecoveryManager, RetryPolicy
 from repro.grid.trace import JobState
+from repro.obs.context import TraceContext
 from repro.obs.telemetry import get_telemetry
 
 __all__ = [
@@ -475,6 +477,8 @@ def save_snapshot(data: dict[str, Any], path: str | Path) -> Path:
     """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
+    telemetry = get_telemetry()
+    began = perf_counter() if telemetry.enabled else 0.0
     try:
         with open(tmp, "w", encoding="utf-8") as stream:
             json.dump(data, stream, separators=(",", ":"), sort_keys=True)
@@ -491,9 +495,11 @@ def save_snapshot(data: dict[str, Any], path: str | Path) -> Path:
         raise PersistenceError(
             f"cannot write snapshot {str(path)!r}: {error}"
         ) from error
-    telemetry = get_telemetry()
     if telemetry.enabled:
         telemetry.count("checkpoint.snapshots")
+        telemetry.observe(
+            "phase.seconds", perf_counter() - began, phase="checkpoint.snapshot"
+        )
     return path
 
 
@@ -647,6 +653,12 @@ class DurableMetascheduler:
         """Write an atomic snapshot now; resets the journal watermark."""
         data = snapshot_metascheduler(self.meta)
         data["journal_seq"] = self._journal.next_seq
+        telemetry = get_telemetry()
+        if telemetry.enabled and telemetry.context is not None:
+            # A restored run re-attaches this context, so trace shards
+            # recorded before and after the crash carry the same trace id
+            # and merge into one tree.
+            data["trace_context"] = telemetry.context.to_dict()
         path = save_snapshot(data, self.snapshot_path)
         self._since_snapshot = 0
         return path
@@ -718,6 +730,9 @@ class DurableMetascheduler:
         if telemetry.enabled:
             telemetry.count("checkpoint.restores")
             telemetry.count("checkpoint.replayed_commands", replayed)
+            context_data = snapshot.get("trace_context")
+            if context_data is not None and telemetry.context is None:
+                telemetry.context = TraceContext.from_dict(context_data)
         durable = cls(
             meta,
             directory,

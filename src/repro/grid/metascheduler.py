@@ -239,7 +239,15 @@ class Metascheduler:
         else:
             iteration_span = NOOP_SPAN
         with iteration_span:
-            report = self._run_iteration(now, telemetry)
+            decisions = telemetry.decisions
+            if decisions.enabled:
+                # ``tick`` (not ``iteration``) on purpose: the experiment
+                # runner owns the ``iteration`` scope key, whose binding
+                # restarts the per-iteration decision sequence numbers.
+                with decisions.scope(tick=self._iteration):
+                    report = self._run_iteration(now, telemetry)
+            else:
+                report = self._run_iteration(now, telemetry)
         return report
 
     def _run_iteration(self, now: float, telemetry: Telemetry) -> IterationReport:
@@ -272,6 +280,8 @@ class Metascheduler:
             price_multiplier=price_multiplier,
         )
         outcome = self.scheduler.schedule(slots, batch)
+        decisions = telemetry.decisions
+        record_decisions = decisions.enabled
 
         scheduled = 0
         for scheduled_job, window in outcome.scheduled_jobs.items():
@@ -280,6 +290,13 @@ class Metascheduler:
             self.trace.mark_scheduled(original, window, self._iteration)
             self._pending.remove(original)
             scheduled += 1
+            if record_decisions:
+                decisions.emit(
+                    "meta.committed",
+                    job=original.name,
+                    start=window.start,
+                    cost=window.cost,
+                )
             if self.recovery is not None:
                 # Keep the job's unused phase-1 alternatives around: they
                 # are the hot-swap candidates should an outage revoke the
@@ -308,6 +325,18 @@ class Metascheduler:
                 rejected += 1
                 if self.recovery is not None:
                     self.recovery.discard(original)
+                if record_decisions:
+                    decisions.emit(
+                        "meta.rejected",
+                        job=original.name,
+                        postponements=record.postponements,
+                    )
+            elif record_decisions:
+                decisions.emit(
+                    "meta.postponed",
+                    job=original.name,
+                    postponements=record.postponements,
+                )
 
         resilience = self._outage_counts
         report = IterationReport(
@@ -346,6 +375,8 @@ class Metascheduler:
         :attr:`~repro.grid.trace.TraceSummary.state_counts`, so a
         metrics dashboard and ``trace.summary()`` can never disagree.
         """
+        if not telemetry.enabled:
+            return
         telemetry.count("meta.iterations")
         telemetry.count("meta.scheduled", report.scheduled)
         telemetry.count("meta.postponements", report.postponed)

@@ -15,7 +15,10 @@ invariants that no general-purpose linter knows about:
   defined order;
 * no handler is broad enough to swallow
   :class:`~repro.core.errors.JournalCorruptError` or
-  :class:`~repro.core.errors.CheckpointMismatchError`.
+  :class:`~repro.core.errors.CheckpointMismatchError`;
+* every telemetry/decision-log emit in the hot scheduling paths
+  (``repro/core``, ``repro/grid``) sits behind an enabled-guard, so
+  disabled telemetry stays zero-cost.
 
 This package checks those invariants statically, at lint time, instead
 of waiting for a 25 000-iteration differential run to diverge.  Run it
@@ -45,6 +48,7 @@ from repro.lint.rules import (
     BroadExceptRule,
     DerivedSeedRule,
     EntropyRule,
+    GuardedTelemetryRule,
     NoAssertRule,
     OrderedSerializationRule,
     rules_by_code,
@@ -70,6 +74,7 @@ __all__ = [
     "NoAssertRule",
     "OrderedSerializationRule",
     "BroadExceptRule",
+    "GuardedTelemetryRule",
     "rules_by_code",
     # entry point
     "main",

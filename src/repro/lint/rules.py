@@ -1,4 +1,4 @@
-"""The rule catalog: five statically checkable determinism invariants.
+"""The rule catalog: six statically checkable determinism invariants.
 
 Each rule is one class; ``ALL_RULES`` is the default set the engine
 runs.  The catalog with worked examples and rationale lives in
@@ -19,6 +19,7 @@ __all__ = [
     "NoAssertRule",
     "OrderedSerializationRule",
     "BroadExceptRule",
+    "GuardedTelemetryRule",
     "rules_by_code",
 ]
 
@@ -40,6 +41,7 @@ SERIALIZATION_PATHS = (
     "sim/export.py",
     "obs/export.py",
     "obs/events.py",
+    "obs/merge.py",
 )
 
 #: ``random`` module helpers that drive the *shared global* RNG (or the
@@ -353,6 +355,161 @@ class BroadExceptRule(Rule):
                     )
 
 
+#: Hot scheduling paths where every telemetry emit must sit behind an
+#: explicit enabled-guard (the zero-cost-when-off contract).
+TELEMETRY_GUARDED_PATHS = ("repro/core/", "repro/grid/")
+
+#: Recording methods whose mere invocation builds argument tuples and
+#: label dicts — overhead the disabled path must never pay per call.
+_TELEMETRY_EMIT_METHODS = ("count", "observe", "set_gauge", "event", "emit")
+
+#: Receiver-name fragments identifying a telemetry-ish object
+#: (``telemetry.count``, ``decisions.emit``, ``self._telemetry.event``).
+_TELEMETRY_RECEIVERS = ("telemetry", "decisions", "obs")
+
+
+class GuardedTelemetryRule(Rule):
+    """RPR006 — hot-path telemetry emits sit behind an enabled-guard.
+
+    Every recording method already no-ops when telemetry is disabled,
+    but the *call itself* still allocates: argument tuples, label dicts,
+    formatted values.  In the per-slot/per-job loops of ``repro/core``
+    and ``repro/grid`` that overhead is exactly what the zero-cost-
+    when-off contract forbids, so an emit there must be lexically inside
+    one of the accepted guard shapes:
+
+    * an ``if`` whose test reads ``.enabled`` (or a local name assigned
+      from one, e.g. ``record_decisions = decisions.enabled``) or calls
+      ``telemetry_enabled()``;
+    * a function whose *first* statement is such a test ending in
+      ``return``/``raise`` (the early-return guard idiom);
+    * a function whose name marks it as the instrumented copy of a
+      dual-loop pair (``*_instrumented``) — its call sites pay the one
+      boolean check.
+
+    ``span()`` is deliberately exempt: it returns the shared no-op
+    singleton and is used at per-batch/per-iteration granularity, never
+    inside the hot scan loops.
+    """
+
+    code = "RPR006"
+    name = "guarded-telemetry"
+    rationale = "zero-cost-when-off: hot-path emits must be behind enabled-guards"
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Only the hot scheduling paths (plus test-supplied extras)."""
+        if matches_suffix(module.key, self.extra_paths):
+            return True
+        return any(module.key.startswith(prefix) for prefix in TELEMETRY_GUARDED_PATHS)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Flag telemetry emits reachable while telemetry is disabled."""
+        guard_names = self._guard_names(module)
+        yield from self._visit(module, module.tree, False, guard_names)
+
+    def _visit(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        guarded: bool,
+        guard_names: set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = (
+                guarded
+                or "instrumented" in node.name
+                or self._has_early_return_guard(module, node, guard_names)
+            )
+            for child in node.body:
+                yield from self._visit(module, child, inner, guard_names)
+            return
+        if isinstance(node, ast.If):
+            # A test that consults ``enabled`` marks both branches as
+            # deliberate; the disabled branch of an inverted guard never
+            # contains emits in practice, and leniency beats false
+            # positives in a gating linter.
+            branch = guarded or self._mentions_enabled(module, node.test, guard_names)
+            for child in node.body:
+                yield from self._visit(module, child, branch, guard_names)
+            for child in node.orelse:
+                yield from self._visit(module, child, branch, guard_names)
+            return
+        if not guarded and isinstance(node, ast.Call):
+            name = module.call_name(node)
+            if name is not None and self._is_emit(name):
+                yield self.finding(
+                    module,
+                    node,
+                    f"unguarded telemetry emit {name}() in a hot path — wrap "
+                    "it in `if telemetry.enabled:` (or move it into an "
+                    "*_instrumented dual-loop copy)",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(module, child, guarded, guard_names)
+
+    @staticmethod
+    def _is_emit(name: str) -> bool:
+        parts = name.split(".")
+        if parts[-1] not in _TELEMETRY_EMIT_METHODS or len(parts) < 2:
+            return False
+        return any(
+            fragment in part.lower()
+            for part in parts[:-1]
+            for fragment in _TELEMETRY_RECEIVERS
+        )
+
+    def _guard_names(self, module: ModuleContext) -> set[str]:
+        """Local names assigned from an ``.enabled`` read."""
+        names: set[str] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not self._mentions_enabled(module, node.value, names):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    @staticmethod
+    def _mentions_enabled(
+        module: ModuleContext, expression: ast.expr, guard_names: set[str]
+    ) -> bool:
+        for node in ast.walk(expression):
+            if isinstance(node, ast.Attribute) and node.attr == "enabled":
+                return True
+            if isinstance(node, ast.Name) and node.id in guard_names:
+                return True
+            if isinstance(node, ast.Call):
+                name = module.call_name(node)
+                if name is not None and name.split(".")[-1] == "telemetry_enabled":
+                    return True
+        return False
+
+    def _has_early_return_guard(
+        self,
+        module: ModuleContext,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        guard_names: set[str],
+    ) -> bool:
+        body = function.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            body = body[1:]  # skip the docstring
+        if not body or not isinstance(body[0], ast.If):
+            return False
+        guard = body[0]
+        if not self._mentions_enabled(module, guard.test, guard_names):
+            return False
+        return any(
+            isinstance(statement, (ast.Return, ast.Raise)) for statement in guard.body
+        )
+
+
 #: The default rule set, in code order.
 ALL_RULES: tuple[type[Rule], ...] = (
     EntropyRule,
@@ -360,6 +517,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NoAssertRule,
     OrderedSerializationRule,
     BroadExceptRule,
+    GuardedTelemetryRule,
 )
 
 

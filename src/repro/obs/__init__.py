@@ -44,6 +44,14 @@ from repro.obs.metrics import (
 )
 from repro.obs.events import JsonlSink, RingBuffer
 from repro.obs.spans import NOOP_SPAN, NoopSpan, SpanHandle, SpanRecord
+from repro.obs.context import TraceContext
+from repro.obs.decisions import (
+    NOOP_DECISIONS,
+    DecisionLog,
+    decision_sort_key,
+    decisions_for_job,
+    render_explain,
+)
 from repro.obs.telemetry import (
     Telemetry,
     configure,
@@ -51,6 +59,7 @@ from repro.obs.telemetry import (
     disable,
     event,
     get_telemetry,
+    install,
     observe,
     set_gauge,
     span,
@@ -60,6 +69,7 @@ from repro.obs.telemetry import (
 from repro.obs.export import (
     TRACE_FORMAT,
     TraceData,
+    prometheus_from_trace,
     prometheus_text,
     read_trace,
     render_summary,
@@ -67,6 +77,8 @@ from repro.obs.export import (
     trace_records,
     write_trace,
 )
+from repro.obs.merge import canonical_trace, merge_trace_files, merge_traces
+from repro.obs.profile import PhaseCost, phase_costs, render_profile
 
 __all__ = [
     # clock
@@ -89,10 +101,18 @@ __all__ = [
     # events
     "RingBuffer",
     "JsonlSink",
+    # decisions and trace context
+    "DecisionLog",
+    "NOOP_DECISIONS",
+    "decision_sort_key",
+    "decisions_for_job",
+    "render_explain",
+    "TraceContext",
     # façade
     "Telemetry",
     "get_telemetry",
     "configure",
+    "install",
     "disable",
     "telemetry_enabled",
     "span",
@@ -108,6 +128,14 @@ __all__ = [
     "write_trace",
     "read_trace",
     "prometheus_text",
+    "prometheus_from_trace",
     "render_summary",
     "render_trace_summary",
+    # merge and profile
+    "merge_traces",
+    "merge_trace_files",
+    "canonical_trace",
+    "PhaseCost",
+    "phase_costs",
+    "render_profile",
 ]

@@ -1,0 +1,96 @@
+"""Trace contexts: deterministic ids that tie multi-process traces together.
+
+One experiment run — serial or sharded across ``ParallelRunner``
+workers, possibly interrupted and restored from a
+``DurableMetascheduler`` checkpoint — should read as *one* trace.  A
+:class:`TraceContext` carries the identifiers that make that possible:
+
+* ``trace_id`` — one per logical run, shared by every participant;
+* ``span_id`` — the emitting participant's own id (the parent span id
+  for anything it spawns);
+* ``worker`` — the shard index, ``0`` for serial / the parent process.
+
+Both ids are **derived from the experiment seed** with BLAKE2b, exactly
+like :func:`repro.sim.experiment.derive_iteration_seed` derives shard
+seeds — never from ambient entropy (``uuid4`` would trip RPR001 and
+break byte-identical reruns).  Re-running the same seed yields the same
+trace ids, which is a feature: traces of reruns line up.
+
+The context rides in every trace file's ``meta`` line;
+``repro stats --merge`` refuses to merge shards whose ``trace_id``
+differ, because they belong to different runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["TraceContext"]
+
+
+def _digest(text: str) -> str:
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identifiers linking one participant to its logical run.
+
+    Attributes:
+        trace_id: Run-wide id, shared by all workers and restores.
+        span_id: This participant's id (parent id for its children).
+        worker: Shard index (``0`` for serial or the parent process).
+    """
+
+    trace_id: str
+    span_id: str
+    worker: int = 0
+
+    @classmethod
+    def derive(cls, seed: int, *, worker: int = 0) -> "TraceContext":
+        """The deterministic context for ``seed`` and shard ``worker``.
+
+        ``trace_id`` depends only on the seed, so every worker of one
+        run shares it; ``span_id`` additionally hashes the worker index.
+        """
+        trace_id = _digest(f"trace:{seed}")
+        span_id = _digest(f"span:{trace_id}:{worker}")
+        return cls(trace_id=trace_id, span_id=span_id, worker=worker)
+
+    def child(self, name: str) -> "TraceContext":
+        """A derived context for a sub-participant named ``name``.
+
+        The child keeps the trace id (same run) and derives its span id
+        from this context's — the Dapper-style parent/child chain.
+        """
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_digest(f"span:{self.span_id}:{name}"),
+            worker=self.worker,
+        )
+
+    def for_worker(self, worker: int) -> "TraceContext":
+        """The sibling context of shard ``worker`` in the same run."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_digest(f"span:{self.trace_id}:{worker}"),
+            worker=worker,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (embedded in trace ``meta`` lines)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceContext":
+        """Rebuild a context from :meth:`to_dict` output."""
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload.get("span_id", "")),
+            worker=int(payload.get("worker", 0)),
+        )

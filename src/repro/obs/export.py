@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import TelemetryError
 from repro.obs import clock
+from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricRegistry
 from repro.obs.spans import SpanRecord
 from repro.obs.telemetry import Telemetry, get_telemetry
@@ -34,6 +35,7 @@ __all__ = [
     "write_trace",
     "read_trace",
     "prometheus_text",
+    "prometheus_from_trace",
     "render_summary",
     "render_trace_summary",
 ]
@@ -48,16 +50,42 @@ class TraceData:
     """Parsed contents of one telemetry trace (live or from a file).
 
     Attributes:
-        meta: The header record (format id, creation time).
+        meta: The header record (format id, creation time, context).
         metrics: Instrument snapshots (``to_dict`` form, sorted by key).
         spans: Root span trees.
         events: Structured events, oldest first.
+        decisions: Decision records, in emission order.
     """
 
     meta: dict = field(default_factory=dict)
     metrics: list[dict] = field(default_factory=list)
     spans: list[SpanRecord] = field(default_factory=list)
     events: list[dict] = field(default_factory=list)
+    decisions: list[dict] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the trace holds no data at all (not even a header)."""
+        return not (
+            self.meta or self.metrics or self.spans or self.events or self.decisions
+        )
+
+    @property
+    def has_data(self) -> bool:
+        """Whether any record beyond the ``meta`` header was captured.
+
+        A header-only trace means the run executed but telemetry stayed
+        off (or nothing was instrumented) — the ``stats``/``explain``
+        commands treat that the same as an empty file.
+        """
+        return bool(self.metrics or self.spans or self.events or self.decisions)
+
+    def trace_context(self) -> TraceContext | None:
+        """The context embedded in the ``meta`` header, if any."""
+        context = self.meta.get("context")
+        if not isinstance(context, dict) or "trace_id" not in context:
+            return None
+        return TraceContext.from_dict(context)
 
     def metric_value(self, name: str) -> float | None:
         """Value of a counter/gauge by exact key, ``None`` when absent."""
@@ -81,19 +109,22 @@ def trace_records(telemetry: Telemetry | None = None) -> list[dict]:
     event records follow in that order.
     """
     telemetry = telemetry or get_telemetry()
-    records: list[dict] = [
-        {
-            "kind": "meta",
-            "format": TRACE_FORMAT,
-            "created_at": clock.now(),
-            "metrics": len(telemetry.registry),
-            "spans": len(telemetry.traces),
-            "events": len(telemetry.events),
-        }
-    ]
+    meta: dict = {
+        "kind": "meta",
+        "format": TRACE_FORMAT,
+        "created_at": clock.now(),
+        "metrics": len(telemetry.registry),
+        "spans": len(telemetry.traces),
+        "events": len(telemetry.events),
+        "decisions": len(telemetry.decisions),
+    }
+    if telemetry.context is not None:
+        meta["context"] = telemetry.context.to_dict()
+    records: list[dict] = [meta]
     records.extend(telemetry.registry.snapshot())
     records.extend(root.to_dict() for root in telemetry.traces)
     records.extend(telemetry.events)
+    records.extend(telemetry.decisions.records)
     return records
 
 
@@ -180,6 +211,8 @@ def read_trace(path: str) -> TraceData:
                 ) from error
         elif kind == "event":
             data.events.append(record)
+        elif kind == "decision":
+            data.decisions.append(record)
         else:
             raise TelemetryError(
                 f"{path}:{line_number}: unknown record kind {kind!r}"
@@ -213,18 +246,16 @@ def _prometheus_labels(labels: dict[str, str]) -> str:
     return f"{{{inner}}}"
 
 
-def prometheus_text(registry: MetricRegistry | None = None) -> str:
-    """Render a registry in the Prometheus text exposition format.
+def _prometheus_lines(snapshots: list[dict]) -> str:
+    """Shared renderer: instrument snapshots → Prometheus text format.
 
-    Counters/gauges become single samples; histograms expand into
-    cumulative ``_bucket`` series plus ``_sum`` and ``_count``, exactly
-    as a Prometheus client library would emit them.
+    ``snapshots`` must be in sorted key order (the registry iterates
+    sorted; trace-backed callers sort before calling) so the output is
+    byte-stable for identical inputs.
     """
-    registry = registry if registry is not None else get_telemetry().registry
     lines: list[str] = []
     typed: set[str] = set()
-    for metric in registry:
-        snapshot = metric.to_dict()
+    for snapshot in snapshots:
         name, labels = _split_key(snapshot["name"])
         prom = _prometheus_name(name)
         kind = snapshot["kind"]
@@ -242,6 +273,29 @@ def prometheus_text(registry: MetricRegistry | None = None) -> str:
             lines.append(f"{prom}_sum{_prometheus_labels(labels)} {snapshot['sum']:g}")
             lines.append(f"{prom}_count{_prometheus_labels(labels)} {snapshot['count']}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def prometheus_text(registry: MetricRegistry | None = None) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters/gauges become single samples; histograms expand into
+    cumulative ``_bucket`` series (``le`` labels) plus ``_sum`` and
+    ``_count``, exactly as a Prometheus client library would emit them.
+    """
+    registry = registry if registry is not None else get_telemetry().registry
+    return _prometheus_lines([metric.to_dict() for metric in registry])
+
+
+def prometheus_from_trace(data: TraceData) -> str:
+    """Render a recorded (or merged) trace's metrics as Prometheus text.
+
+    Same output contract as :func:`prometheus_text` — including the
+    histogram ``_bucket``/``le`` expansion — so a file-based collector
+    can scrape saved traces.  Snapshots are sorted by key first, making
+    the text byte-stable regardless of merge order.
+    """
+    snapshots = sorted(data.metrics, key=lambda snapshot: str(snapshot.get("name", "")))
+    return _prometheus_lines(snapshots)
 
 
 def _format_value(value: float) -> str:
@@ -301,6 +355,20 @@ def render_trace_summary(data: TraceData) -> str:
         sections.append("")
         sections.append(f"events: {len(data.events)} recorded (newest last)")
 
+    if data.decisions:
+        sections.append("")
+        jobs = sorted(
+            {
+                str(record["job"])
+                for record in data.decisions
+                if record.get("job") is not None
+            }
+        )
+        note = f"decisions: {len(data.decisions)} recorded"
+        if jobs:
+            note += f" across {len(jobs)} job(s) — replay with: repro explain --job <id>"
+        sections.append(note)
+
     if not sections:
         return "(telemetry recorded no data)"
     return "\n".join(sections)
@@ -314,5 +382,6 @@ def render_summary(telemetry: Telemetry | None = None) -> str:
         metrics=telemetry.registry.snapshot(),
         spans=list(telemetry.traces),
         events=telemetry.events.to_list(),
+        decisions=list(telemetry.decisions.records),
     )
     return render_trace_summary(data)

@@ -31,6 +31,8 @@ import threading
 from typing import Any, Callable
 
 from repro.obs import clock
+from repro.obs.context import TraceContext
+from repro.obs.decisions import NOOP_DECISIONS, DecisionLog
 from repro.obs.events import JsonlSink, RingBuffer
 from repro.obs.metrics import MetricRegistry
 from repro.obs.spans import NOOP_SPAN, NoopSpan, SpanHandle, SpanRecord
@@ -39,6 +41,7 @@ __all__ = [
     "Telemetry",
     "get_telemetry",
     "configure",
+    "install",
     "disable",
     "telemetry_enabled",
     "span",
@@ -61,6 +64,12 @@ class Telemetry:
         traces: Completed *root* span trees, in completion order.
         sink: Optional streaming :class:`~repro.obs.events.JsonlSink`
             receiving events and completed root spans as they happen.
+        decisions: The :class:`~repro.obs.decisions.DecisionLog`; the
+            shared :data:`~repro.obs.decisions.NOOP_DECISIONS` instance
+            when telemetry is disabled.
+        context: Optional :class:`~repro.obs.context.TraceContext`
+            identifying this participant's logical run (stamped into
+            trace ``meta`` lines, threaded through workers/restores).
     """
 
     def __init__(
@@ -70,6 +79,8 @@ class Telemetry:
         ring_size: int = 2048,
         sink: JsonlSink | None = None,
         max_traces: int = 4096,
+        decisions: DecisionLog | None = None,
+        context: TraceContext | None = None,
     ) -> None:
         """Build a telemetry context.
 
@@ -79,12 +90,21 @@ class Telemetry:
             sink: Optional JSONL stream for events and root spans.
             max_traces: Cap on retained root span trees; beyond it the
                 oldest trees are dropped (long VO runs stay bounded).
+            decisions: Decision log to attach; defaults to a fresh
+                enabled log when telemetry is enabled, the shared no-op
+                otherwise.
+            context: Trace context of this participant, if it belongs to
+                a multi-process or resumable run.
         """
         self.enabled = enabled
         self.registry = MetricRegistry()
         self.events = RingBuffer(ring_size)
         self.traces: list[SpanRecord] = []
         self.sink = sink
+        if decisions is None:
+            decisions = DecisionLog() if enabled else NOOP_DECISIONS
+        self.decisions = decisions
+        self.context = context
         self._max_traces = max_traces
         self._local = threading.local()
 
@@ -185,10 +205,12 @@ class Telemetry:
     # ------------------------------------------------------------------ #
 
     def reset(self) -> None:
-        """Clear metrics, events, and traces (the sink is left attached)."""
+        """Clear metrics, events, traces, and decisions (sink stays attached)."""
         self.registry.clear()
         self.events.clear()
         self.traces.clear()
+        if self.decisions is not NOOP_DECISIONS:
+            self.decisions.clear()
 
     def close(self) -> None:
         """Close the attached sink, if any."""
@@ -216,6 +238,8 @@ def configure(
     ring_size: int = 2048,
     sink: JsonlSink | None = None,
     trace_path: str | None = None,
+    decisions: DecisionLog | None = None,
+    context: TraceContext | None = None,
 ) -> Telemetry:
     """Install (and return) a fresh active telemetry context.
 
@@ -225,12 +249,33 @@ def configure(
         sink: Pre-built JSONL sink, if the caller manages the file.
         trace_path: Convenience: build a :class:`JsonlSink` at this path
             (ignored when ``sink`` is given).
+        decisions: Decision log to attach (default: fresh when enabled).
+        context: Trace context identifying this participant's run.
     """
     global _ACTIVE
     if sink is None and trace_path is not None:
         sink = JsonlSink(trace_path)
-    _ACTIVE = Telemetry(enabled=enabled, ring_size=ring_size, sink=sink)
+    _ACTIVE = Telemetry(
+        enabled=enabled,
+        ring_size=ring_size,
+        sink=sink,
+        decisions=decisions,
+        context=context,
+    )
     return _ACTIVE
+
+
+def install(telemetry: Telemetry) -> Telemetry:
+    """Install an *existing* context as the active one.
+
+    The save/restore counterpart of :func:`configure`: a scope that must
+    temporarily swap in its own context (a traced worker shard running
+    in-process) captures :func:`get_telemetry` first and reinstalls it
+    here when done.  The previous context is not closed.
+    """
+    global _ACTIVE
+    _ACTIVE = telemetry
+    return telemetry
 
 
 def disable() -> None:

@@ -56,6 +56,7 @@ __all__ = [
     "generate_iteration",
     "run_iteration",
     "run_pipeline",
+    "trace_shard_path",
 ]
 
 
@@ -439,6 +440,53 @@ def _run_span(config: ExperimentConfig, start: int, stop: int) -> ExperimentResu
     return accumulator.result(config, stop - start)
 
 
+def trace_shard_path(trace_base: str | Path, worker: int) -> Path:
+    """Per-worker trace shard path: ``trace.jsonl`` → ``trace.w3.jsonl``."""
+    base = Path(trace_base)
+    suffix = base.suffix or ".jsonl"
+    return base.with_name(f"{base.stem}.w{worker}{suffix}")
+
+
+def _run_span_traced(
+    config: ExperimentConfig,
+    start: int,
+    stop: int,
+    trace_base: str,
+    worker: int,
+) -> ExperimentResult:
+    """One *traced* shard: a private telemetry context writing a JSONL shard.
+
+    Worker processes cannot share the parent's metric registry, so each
+    shard records into its own context and dumps it to
+    :func:`trace_shard_path` when done.  The contexts of all shards carry
+    :class:`~repro.obs.context.TraceContext` ids derived from the master
+    seed (worker-numbered spans, one shared trace id), so
+    :func:`repro.obs.merge.merge_trace_files` folds them back into a
+    single coherent tree.  Each iteration binds the decision log's
+    ``iteration`` scope — which restarts the per-iteration sequence
+    numbers — making the merged decision stream invariant under the
+    worker count.
+    """
+    from repro.obs.context import TraceContext
+    from repro.obs.export import write_trace
+    from repro.obs.telemetry import configure, get_telemetry, install
+
+    previous = get_telemetry()
+    telemetry = configure(context=TraceContext.derive(config.seed, worker=worker))
+    try:
+        accumulator = _SeriesAccumulator()
+        decisions = telemetry.decisions
+        for index in range(start, stop):
+            slots, batch = generate_iteration(config, index)
+            with decisions.scope(iteration=index):
+                with telemetry.span("experiment.iteration", index=index):
+                    accumulator.add(run_iteration(config, index, slots, batch))
+        write_trace(str(trace_shard_path(trace_base, worker)), telemetry)
+        return accumulator.result(config, stop - start)
+    finally:
+        install(previous)
+
+
 def _run_indices(config: ExperimentConfig, indices: list[int]) -> list[IterationOutcome]:
     """Run the listed iterations of the seeded series, in the given order.
 
@@ -495,6 +543,7 @@ class ParallelRunner:
         progress: Callable[[int, int], None] | None = None,
         checkpoint: "str | Path | None" = None,
         resume: bool = False,
+        trace_base: "str | Path | None" = None,
     ) -> ExperimentResult:
         """Execute the series across ``workers`` processes.
 
@@ -511,14 +560,29 @@ class ParallelRunner:
                 independent, so only the missing indices run; the merged
                 result is identical to an uninterrupted run for any
                 worker count.
+            trace_base: Record a telemetry trace of every shard.  Each
+                worker writes :func:`trace_shard_path` (``trace.jsonl`` →
+                ``trace.w0.jsonl`` …) from its own context; merge the
+                shards with ``repro stats --merge`` or
+                :func:`repro.obs.merge.merge_trace_files`.  For
+                comparability, ``workers=1`` runs through the very same
+                traced shard function (producing a single ``.w0`` shard).
+                Mutually exclusive with ``checkpoint``.
 
         Raises:
             CheckpointMismatchError: When resuming against a checkpoint
                 written for a different configuration.
+            InvalidRequestError: When ``trace_base`` is combined with
+                ``checkpoint``.
         """
         from repro.sim.stats import merge_results
 
         config = self.config
+        if trace_base is not None and checkpoint is not None:
+            raise InvalidRequestError(
+                "trace_base cannot be combined with checkpoint: a resumed "
+                "series has holes, so its shards would not form one trace"
+            )
         store = _open_checkpoint(config, checkpoint, resume)
         if store is not None:
             try:
@@ -526,6 +590,13 @@ class ParallelRunner:
             finally:
                 store.close()
         if self.workers == 1:
+            if trace_base is not None:
+                result = _run_span_traced(
+                    config, 0, config.iterations, str(trace_base), 0
+                )
+                if progress is not None:
+                    progress(result.attempted, result.counted)
+                return result
             accumulator = _SeriesAccumulator()
             for index in range(config.iterations):
                 slots, batch = generate_iteration(config, index)
@@ -535,14 +606,26 @@ class ParallelRunner:
             return accumulator.result(config, config.iterations)
         spans = _shard_spans(config.iterations, self.workers)
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            shards = list(
-                pool.map(
-                    _run_span,
-                    [config] * len(spans),
-                    [span[0] for span in spans],
-                    [span[1] for span in spans],
+            if trace_base is not None:
+                shards = list(
+                    pool.map(
+                        _run_span_traced,
+                        [config] * len(spans),
+                        [span[0] for span in spans],
+                        [span[1] for span in spans],
+                        [str(trace_base)] * len(spans),
+                        list(range(len(spans))),
+                    )
                 )
-            )
+            else:
+                shards = list(
+                    pool.map(
+                        _run_span,
+                        [config] * len(spans),
+                        [span[0] for span in spans],
+                        [span[1] for span in spans],
+                    )
+                )
         if progress is not None:
             attempted = 0
             counted = 0

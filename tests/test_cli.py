@@ -36,9 +36,13 @@ class TestParser:
         extras = {
             "figures": ["--figure", "4"],
             "sweep": ["--parameter", "slot_count", "--values", "125"],
+            "stats": ["t.jsonl"],
+            "explain": ["t.jsonl", "--job", "j"],
+            "profile": ["t.jsonl"],
         }
         for command in (
             "experiment", "figures", "example", "complexity", "vo", "report", "sweep",
+            "stats", "explain", "profile",
         ):
             args = parser.parse_args([command] + extras.get(command, []))
             assert callable(args.handler)
@@ -234,6 +238,101 @@ class TestTelemetryOptions:
         assert main(["example"]) == 0
         assert not obs.telemetry_enabled()
         assert "telemetry summary" not in capsys.readouterr().out
+
+
+class TestDecisionCommands:
+    """The shard-aware trace commands: stats --merge, explain, profile."""
+
+    @pytest.fixture(autouse=True)
+    def _inert_telemetry(self):
+        obs.disable()
+        yield
+        obs.disable()
+
+    @pytest.fixture(scope="class")
+    def shards(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("shards") / "run.jsonl"
+        assert (
+            main(
+                [
+                    "experiment", "--iterations", "6", "--seed", "7",
+                    "--workers", "2", "--trace", str(base),
+                ]
+            )
+            == 0
+        )
+        obs.disable()
+        return [str(base.parent / f"run.w{worker}.jsonl") for worker in range(2)]
+
+    def test_parallel_trace_prints_shard_hint(self, capsys, tmp_path):
+        base = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "experiment", "--iterations", "4", "--seed", "7",
+                    "--workers", "2", "--trace", str(base),
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "per-worker trace shards" in err
+        assert "--merge" in err
+        assert (tmp_path / "run.w0.jsonl").exists()
+        assert (tmp_path / "run.w1.jsonl").exists()
+
+    def test_stats_merge_renders_combined_summary(self, capsys, shards):
+        assert main(["stats", "--merge"] + shards) == 0
+        out = capsys.readouterr().out
+        assert "counters and gauges" in out
+        assert "search.slots_scanned" in out
+
+    def test_stats_multiple_files_implies_merge(self, capsys, shards):
+        assert main(["stats"] + shards) == 0
+        assert "search.batches" in capsys.readouterr().out
+
+    def test_stats_prometheus_from_merged_shards(self, capsys, shards):
+        assert main(["stats", "--merge", "--prometheus"] + shards) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out
+        assert "_bucket" in out
+
+    def test_empty_trace_exits_2_with_one_line_diagnostic(self, capsys, tmp_path):
+        trace = tmp_path / "empty.jsonl"
+        telemetry = obs.configure()
+        obs.write_trace(str(trace), telemetry)
+        obs.disable()
+        assert main(["stats", str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "no records" in err
+        assert "REPRO_TELEMETRY" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_explain_reproduces_decision_path(self, capsys, shards):
+        assert main(["explain"] + shards + ["--job", "b1-j0"]) == 0
+        out = capsys.readouterr().out
+        assert "b1-j0" in out
+        assert "alp.window" in out
+        assert "records" in out
+
+    def test_explain_iteration_filter_narrows_output(self, capsys, shards):
+        assert (
+            main(["explain"] + shards + ["--job", "b1-j0", "--iteration", "0"]) == 0
+        )
+        filtered = capsys.readouterr().out
+        assert main(["explain"] + shards + ["--job", "b1-j0"]) == 0
+        unfiltered = capsys.readouterr().out
+        assert len(filtered) < len(unfiltered)
+
+    def test_explain_unknown_job_notes_no_decisions(self, capsys, shards):
+        assert main(["explain", shards[0], "--job", "ghost-job"]) == 0
+        assert "no decisions" in capsys.readouterr().out
+
+    def test_profile_renders_phase_shares(self, capsys, shards):
+        assert main(["profile", "--merge"] + shards) == 0
+        out = capsys.readouterr().out
+        assert "phase1.scan" in out
+        assert "%" in out
 
 
 class TestErrorHandling:

@@ -1,0 +1,268 @@
+"""Tests for decision records, trace contexts, shard merging, and profiling.
+
+The observability tentpole rests on four properties pinned here:
+
+* decision records are deterministic — no wall-clock fields, sequence
+  numbers reset per iteration scope — so the decision stream of one
+  iteration is identical no matter which worker produced it;
+* trace ids derive from the experiment seed (never ambient entropy),
+  so every shard of one run shares a trace id and reruns line up;
+* merged multi-worker traces are canonically byte-identical to the
+  serial trace of the same run (the cross-worker invariance contract);
+* the phase profiler and ``explain`` renderer reproduce cost shares
+  and decision paths from a recorded trace alone.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import TelemetryError
+from repro.obs import (
+    NOOP_DECISIONS,
+    DecisionLog,
+    TraceContext,
+    canonical_trace,
+    decision_sort_key,
+    decisions_for_job,
+    merge_trace_files,
+    merge_traces,
+    phase_costs,
+    read_trace,
+    render_explain,
+    render_profile,
+    write_trace,
+)
+from repro.obs.telemetry import Telemetry, configure, disable, get_telemetry, install
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry():
+    previous = get_telemetry()
+    yield
+    install(previous)
+
+
+class TestDecisionLog:
+    def test_emit_stamps_scope_and_sequence(self):
+        log = DecisionLog()
+        with log.scope(iteration=3, job="j1"):
+            log.emit("alp.window", start=10.0)
+            log.emit("search.alternative_accepted", alternative=1)
+        assert log.records == [
+            {
+                "kind": "decision",
+                "op": "alp.window",
+                "seq": 0,
+                "iteration": 3,
+                "job": "j1",
+                "start": 10.0,
+            },
+            {
+                "kind": "decision",
+                "op": "search.alternative_accepted",
+                "seq": 1,
+                "iteration": 3,
+                "job": "j1",
+                "alternative": 1,
+            },
+        ]
+
+    def test_iteration_scope_resets_sequence(self):
+        log = DecisionLog()
+        with log.scope(iteration=0):
+            log.emit("a")
+            log.emit("b")
+        with log.scope(iteration=1):
+            log.emit("c")
+        assert [r["seq"] for r in log.records] == [0, 1, 0]
+
+    def test_scope_exit_restores_sequence(self):
+        # Leaving any scope rewinds the counter to its entry value, so a
+        # job's numbering depends only on its own emit order — not on how
+        # many records *other* scopes emitted before it was re-entered.
+        log = DecisionLog()
+        with log.scope(tick=7):
+            log.emit("a")
+            with log.scope(job="x"):
+                log.emit("b")
+            log.emit("c")
+        assert [r["seq"] for r in log.records] == [0, 1, 1]
+
+    def test_cap_drops_and_counts(self):
+        log = DecisionLog(max_records=2)
+        for _ in range(5):
+            log.emit("x")
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            DecisionLog(max_records=0)
+
+    def test_records_carry_no_wall_clock(self):
+        log = DecisionLog()
+        with log.scope(iteration=0):
+            log.emit("alp.window", start=1.0, cost=2.0)
+        assert "ts" not in log.records[0]
+
+    def test_noop_instance_is_disabled(self):
+        assert NOOP_DECISIONS.enabled is False
+
+    def test_sort_key_orders_iteration_then_seq(self):
+        records = [
+            {"iteration": 1, "seq": 0},
+            {"seq": 5},
+            {"iteration": 0, "seq": 2},
+            {"iteration": 0, "seq": 1},
+        ]
+        ordered = sorted(records, key=decision_sort_key)
+        assert ordered == [
+            {"seq": 5},
+            {"iteration": 0, "seq": 1},
+            {"iteration": 0, "seq": 2},
+            {"iteration": 1, "seq": 0},
+        ]
+
+
+class TestTraceContext:
+    def test_derivation_is_deterministic(self):
+        assert TraceContext.derive(42) == TraceContext.derive(42)
+        assert TraceContext.derive(42).trace_id != TraceContext.derive(43).trace_id
+
+    def test_workers_share_trace_id_with_distinct_span_ids(self):
+        base = TraceContext.derive(42)
+        workers = [TraceContext.derive(42, worker=w) for w in range(4)]
+        assert {w.trace_id for w in workers} == {base.trace_id}
+        assert len({w.span_id for w in workers}) == 4
+
+    def test_for_worker_matches_direct_derivation(self):
+        assert TraceContext.derive(42).for_worker(3) == TraceContext.derive(
+            42, worker=3
+        )
+
+    def test_child_keeps_trace_id(self):
+        parent = TraceContext.derive(7)
+        child = parent.child("restore")
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        assert parent.child("restore") == child
+
+    def test_dict_round_trip(self):
+        context = TraceContext.derive(9, worker=2)
+        assert TraceContext.from_dict(context.to_dict()) == context
+
+
+def record_shard(seed: int, worker: int, iterations: list[int]) -> Telemetry:
+    """A small hand-built telemetry shard with decisions and metrics."""
+    telemetry = configure(context=TraceContext.derive(seed, worker=worker))
+    for index in iterations:
+        with telemetry.decisions.scope(iteration=index):
+            with telemetry.span("experiment.iteration", index=index):
+                telemetry.decisions.emit("alp.window", job=f"j{index}", start=1.0)
+                telemetry.count("search.batches", 1, algo="alp")
+                telemetry.observe("phase.seconds", 0.01 * (worker + 1), phase="phase1.scan")
+    return telemetry
+
+
+class TestMergeTraces:
+    def test_merge_refuses_mixed_trace_ids(self, tmp_path):
+        paths = []
+        for seed, name in ((1, "a.jsonl"), (2, "b.jsonl")):
+            telemetry = record_shard(seed, 0, [0])
+            path = tmp_path / name
+            write_trace(str(path), telemetry)
+            paths.append(str(path))
+        disable()
+        with pytest.raises(TelemetryError, match="different runs"):
+            merge_trace_files(paths)
+
+    def test_merge_refuses_empty_list(self):
+        with pytest.raises(TelemetryError, match="empty"):
+            merge_traces([])
+
+    def test_merged_decisions_sorted_by_iteration(self, tmp_path):
+        paths = []
+        for worker, iterations in ((0, [0, 2]), (1, [1, 3])):
+            telemetry = record_shard(5, worker, iterations)
+            path = tmp_path / f"t.w{worker}.jsonl"
+            write_trace(str(path), telemetry)
+            paths.append(str(path))
+        disable()
+        merged = merge_trace_files(paths)
+        assert [r["iteration"] for r in merged.decisions] == [0, 1, 2, 3]
+        assert merged.meta.get("workers") == [0, 1]
+        assert merged.meta.get("merged_from") == 2
+
+    def test_canonical_trace_equal_across_worker_splits(self, tmp_path):
+        one = record_shard(5, 0, [0, 1, 2, 3])
+        path_one = tmp_path / "serial.jsonl"
+        write_trace(str(path_one), one)
+        paths = []
+        for worker, iterations in ((0, [0, 1]), (1, [2, 3])):
+            telemetry = record_shard(5, worker, iterations)
+            path = tmp_path / f"t.w{worker}.jsonl"
+            write_trace(str(path), telemetry)
+            paths.append(str(path))
+        disable()
+        serial = canonical_trace(read_trace(str(path_one)))
+        merged = canonical_trace(merge_trace_files(paths))
+        assert serial == merged
+
+
+class TestProfile:
+    def test_phase_costs_shares_sum_to_one(self, tmp_path):
+        telemetry = configure()
+        telemetry.observe("phase.seconds", 0.3, phase="phase1.scan")
+        telemetry.observe("phase.seconds", 0.1, phase="phase2.dp")
+        path = tmp_path / "t.jsonl"
+        write_trace(str(path), telemetry)
+        disable()
+        costs = phase_costs(read_trace(str(path)))
+        assert [c.phase for c in costs] == ["phase1.scan", "phase2.dp"]
+        assert sum(c.share for c in costs) == pytest.approx(1.0)
+        assert costs[0].share == pytest.approx(0.75)
+
+    def test_render_profile_lists_phases_and_counters(self, tmp_path):
+        telemetry = configure()
+        telemetry.observe("phase.seconds", 0.2, phase="journal.fsync")
+        telemetry.count("journal.appends", 3, kind="iteration")
+        path = tmp_path / "t.jsonl"
+        write_trace(str(path), telemetry)
+        disable()
+        report = render_profile(read_trace(str(path)))
+        assert "journal.fsync" in report
+        assert "journal.appends" in report
+
+    def test_empty_trace_profiles_to_note(self, tmp_path):
+        telemetry = configure()
+        path = tmp_path / "t.jsonl"
+        write_trace(str(path), telemetry)
+        disable()
+        assert "no timing data" in render_profile(read_trace(str(path)))
+
+
+class TestRenderExplain:
+    def test_orders_and_describes_the_path(self):
+        records = [
+            {"kind": "decision", "op": "dp.selected", "seq": 9, "iteration": 1,
+             "job": "j1", "alternative": 2, "cost": 10.5},
+            {"kind": "decision", "op": "alp.window", "seq": 0, "iteration": 0,
+             "job": "j1", "start": 5.0},
+            {"kind": "decision", "op": "alp.window", "seq": 0, "iteration": 0,
+             "job": "j2", "start": 6.0},
+        ]
+        text = render_explain(records, "j1")
+        assert "2 records" in text
+        assert text.index("alp.window") < text.index("dp.selected")
+        assert "alternative=2" in text
+        assert "j2" not in text
+
+    def test_unknown_job_yields_note(self):
+        assert "no decisions" in render_explain([], "ghost")
+
+    def test_decisions_for_job_filters(self):
+        records = [{"job": "a", "seq": 0}, {"job": "b", "seq": 1}]
+        assert decisions_for_job(records, "b") == [{"job": "b", "seq": 1}]

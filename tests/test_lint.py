@@ -21,6 +21,7 @@ from repro.lint import (
     DerivedSeedRule,
     EntropyRule,
     Finding,
+    GuardedTelemetryRule,
     NoAssertRule,
     OrderedSerializationRule,
     lint_paths,
@@ -253,6 +254,96 @@ class TestBroadExceptRule:
 
 
 # ---------------------------------------------------------------------- #
+# RPR006 — guarded telemetry emits                                       #
+# ---------------------------------------------------------------------- #
+
+
+class TestGuardedTelemetryRule:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def record(telemetry, n):\n    telemetry.count('search.batches', n)\n",
+            "def record(telemetry, v):\n    telemetry.observe('phase.seconds', v)\n",
+            "def record(decisions, job):\n    decisions.emit('dp.selected', job=job)\n",
+            (
+                "def record(telemetry, job):\n"
+                "    telemetry.decisions.emit('dp.selected', job=job)\n"
+            ),
+        ],
+    )
+    def test_flags_unguarded_emit(self, snippet):
+        report = lint_source(snippet, CORE_PATH, [GuardedTelemetryRule])
+        assert codes(report) == ["RPR006"]
+
+    def test_applies_to_grid_modules(self):
+        snippet = "def record(telemetry):\n    telemetry.event('meta.tick')\n"
+        report = lint_source(
+            snippet, "repro/grid/metascheduler.py", [GuardedTelemetryRule]
+        )
+        assert codes(report) == ["RPR006"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # explicit enabled-check around the emit
+            (
+                "def record(telemetry, n):\n"
+                "    if telemetry.enabled:\n"
+                "        telemetry.count('search.batches', n)\n"
+            ),
+            # guard via a local name assigned from .enabled
+            (
+                "def record(decisions, job):\n"
+                "    record_decisions = decisions.enabled\n"
+                "    if record_decisions:\n"
+                "        decisions.emit('dp.selected', job=job)\n"
+            ),
+            # early-return guard as the function's first statement
+            (
+                "def record(telemetry, n):\n"
+                "    if not telemetry.enabled:\n"
+                "        return\n"
+                "    telemetry.count('search.batches', n)\n"
+            ),
+            # the instrumented copy of a dual-loop pair
+            (
+                "def _scan_instrumented(telemetry, slots):\n"
+                "    telemetry.count('search.slots_scanned', len(slots))\n"
+            ),
+            # telemetry_enabled() as the guard test
+            (
+                "from repro.obs.telemetry import telemetry_enabled\n"
+                "def record(telemetry, n):\n"
+                "    if telemetry_enabled():\n"
+                "        telemetry.count('search.batches', n)\n"
+            ),
+            # span() is exempt: it returns the shared no-op singleton
+            (
+                "def run(telemetry):\n"
+                "    with telemetry.span('phase1.find_alternatives'):\n"
+                "        pass\n"
+            ),
+            # unrelated receivers are not telemetry
+            "def record(stats, n):\n    stats.count('x', n)\n",
+        ],
+    )
+    def test_guarded_and_exempt_shapes_pass(self, snippet):
+        report = lint_source(snippet, CORE_PATH, [GuardedTelemetryRule])
+        assert report.findings == []
+
+    def test_out_of_scope_module_is_ignored(self):
+        snippet = "def record(telemetry, n):\n    telemetry.count('x', n)\n"
+        report = lint_source(snippet, "repro/sim/experiment.py", [GuardedTelemetryRule])
+        assert report.findings == []
+
+    def test_extra_paths_widen_scope(self):
+        snippet = "def record(telemetry, n):\n    telemetry.count('x', n)\n"
+        rule = GuardedTelemetryRule(extra_paths=("sim/experiment.py",))
+        report = lint_source(snippet, "repro/sim/experiment.py", [rule])
+        assert codes(report) == ["RPR006"]
+
+
+# ---------------------------------------------------------------------- #
 # Suppressions                                                           #
 # ---------------------------------------------------------------------- #
 
@@ -344,7 +435,7 @@ class TestEngine:
 
     def test_rule_catalog_is_consistent(self):
         catalog = rules_by_code()
-        assert len(catalog) == len(ALL_RULES) == 5
+        assert len(catalog) == len(ALL_RULES) == 6
         for code, rule in catalog.items():
             assert code == rule.code
             assert rule.rationale
