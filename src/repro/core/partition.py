@@ -1,0 +1,80 @@
+"""Deterministic node-set partitioning for the sharded phase-1 search.
+
+The partition-parallel search (:mod:`repro.core.shard_search`) splits the
+vacant-slot list by *resource*, hands each block of nodes to one worker,
+and merges the filtered scan streams back into the global scan order.
+For the merged result to be byte-identical to the serial scan, the
+partition must satisfy three properties, all enforced by the property
+suite in ``tests/test_properties.py``:
+
+* **Disjoint cover** — every node uid lands in exactly one block, so no
+  slot is scanned twice and none is dropped.
+* **Stable ordering** — uids are sorted inside each block and across
+  blocks, so concatenating the blocks reproduces the sorted uid set and
+  the shard→rows routing is independent of input iteration order.
+* **Seed independence** — the split is a pure function of the uid set
+  and the shard count.  No RNG is consulted (``repro-lint`` rule RPR001
+  would reject one anyway), so two processes partitioning the same node
+  set always agree, which is what lets a revocation event route a
+  re-inserted slot to the worker that owns its node.
+
+Blocks are contiguous runs of the sorted uid set, balanced to within one
+uid.  When there are fewer nodes than shards the trailing blocks are
+empty — a legal (if useless) partition, so ``shards=7`` over a 5-node VO
+works and simply leaves two workers idle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.errors import InvalidRequestError, InvariantViolationError
+
+__all__ = ["partition_uids", "shard_owners"]
+
+
+def partition_uids(uids: Iterable[int], shards: int) -> list[tuple[int, ...]]:
+    """Split a node-uid set into ``shards`` disjoint ordered blocks.
+
+    Args:
+        uids: Node uids to partition; duplicates collapse (a uid names
+            one node however many slots it publishes).
+        shards: Number of blocks to produce.
+
+    Returns:
+        Exactly ``shards`` tuples of uids, each sorted ascending, whose
+        concatenation is the sorted deduplicated input.  Block sizes
+        differ by at most one (larger blocks first).
+
+    Raises:
+        InvalidRequestError: If ``shards`` is not at least 1.
+    """
+    if shards < 1:
+        raise InvalidRequestError(f"shards must be >= 1, got {shards!r}")
+    ordered = sorted(set(uids))
+    base, extra = divmod(len(ordered), shards)
+    blocks: list[tuple[int, ...]] = []
+    cursor = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        blocks.append(tuple(ordered[cursor : cursor + size]))
+        cursor += size
+    return blocks
+
+
+def shard_owners(partitions: Sequence[Sequence[int]]) -> dict[int, int]:
+    """Invert a partition into its ``uid → shard index`` routing map.
+
+    Raises:
+        InvariantViolationError: If some uid appears in two blocks — the
+            input was not a partition.
+    """
+    owners: dict[int, int] = {}
+    for index, block in enumerate(partitions):
+        for uid in block:
+            if uid in owners:
+                raise InvariantViolationError(
+                    f"uid {uid} owned by shards {owners[uid]} and {index}"
+                )
+            owners[uid] = index
+    return owners

@@ -1,0 +1,689 @@
+"""Partition-parallel phase-1 slot search over disjoint node shards.
+
+ROADMAP item 2: ``ParallelRunner`` shards *iterations* of an experiment,
+but one scheduling cycle over a fleet-scale VO was still a single-process
+scan.  This module scales out the cycle itself while keeping the result
+bit-for-bit identical to the serial :class:`~repro.core.index.SlotIndex`
+path (``tests/test_reference_oracles.py`` enforces the equality for
+shard counts {1, 2, 3, 4, 7}).
+
+**Why this is exact, not approximate.**  In the paper's forward scans
+(Section 4) every *skip* condition is a pure per-row predicate — too
+slow, too expensive, too short, expired against the start hint — while
+only the candidate-accumulation loop (window start advance, expiry,
+cheapest-subset ranking) depends on scan order.  So the search splits
+cleanly:
+
+* each worker owns the rows of one node partition
+  (:func:`~repro.core.partition.partition_uids`) and applies the
+  per-row predicates to its block, returning the surviving rows;
+* the master merges the per-shard survivor streams back into global
+  ``(start, end, uid)`` scan order — the exact order the serial index
+  iterates, since row keys are globally unique — and runs the *same*
+  candidate loop as :meth:`SlotIndex.find_alp_window` /
+  :meth:`SlotIndex.find_amp_window_at`, float-op for float-op.
+
+The cross-job subtract step (``commit``) stays sequential on the master:
+each committed window rewrites the vacant-time state that every later
+search of the *whole batch* scans, so it is a serialization point of the
+paper's scheme, not an implementation artifact (see docs/model.md).
+Subtraction itself is routed to the owning shard by resource uid and is
+``O(log m)`` there.
+
+**Where the speed comes from.**  Two effects stack:
+
+1. the predicate sweep — the bulk of phase-1 wall time on large lists —
+   runs on all shards concurrently;
+2. each shard memoizes the *request-static* part of the predicate
+   (performance, price-cap, and slot-length tests keyed by
+   ``(volume, min_performance, max_price)``) and maintains the memo
+   incrementally across commits, so the repeated passes of one
+   alternative search only re-evaluate the cheap dynamic start-hint
+   predicate over the pre-filtered survivors.
+
+Workers exchange only primitive tuples — float/int rows, never ``Slot``
+or ``Resource`` objects — so the protocol pickles cheaply and no worker
+ever mints a :class:`Resource` uid.  The master keeps the only
+``uid → Resource`` map and reconstructs value-equal ``Slot`` objects for
+the returned windows.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from heapq import merge as heap_merge
+from multiprocessing import Pipe, Process
+from multiprocessing.connection import Connection
+from operator import itemgetter
+from time import perf_counter
+from typing import Any, Iterable, Sequence
+
+from repro.core import errors
+from repro.core.errors import (
+    InvalidRequestError,
+    InvariantViolationError,
+    SchedulingError,
+    SlotListError,
+)
+from repro.core.job import ResourceRequest
+from repro.core.partition import partition_uids, shard_owners
+from repro.core.resource import Resource
+from repro.core.slot import Slot, SlotList
+from repro.core.window import TaskAllocation, Window
+
+__all__ = ["ShardedSearchExecutor"]
+
+NEG_INF = float("-inf")
+
+#: Worker-side row layout — :class:`SlotIndex`'s primitive fields without
+#: the trailing ``Slot`` object: ``(start, end, uid, performance, price)``.
+Row = tuple[float, float, int, float, float]
+
+#: Survivor rows returned by a scan carry the precomputed runtime
+#: ``volume / performance`` as a sixth field so master and worker use the
+#: same float.
+SurvivorRow = tuple[float, float, int, float, float, float]
+
+_row_key = itemgetter(0, 1, 2)
+_rank_key = itemgetter(0, 1)
+
+
+def _survivor(
+    row: Row, volume: float, min_performance: float, max_price: float | None
+) -> SurvivorRow | None:
+    """Apply the request-*static* scan predicates to one row.
+
+    Mirrors the suitability tests of the serial finders that do not
+    depend on the start hint: minimum performance, the ALP per-slot
+    price cap, and the slot-length test ``end - start >= runtime``.
+    Returns the row extended with its runtime, or ``None`` if filtered.
+    """
+    performance = row[3]
+    if performance < min_performance:
+        return None
+    if max_price is not None and row[4] > max_price:
+        return None
+    runtime = volume / performance
+    if row[1] - row[0] < runtime:
+        return None
+    return (row[0], row[1], row[2], performance, row[4], runtime)
+
+
+class _ShardState:
+    """One partition's sorted rows plus per-request static-filter memos.
+
+    The same object backs both execution modes: in-process shards call it
+    directly, worker processes drive it from :func:`_shard_worker`.
+    """
+
+    __slots__ = ("_rows", "_memos")
+
+    def __init__(self, rows: Sequence[Row]) -> None:
+        self._rows: list[Row] = sorted(rows, key=_row_key)
+        # (volume, min_performance, max_price) → rows surviving the
+        # static predicates, in scan order.  Maintained incrementally by
+        # commit/insert; the dynamic start-hint predicate is applied per
+        # scan.
+        self._memos: dict[tuple[float, float, float | None], list[SurvivorRow]] = {}
+
+    def scan(
+        self,
+        volume: float,
+        min_performance: float,
+        max_price: float | None,
+        start_hint: float,
+        count_skips: bool,
+    ) -> tuple[list[SurvivorRow], int, float]:
+        """Rows of this shard surviving all scan predicates.
+
+        Returns ``(survivors, hint_skips, seconds)`` where ``hint_skips``
+        counts rows failing the ``end <= start_hint`` fast path over the
+        *unfiltered* shard (the serial
+        :meth:`SlotIndex.hint_skippable` count restricted to this
+        partition; 0 unless ``count_skips``).
+        """
+        began = perf_counter()
+        key = (volume, min_performance, max_price)
+        memo = self._memos.get(key)
+        if memo is None:
+            memo = [
+                survivor
+                for row in self._rows
+                if (survivor := _survivor(row, volume, min_performance, max_price))
+                is not None
+            ]
+            self._memos[key] = memo
+        if start_hint == NEG_INF:
+            survivors = list(memo)
+        else:
+            survivors = [
+                entry
+                for entry in memo
+                if entry[1] > start_hint and entry[1] - start_hint >= entry[5]
+            ]
+        skips = 0
+        if count_skips and start_hint != NEG_INF:
+            skips = sum(1 for row in self._rows if row[1] <= start_hint)
+        return survivors, skips, perf_counter() - began
+
+    def commit(
+        self,
+        key: tuple[float, float, int],
+        span_start: float,
+        span_end: float,
+        price: float,
+        resource_name: str,
+    ) -> None:
+        """Subtract ``[span_start, span_end)`` from the row at ``key``.
+
+        Raises:
+            SlotListError: If no row matches the source slot — same
+                contract as :meth:`SlotIndex.commit`.
+        """
+        rows = self._rows
+        position = bisect_left(rows, key, key=_row_key)
+        if (
+            position == len(rows)
+            or _row_key(rows[position]) != key
+            or rows[position][4] != price
+        ):
+            raise SlotListError(
+                f"no vacant slot on {resource_name!r} contains span "
+                f"[{span_start:g}, {span_end:g})"
+            )
+        row = rows[position]
+        del rows[position]
+        remainders: list[Row] = []
+        if span_start > row[0]:
+            remainders.append((row[0], span_start, row[2], row[3], row[4]))
+        if row[1] > span_end:
+            remainders.append((span_end, row[1], row[2], row[3], row[4]))
+        for remainder in remainders:
+            insort(rows, remainder, key=_row_key)
+        for memo_key, memo in self._memos.items():
+            memo_position = bisect_left(memo, key, key=_row_key)
+            if memo_position < len(memo) and _row_key(memo[memo_position]) == key:
+                del memo[memo_position]
+            volume, min_performance, max_price = memo_key
+            for remainder in remainders:
+                entry = _survivor(remainder, volume, min_performance, max_price)
+                if entry is not None:
+                    insort(memo, entry, key=_row_key)
+
+    def insert(self, row: Row, resource_name: str) -> None:
+        """Re-insert vacant time (mirrors :meth:`SlotIndex.insert`).
+
+        Raises:
+            SlotListError: If the row overlaps an existing row of the
+                same resource.
+        """
+        start, end, uid = row[0], row[1], row[2]
+        for existing in self._rows:
+            if existing[0] >= end:
+                break
+            if existing[2] == uid and existing[1] > start:
+                raise SlotListError(
+                    f"slot [{start:g}, {end:g}) on {resource_name!r} overlaps "
+                    f"vacant span [{existing[0]:g}, {existing[1]:g})"
+                )
+        insort(self._rows, row, key=_row_key)
+        for memo_key, memo in self._memos.items():
+            volume, min_performance, max_price = memo_key
+            entry = _survivor(row, volume, min_performance, max_price)
+            if entry is not None:
+                insort(memo, entry, key=_row_key)
+
+    def rows(self) -> list[Row]:
+        """Current rows of this shard, in scan order."""
+        return list(self._rows)
+
+
+def _shard_worker(connection: Connection, rows: list[Row]) -> None:
+    """Worker-process loop: apply ops to one shard until told to stop.
+
+    Every reply is a tagged tuple: ``("ok", payload)`` or
+    ``("err", error type name, message)``.  Only library errors
+    (:class:`SchedulingError`) are marshalled; anything else crashes the
+    worker, which the master surfaces as a broken-pipe
+    :class:`InvariantViolationError`.
+    """
+    state = _ShardState(rows)
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:
+            return
+        op = message[0]
+        if op == "stop":
+            connection.send(("ok", None))
+            return
+        payload: object = None
+        try:
+            if op == "scan":
+                payload = state.scan(*message[1:])
+            elif op == "commit":
+                state.commit(*message[1:])
+            elif op == "insert":
+                state.insert(*message[1:])
+            elif op == "rows":
+                payload = state.rows()
+            else:
+                raise InvalidRequestError(f"unknown shard op {op!r}")
+        except SchedulingError as error:
+            connection.send(("err", type(error).__name__, str(error)))
+        else:
+            connection.send(("ok", payload))
+
+
+def _error_type(name: str) -> type[SchedulingError]:
+    """Resolve a marshalled error type name back to its class."""
+    resolved = getattr(errors, name, None)
+    if isinstance(resolved, type) and issubclass(resolved, SchedulingError):
+        return resolved
+    return SchedulingError
+
+
+class ShardedSearchExecutor:
+    """Phase-1 search over node partitions, byte-identical to serial.
+
+    Splits a slot list into ``shards`` blocks by resource uid and runs
+    the scan predicates per block — in worker processes when
+    ``processes`` is true, otherwise in-process through the identical
+    :class:`_ShardState` code path.  The find/commit/insert surface
+    mirrors :class:`~repro.core.index.SlotIndex`, so the multi-pass
+    scheme in :mod:`repro.core.search` drives either interchangeably.
+
+    The default is in-process: a multi-pass search re-scans the same
+    request predicates over and over, so after the first pass each shard
+    scan is a filter over its memoized survivor set — microseconds of
+    work that a pipe round-trip (~0.5 ms per find) would dwarf at any
+    slot-list size (see docs/benchmarks.md, EXP-SHARD).  Worker
+    processes are an explicit opt-in for workloads dominated by
+    memo-*miss* sweeps (many distinct one-shot requests over a very
+    large fleet), where each scan really does O(m / shards) predicate
+    work that the cores can split.
+
+    Use as a context manager or call :meth:`close`; worker processes are
+    daemons, so a leak cannot outlive the interpreter, but an explicit
+    shutdown keeps the fork count bounded during long runs.
+
+    Attributes:
+        shards: Number of partitions.
+        last_hint_skips: Start-hint prune count of the most recent find
+            with ``count_skips=True`` (summed over shards; matches the
+            serial :meth:`SlotIndex.hint_skippable` value).
+        shard_scan_seconds: Cumulative per-shard scan seconds, as
+            measured inside each shard — the per-shard ``phase1.*``
+            timing the instrumented search reports.
+    """
+
+    def __init__(
+        self,
+        slots: Iterable[Slot],
+        shards: int,
+        *,
+        processes: bool | None = None,
+    ) -> None:
+        """Partition ``slots`` into ``shards`` blocks and start workers.
+
+        Args:
+            slots: The vacant-slot list (left untouched; rows are copied).
+            shards: Number of partitions, >= 1.
+            processes: Force worker processes on/off; ``None`` (default)
+                stays in-process — see the class docstring for when
+                processes pay off.
+        """
+        materialized = list(slots)
+        self._resources: dict[int, Resource] = {
+            slot.resource.uid: slot.resource for slot in materialized
+        }
+        partitions = partition_uids(self._resources, shards)
+        self._owners = shard_owners(partitions)
+        self.shards = shards
+        self.last_hint_skips = 0
+        self.shard_scan_seconds = [0.0] * shards
+        self._hint_floor = float("inf")
+        shard_rows: list[list[Row]] = [[] for _ in range(shards)]
+        for slot in materialized:
+            row: Row = (
+                slot.start,
+                slot.end,
+                slot.resource.uid,
+                slot.resource.performance,
+                slot.price,
+            )
+            shard_rows[self._owners[row[2]]].append(row)
+        if processes is None:
+            processes = False
+        self._states: list[_ShardState] | None = None
+        self._connections: list[Connection] | None = None
+        self._workers: list[Process] = []
+        if processes:
+            connections: list[Connection] = []
+            for rows in shard_rows:
+                parent, child = Pipe()
+                worker = Process(target=_shard_worker, args=(child, rows), daemon=True)
+                worker.start()
+                child.close()
+                connections.append(parent)
+                self._workers.append(worker)
+            self._connections = connections
+        else:
+            self._states = [_ShardState(rows) for rows in shard_rows]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def uses_processes(self) -> bool:
+        """Whether shard scans run in worker processes."""
+        return self._connections is not None
+
+    def close(self) -> None:
+        """Stop worker processes; in-process mode is a no-op."""
+        if self._connections is None:
+            return
+        connections, self._connections = self._connections, None
+        for connection in connections:
+            try:
+                connection.send(("stop",))
+                connection.recv()
+            except (OSError, EOFError):
+                pass
+            connection.close()
+        for worker in self._workers:
+            worker.join()
+        self._workers = []
+
+    def __enter__(self) -> "ShardedSearchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Worker protocol                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _receive(self, shard: int, connection: Connection) -> Any:
+        try:
+            reply = connection.recv()
+        except EOFError:
+            raise InvariantViolationError(
+                f"shard {shard} worker died mid-operation"
+            ) from None
+        if reply[0] == "ok":
+            return reply[1]
+        raise _error_type(reply[1])(reply[2])
+
+    def _call_one(self, shard: int, message: tuple[Any, ...]) -> Any:
+        if self._connections is not None:
+            self._connections[shard].send(message)
+            return self._receive(shard, self._connections[shard])
+        if self._states is None:
+            raise InvariantViolationError("executor is closed")
+        state = self._states[shard]
+        op = message[0]
+        if op == "scan":
+            return state.scan(*message[1:])
+        if op == "commit":
+            state.commit(*message[1:])
+            return None
+        if op == "insert":
+            state.insert(*message[1:])
+            return None
+        if op == "rows":
+            return state.rows()
+        raise InvalidRequestError(f"unknown shard op {op!r}")
+
+    def _broadcast(self, message: tuple[Any, ...]) -> list[Any]:
+        """Run one op on every shard; parallel in process mode."""
+        if self._connections is not None:
+            for connection in self._connections:
+                connection.send(message)
+            return [
+                self._receive(shard, connection)
+                for shard, connection in enumerate(self._connections)
+            ]
+        return [self._call_one(shard, message) for shard in range(self.shards)]
+
+    def _scan(
+        self,
+        volume: float,
+        min_performance: float,
+        max_price: float | None,
+        start_hint: float,
+        count_skips: bool,
+    ) -> list[list[SurvivorRow]]:
+        replies = self._broadcast(
+            ("scan", volume, min_performance, max_price, start_hint, count_skips)
+        )
+        streams: list[list[SurvivorRow]] = []
+        skips = 0
+        for shard, reply in enumerate(replies):
+            survivors, shard_skips, seconds = reply
+            streams.append(survivors)
+            skips += shard_skips
+            self.shard_scan_seconds[shard] += seconds
+        self.last_hint_skips = skips
+        return streams
+
+    def _owner_of(self, uid: int) -> int:
+        shard = self._owners.get(uid)
+        if shard is None:
+            # A resource first seen via insert (hot-swap replacement
+            # node): route deterministically; contiguity of the initial
+            # partition is irrelevant to correctness, only disjointness.
+            shard = uid % self.shards
+            self._owners[uid] = shard
+        return shard
+
+    def _slot_of(self, entry: Sequence[float]) -> Slot:
+        return Slot(self._resources[int(entry[2])], entry[0], entry[1], entry[4])
+
+    # ------------------------------------------------------------------ #
+    # SlotIndex-equivalent surface                                       #
+    # ------------------------------------------------------------------ #
+
+    def find_alp_window(
+        self,
+        request: ResourceRequest,
+        *,
+        start_hint: float = NEG_INF,
+        count_skips: bool = False,
+    ) -> Window | None:
+        """ALP forward scan over the merged survivor streams.
+
+        Bit-for-bit equivalent to :meth:`SlotIndex.find_alp_window`: the
+        workers apply the per-row predicates, the merge restores global
+        ``(start, end, uid)`` order, and this loop replays the serial
+        candidate accumulation unchanged.
+        """
+        if start_hint > self._hint_floor:
+            start_hint = self._hint_floor
+        streams = self._scan(
+            request.volume,
+            request.min_performance,
+            request.max_price,
+            start_hint,
+            count_skips,
+        )
+        node_count = request.node_count
+        window_start = NEG_INF
+        candidates: list[tuple[float, float, SurvivorRow]] = []
+        for entry in heap_merge(*streams, key=_row_key):
+            start = entry[0]
+            if start > window_start:
+                window_start = start
+                candidates = [c for c in candidates if c[0] - start >= c[1]]
+            candidates.append((entry[1], entry[5], entry))
+            if len(candidates) == node_count:
+                allocations = [
+                    TaskAllocation(self._slot_of(c[2]), window_start, window_start + c[1])
+                    for c in candidates
+                ]
+                return Window(request, allocations)
+        return None
+
+    def find_amp_window_at(
+        self,
+        request: ResourceRequest,
+        *,
+        budget: float | None = None,
+        start_hint: float = NEG_INF,
+        count_skips: bool = False,
+    ) -> tuple[Window, float] | None:
+        """AMP forward scan; returns ``(window, accepting event time)``.
+
+        Bit-for-bit equivalent to :meth:`SlotIndex.find_amp_window_at`,
+        including the cheapest-subset ranking, the ``cheapest_total``
+        re-summation caching, and the float-addition order of the budget
+        test.
+        """
+        if budget is None:
+            budget = request.budget
+        if start_hint > self._hint_floor:
+            start_hint = self._hint_floor
+        streams = self._scan(
+            request.volume, request.min_performance, None, start_hint, count_skips
+        )
+        node_count = request.node_count
+        window_start = NEG_INF
+        candidates: list[tuple[float, float, float, int, SurvivorRow]] = []
+        ranked: list[tuple[float, int, float, SurvivorRow]] = []
+        cheapest_total: float | None = None
+        for entry in heap_merge(*streams, key=_row_key):
+            end = entry[1]
+            runtime = entry[5]
+            start = entry[0]
+            if start > window_start:
+                window_start = start
+                alive = [c for c in candidates if c[0] - start >= c[1]]
+                if len(alive) != len(candidates):
+                    for expired in candidates:
+                        if expired[0] - start < expired[1]:
+                            if _remove_ranked(ranked, expired[2], expired[3]) < node_count:
+                                cheapest_total = None
+                    candidates = alive
+            uid = entry[2]
+            cost = entry[4] * runtime
+            candidates.append((end, runtime, cost, uid, entry))
+            position = bisect_left(ranked, (cost, uid), key=_rank_key)
+            ranked.insert(position, (cost, uid, runtime, entry))
+            if position < node_count:
+                cheapest_total = None
+            if len(candidates) < node_count or start < start_hint:
+                continue
+            if cheapest_total is None:
+                total = 0.0
+                for k in range(node_count):
+                    total += ranked[k][0]
+                cheapest_total = total
+            if cheapest_total <= budget:
+                chosen = ranked[:node_count]
+                sync = max(item[3][0] for item in chosen)
+                allocations = [
+                    TaskAllocation(self._slot_of(item[3]), sync, sync + item[2])
+                    for item in chosen
+                ]
+                return Window(request, allocations), start
+        return None
+
+    def commit(self, window: Window) -> None:
+        """Subtract the window's occupied spans on the owning shards.
+
+        Raises:
+            SlotListError: If some source slot is no longer present —
+                same contract as :meth:`SlotIndex.commit`.
+        """
+        if self._connections is not None:
+            involved: list[int] = []
+            for allocation in window.allocations:
+                source = allocation.source
+                shard = self._owner_of(source.resource.uid)
+                self._connections[shard].send(
+                    (
+                        "commit",
+                        (source.start, source.end, source.resource.uid),
+                        allocation.start,
+                        allocation.end,
+                        source.price,
+                        source.resource.name,
+                    )
+                )
+                involved.append(shard)
+            failure: SchedulingError | None = None
+            for shard in involved:
+                try:
+                    self._receive(shard, self._connections[shard])
+                except SchedulingError as error:
+                    if failure is None:
+                        failure = error
+            if failure is not None:
+                raise failure
+            return
+        for allocation in window.allocations:
+            source = allocation.source
+            self._call_one(
+                self._owner_of(source.resource.uid),
+                (
+                    "commit",
+                    (source.start, source.end, source.resource.uid),
+                    allocation.start,
+                    allocation.end,
+                    source.price,
+                    source.resource.name,
+                ),
+            )
+
+    def insert(self, slot: Slot) -> None:
+        """Re-insert vacant time (outage repair, hot-swap revocation).
+
+        Clamps subsequent start hints exactly like
+        :meth:`SlotIndex.insert`.
+
+        Raises:
+            SlotListError: If the slot overlaps an existing slot of the
+                same resource.
+        """
+        uid = slot.resource.uid
+        self._resources.setdefault(uid, slot.resource)
+        row: Row = (slot.start, slot.end, uid, slot.resource.performance, slot.price)
+        self._call_one(self._owner_of(uid), ("insert", row, slot.resource.name))
+        if slot.start < self._hint_floor:
+            self._hint_floor = slot.start
+
+    def slot_list(self) -> SlotList:
+        """Materialise the merged shard state as a plain :class:`SlotList`."""
+        replies = self._broadcast(("rows",))
+        slots: list[Slot] = []
+        for reply in replies:
+            for row in reply:
+                slots.append(self._slot_of(row))
+        return SlotList(slots)
+
+    def hint_skippable(self, start_hint: float) -> int:
+        """Serial :meth:`SlotIndex.hint_skippable`, summed over shards."""
+        if start_hint > self._hint_floor:
+            start_hint = self._hint_floor
+        if start_hint == NEG_INF:
+            return 0
+        total = 0
+        for reply in self._broadcast(("scan", 0.0, NEG_INF, None, start_hint, True)):
+            total += int(reply[1])
+        return total
+
+
+def _remove_ranked(
+    ranked: list[tuple[float, int, float, SurvivorRow]], cost: float, uid: int
+) -> int:
+    """Drop the ``(cost, uid)`` entry from the ranked list; return its position."""
+    position = bisect_left(ranked, (cost, uid), key=_rank_key)
+    while position < len(ranked):
+        entry = ranked[position]
+        if entry[0] == cost and entry[1] == uid:
+            del ranked[position]
+            return position
+        position += 1
+    raise SlotListError(f"ranked candidate (cost={cost!r}, uid={uid!r}) missing")

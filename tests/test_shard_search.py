@@ -1,0 +1,182 @@
+"""Unit tests for the partition-parallel executor (repro.core.shard_search).
+
+The byte-identity of full searches is proven by the sharded-oracle suite
+in ``tests/test_reference_oracles.py``; this module covers the executor
+machinery itself — partitioner edge cases, worker life cycle in both
+in-process and process modes, cross-pipe error propagation, routing of
+re-inserted slots, and the auto process-mode threshold.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    InvalidRequestError,
+    InvariantViolationError,
+    Resource,
+    ResourceRequest,
+    ShardedSearchExecutor,
+    Slot,
+    SlotIndex,
+    SlotList,
+    SlotListError,
+    partition_uids,
+    shard_owners,
+)
+from tests.conftest import make_random_request, make_random_slot_list, make_uniform_slots
+
+
+class TestPartitionerEdges:
+    def test_empty_uid_set(self):
+        assert partition_uids([], 3) == [(), (), ()]
+        assert shard_owners(partition_uids([], 3)) == {}
+
+    def test_more_shards_than_uids_leaves_trailing_empty_blocks(self):
+        blocks = partition_uids([5, 2, 9], 7)
+        assert blocks == [(2,), (5,), (9,), (), (), (), ()]
+
+    def test_duplicates_collapse(self):
+        assert partition_uids([4, 4, 1, 1, 1], 2) == [(1,), (4,)]
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(InvalidRequestError, match="shards"):
+            partition_uids([1, 2], 0)
+
+    def test_owner_map_rejects_overlapping_blocks(self):
+        with pytest.raises(InvariantViolationError, match="owned by shards"):
+            shard_owners([(1, 2), (2, 3)])
+
+
+def _fingerprint(window):
+    return (
+        window.start,
+        tuple(
+            (a.resource.uid, a.start, a.end, a.source.price)
+            for a in window.allocations
+        ),
+    )
+
+
+def _slot_rows(slots):
+    return sorted((s.resource.uid, s.start, s.end, s.price) for s in slots)
+
+
+class TestExecutorInProcess:
+    @pytest.mark.parametrize("shards", [2, 5, 9])
+    def test_find_commit_lifecycle_matches_index(self, shards):
+        slots = make_random_slot_list(3, count=30)
+        request = make_random_request(random.Random(11))
+        index = SlotIndex(slots)
+        with ShardedSearchExecutor(slots, shards) as executor:
+            assert not executor.uses_processes
+            for _ in range(3):
+                reference = index.find_alp_window(request)
+                found = executor.find_alp_window(request)
+                assert (found is None) == (reference is None)
+                if reference is None:
+                    break
+                assert _fingerprint(found) == _fingerprint(reference)
+                index.commit(reference)
+                executor.commit(found)
+            assert _slot_rows(executor.slot_list()) == _slot_rows(index.slot_list())
+
+    def test_shards_exceeding_node_count(self):
+        # 3 nodes across 9 shards: six workers own nothing and must be
+        # harmless no-ops in every scan and merge.
+        slots = make_uniform_slots(3, length=100.0)
+        request = make_random_request(random.Random(5))
+        with ShardedSearchExecutor(slots, 9) as executor:
+            reference = SlotIndex(slots).find_alp_window(request)
+            found = executor.find_alp_window(request)
+            assert (found is None) == (reference is None)
+            if reference is not None:
+                assert _fingerprint(found) == _fingerprint(reference)
+
+    def test_empty_slot_list(self):
+        executor = ShardedSearchExecutor(SlotList(), 4)
+        request = make_random_request(random.Random(1))
+        assert executor.find_alp_window(request) is None
+        assert executor.find_amp_window_at(request) is None
+        assert len(executor.slot_list()) == 0
+        executor.close()
+
+    def test_commit_of_foreign_window_raises(self):
+        slots = make_uniform_slots(2, length=100.0)
+        request = ResourceRequest(2, 30.0)
+        with ShardedSearchExecutor(slots, 2) as executor:
+            window = executor.find_alp_window(request)
+            assert window is not None
+            executor.commit(window)
+            with pytest.raises(SlotListError, match="no vacant slot"):
+                executor.commit(window)
+
+    def test_inserted_slot_on_new_resource_is_routed_and_found(self):
+        # A node the partition has never seen: routing falls back to
+        # uid % shards and the slot must join that shard's scan order.
+        slots = make_uniform_slots(2, length=50.0)
+        with ShardedSearchExecutor(slots, 2) as executor:
+            newcomer = Slot(Resource("late", performance=1.0, price=1.0), 0.0, 50.0)
+            executor.insert(newcomer)
+            rows = _slot_rows(executor.slot_list())
+            assert (newcomer.resource.uid, 0.0, 50.0, 1.0) in rows
+
+    def test_hint_skippable_matches_index(self):
+        slots = make_random_slot_list(8, count=25)
+        index = SlotIndex(slots)
+        with ShardedSearchExecutor(slots, 3) as executor:
+            for hint in (float("-inf"), 0.0, 40.0, 1e9):
+                assert executor.hint_skippable(hint) == index.hint_skippable(hint)
+
+    def test_close_is_idempotent(self):
+        executor = ShardedSearchExecutor(make_uniform_slots(2), 2)
+        executor.close()
+        executor.close()
+
+
+class TestExecutorProcesses:
+    def test_process_mode_lifecycle_matches_index(self):
+        slots = make_random_slot_list(4, count=30)
+        request = make_random_request(random.Random(7))
+        index = SlotIndex(slots)
+        with ShardedSearchExecutor(slots, 3, processes=True) as executor:
+            assert executor.uses_processes
+            for _ in range(2):
+                reference = index.find_amp_window_at(request)
+                found = executor.find_amp_window_at(request)
+                assert (found is None) == (reference is None)
+                if reference is None:
+                    break
+                assert _fingerprint(found[0]) == _fingerprint(reference[0])
+                assert found[1] == reference[1]
+                index.commit(reference[0])
+                executor.commit(found[0])
+            assert _slot_rows(executor.slot_list()) == _slot_rows(index.slot_list())
+
+    def test_worker_errors_propagate_across_the_pipe(self):
+        # A SlotListError raised inside a worker process must surface in
+        # the master as the same exception type, not as a dead pipe.
+        slots = make_uniform_slots(4, length=100.0)
+        request = ResourceRequest(3, 40.0)
+        with ShardedSearchExecutor(slots, 2, processes=True) as executor:
+            window = executor.find_alp_window(request)
+            assert window is not None
+            executor.commit(window)
+            with pytest.raises(SlotListError, match="no vacant slot"):
+                executor.commit(window)
+            # The executor stays usable after a rejected commit.
+            assert executor.hint_skippable(0.0) >= 0
+
+    def test_default_mode_is_in_process(self):
+        # Worker processes are an explicit opt-in: pipe round-trips cost
+        # more than a post-memo shard scan at any slot-list size.
+        slots = make_uniform_slots(8)
+        with ShardedSearchExecutor(slots, 2) as executor:
+            assert not executor.uses_processes
+
+    def test_processes_can_be_forced_off(self):
+        slots = make_uniform_slots(8)
+        with ShardedSearchExecutor(slots, 2, processes=False) as executor:
+            assert not executor.uses_processes
