@@ -26,6 +26,7 @@ from repro.core.job import Batch, Job
 from repro.core.optimize import (
     DEFAULT_RESOLUTION,
     Combination,
+    DPMemo,
     OptimizationBudget,
     minimize_cost,
     minimize_time,
@@ -71,6 +72,14 @@ class SchedulerConfig:
             node shards (1 = serial).  Byte-identical to the serial path
             for every count (``tests/test_reference_oracles.py``); pays
             off only on fleet-scale slot lists (see docs/benchmarks.md).
+        dp_memo: Cross-cycle DP memo for the phase-2 backward runs;
+            ``None`` uses the process-wide
+            :data:`~repro.core.optimize.DEFAULT_DP_MEMO`.  Memo hits
+            reproduce the memo-off result exactly (value-keyed tables;
+            see :class:`~repro.core.optimize.DPMemo`), so this knob only
+            controls *where* the cache lives — e.g. a per-scheduler memo
+            for isolation, or ``DPMemo(enabled=False)`` to recompute
+            every run.
     """
 
     algorithm: SlotSearchAlgorithm = SlotSearchAlgorithm.AMP
@@ -81,6 +90,7 @@ class SchedulerConfig:
     infeasible_policy: InfeasiblePolicy = InfeasiblePolicy.RAISE
     budget: OptimizationBudget | None = None
     search_shards: int = 1
+    dp_memo: DPMemo | None = None
 
     def __post_init__(self) -> None:
         if self.search_shards < 1:
@@ -203,12 +213,14 @@ class BatchScheduler:
                         quota,
                         resolution=config.resolution,
                         budget=config.budget,
+                        memo=config.dp_memo,
                     )
                     combination = minimize_time(
                         covered,
                         budget,
                         resolution=config.resolution,
                         budget=config.budget,
+                        memo=config.dp_memo,
                     )
                 else:
                     combination = minimize_cost(
@@ -216,6 +228,7 @@ class BatchScheduler:
                         quota,
                         resolution=config.resolution,
                         budget=config.budget,
+                        memo=config.dp_memo,
                     )
             except InfeasibleConstraintError:
                 if config.infeasible_policy is InfeasiblePolicy.RAISE:

@@ -430,11 +430,22 @@ def _find_alternatives_indexed(
     )
     hints: dict[Job, float] = {job: NEG_INF for job in batch}
     alternatives: dict[Job, list[Window]] = {job: [] for job in batch}
+    # ALP-only: once a job's search comes back empty it stays empty for
+    # the rest of this batch search — later passes only *subtract* vacant
+    # time, and an ALP window over fragments maps candidate-for-candidate
+    # onto the containing rows of any earlier state, so a window
+    # appearing later would have been found now.  AMP is excluded: its
+    # budget test fires only at row-start events >= the hint, and
+    # subtraction mints new row starts (fragment boundaries), so an AMP
+    # failure is not stable under further subtraction.
+    exhausted: set[Job] = set()
     passes = 0
     while max_passes is None or passes < max_passes:
         passes += 1
         found_any = False
         for job in batch:
+            if job in exhausted:
+                continue
             windows = alternatives[job]
             if (
                 max_alternatives_per_job is not None
@@ -451,6 +462,7 @@ def _find_alternatives_indexed(
             else:
                 window = index.find_alp_window(job.request, start_hint=hints[job])
                 if window is None:
+                    exhausted.add(job)
                     continue
                 event_time = window.start
             index.commit(window)
@@ -481,8 +493,8 @@ def _find_alternatives_indexed_instrumented(
     :func:`_find_alternatives_indexed` — the timers and counters live
     outside the finders — while attributing wall time to the index scan
     and the incremental subtraction, and, when decision logging is on,
-    recording the monotone start-hint prune per search (the extra
-    ``O(m)`` :meth:`~repro.core.index.SlotIndex.hint_skippable` count is
+    recording both monotone start-hint prune tiers per search (the extra
+    ``O(m)`` :meth:`~repro.core.index.SlotIndex.hint_prunes` count is
     only paid under decision logging, never on the hot path).
     """
     decisions = telemetry.decisions
@@ -490,6 +502,7 @@ def _find_alternatives_indexed_instrumented(
     scan_seconds = 0.0
     subtract_seconds = 0.0
     hint_skips = 0
+    runtime_skips = 0
     with telemetry.span(
         "phase1.find_alternatives",
         algo=algorithm.value,
@@ -503,11 +516,17 @@ def _find_alternatives_indexed_instrumented(
         )
         hints: dict[Job, float] = {job: NEG_INF for job in batch}
         alternatives: dict[Job, list[Window]] = {job: [] for job in batch}
+        # Same ALP-only exhausted-job rule as _find_alternatives_indexed
+        # (see the comment there); the sharded instrumented path applies
+        # it identically, keeping the canonical traces equal.
+        exhausted: set[Job] = set()
         passes = 0
         while max_passes is None or passes < max_passes:
             passes += 1
             found_any = False
             for job in batch:
+                if job in exhausted:
+                    continue
                 windows = alternatives[job]
                 if (
                     max_alternatives_per_job is not None
@@ -515,10 +534,16 @@ def _find_alternatives_indexed_instrumented(
                 ):
                     continue
                 if record_decisions:
-                    skipped = index.hint_skippable(hints[job])
+                    skipped, runtime_skipped = index.hint_prunes(
+                        job.request,
+                        start_hint=hints[job],
+                        check_price=not is_amp,
+                    )
                     hint_skips += skipped
+                    runtime_skips += runtime_skipped
                 else:
                     skipped = 0
+                    runtime_skipped = 0
                 began = perf_counter()
                 if is_amp:
                     found = index.find_amp_window_at(
@@ -533,12 +558,15 @@ def _find_alternatives_indexed_instrumented(
                     )
                 scan_seconds += perf_counter() - began
                 if found is None:
+                    if not is_amp:
+                        exhausted.add(job)
                     if record_decisions:
                         decisions.emit(
                             "index.no_window",
                             job=job.name,
                             search_pass=passes,
                             hint_skips=skipped,
+                            hint_runtime_skips=runtime_skipped,
                         )
                     continue
                 window, event_time = found
@@ -557,6 +585,7 @@ def _find_alternatives_indexed_instrumented(
                         start=window.start,
                         cost=window.cost,
                         hint_skips=skipped,
+                        hint_runtime_skips=runtime_skipped,
                     )
             if not found_any:
                 break
@@ -565,6 +594,9 @@ def _find_alternatives_indexed_instrumented(
         )
         _flush_batch_metrics(telemetry, result, algorithm.value)
         telemetry.count("search.hint_skips", hint_skips, algo=algorithm.value)
+        telemetry.count(
+            "search.hint_runtime_skips", runtime_skips, algo=algorithm.value
+        )
         telemetry.observe("phase.seconds", scan_seconds, phase="phase1.index_scan")
         telemetry.observe("phase.seconds", subtract_seconds, phase="phase1.subtract")
         return result
@@ -597,11 +629,16 @@ def _find_alternatives_sharded(
         )
         hints: dict[Job, float] = {job: NEG_INF for job in batch}
         alternatives: dict[Job, list[Window]] = {job: [] for job in batch}
+        # Same ALP-only exhausted-job rule as _find_alternatives_indexed
+        # (see the comment there).
+        exhausted: set[Job] = set()
         passes = 0
         while max_passes is None or passes < max_passes:
             passes += 1
             found_any = False
             for job in batch:
+                if job in exhausted:
+                    continue
                 windows = alternatives[job]
                 if (
                     max_alternatives_per_job is not None
@@ -620,6 +657,7 @@ def _find_alternatives_sharded(
                         job.request, start_hint=hints[job]
                     )
                     if window is None:
+                        exhausted.add(job)
                         continue
                     event_time = window.start
                 executor.commit(window)
@@ -664,6 +702,7 @@ def _find_alternatives_sharded_instrumented(
     scan_seconds = 0.0
     subtract_seconds = 0.0
     hint_skips = 0
+    runtime_skips = 0
     with telemetry.span(
         "phase1.find_alternatives",
         algo=algorithm.value,
@@ -680,11 +719,16 @@ def _find_alternatives_sharded_instrumented(
             )
             hints: dict[Job, float] = {job: NEG_INF for job in batch}
             alternatives: dict[Job, list[Window]] = {job: [] for job in batch}
+            # Same ALP-only exhausted-job rule as the serial indexed
+            # paths (see _find_alternatives_indexed).
+            exhausted: set[Job] = set()
             passes = 0
             while max_passes is None or passes < max_passes:
                 passes += 1
                 found_any = False
                 for job in batch:
+                    if job in exhausted:
+                        continue
                     windows = alternatives[job]
                     if (
                         max_alternatives_per_job is not None
@@ -711,15 +755,24 @@ def _find_alternatives_sharded_instrumented(
                             else (alp_window, alp_window.start)
                         )
                     scan_seconds += perf_counter() - began
-                    skipped = executor.last_hint_skips if record_decisions else 0
+                    if record_decisions:
+                        skipped = executor.last_hint_skips
+                        runtime_skipped = executor.last_runtime_skips
+                    else:
+                        skipped = 0
+                        runtime_skipped = 0
                     hint_skips += skipped
+                    runtime_skips += runtime_skipped
                     if found is None:
+                        if not is_amp:
+                            exhausted.add(job)
                         if record_decisions:
                             decisions.emit(
                                 "index.no_window",
                                 job=job.name,
                                 search_pass=passes,
                                 hint_skips=skipped,
+                                hint_runtime_skips=runtime_skipped,
                             )
                         continue
                     window, event_time = found
@@ -738,6 +791,7 @@ def _find_alternatives_sharded_instrumented(
                             start=window.start,
                             cost=window.cost,
                             hint_skips=skipped,
+                            hint_runtime_skips=runtime_skipped,
                         )
                 if not found_any:
                     break
@@ -754,6 +808,9 @@ def _find_alternatives_sharded_instrumented(
             executor.close()
         _flush_batch_metrics(telemetry, result, algorithm.value)
         telemetry.count("search.hint_skips", hint_skips, algo=algorithm.value)
+        telemetry.count(
+            "search.hint_runtime_skips", runtime_skips, algo=algorithm.value
+        )
         telemetry.observe("phase.seconds", scan_seconds, phase="phase1.index_scan")
         telemetry.observe("phase.seconds", subtract_seconds, phase="phase1.subtract")
         return result

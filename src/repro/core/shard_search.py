@@ -59,6 +59,7 @@ from time import perf_counter
 from typing import Any, Iterable, Sequence
 
 from repro.core import errors
+from repro.core.columns import ColumnStore, Row, SurvivorRow, static_survivor
 from repro.core.errors import (
     InvalidRequestError,
     InvariantViolationError,
@@ -69,57 +70,37 @@ from repro.core.job import ResourceRequest
 from repro.core.partition import partition_uids, shard_owners
 from repro.core.resource import Resource
 from repro.core.slot import Slot, SlotList
-from repro.core.window import TaskAllocation, Window
+from repro.core.window import Window, carved_allocation
 
 __all__ = ["ShardedSearchExecutor"]
 
 NEG_INF = float("-inf")
+INF = float("inf")
 
-#: Worker-side row layout — :class:`SlotIndex`'s primitive fields without
-#: the trailing ``Slot`` object: ``(start, end, uid, performance, price)``.
-Row = tuple[float, float, int, float, float]
-
-#: Survivor rows returned by a scan carry the precomputed runtime
-#: ``volume / performance`` as a sixth field so master and worker use the
-#: same float.
-SurvivorRow = tuple[float, float, int, float, float, float]
+# The row layouts and the static-predicate kernel are shared with the
+# serial SlotIndex through repro.core.columns, so the serial and sharded
+# fast paths cannot drift apart: ``Row`` is ``(start, end, uid,
+# performance, price)``; ``SurvivorRow`` appends the precomputed runtime
+# ``volume / performance`` so master and worker use the same float.
 
 _row_key = itemgetter(0, 1, 2)
-_rank_key = itemgetter(0, 1)
-
-
-def _survivor(
-    row: Row, volume: float, min_performance: float, max_price: float | None
-) -> SurvivorRow | None:
-    """Apply the request-*static* scan predicates to one row.
-
-    Mirrors the suitability tests of the serial finders that do not
-    depend on the start hint: minimum performance, the ALP per-slot
-    price cap, and the slot-length test ``end - start >= runtime``.
-    Returns the row extended with its runtime, or ``None`` if filtered.
-    """
-    performance = row[3]
-    if performance < min_performance:
-        return None
-    if max_price is not None and row[4] > max_price:
-        return None
-    runtime = volume / performance
-    if row[1] - row[0] < runtime:
-        return None
-    return (row[0], row[1], row[2], performance, row[4], runtime)
 
 
 class _ShardState:
-    """One partition's sorted rows plus per-request static-filter memos.
+    """One partition's sorted row columns plus per-request filter memos.
 
     The same object backs both execution modes: in-process shards call it
-    directly, worker processes drive it from :func:`_shard_worker`.
+    directly, worker processes drive it from :func:`_shard_worker`.  Rows
+    live in a :class:`~repro.core.columns.ColumnStore`, so a memo-miss
+    sweep evaluates the static predicates as one vectorized mask over
+    the shard's columns — the identical kernel (and identical floats)
+    the serial :class:`~repro.core.index.SlotIndex` uses.
     """
 
-    __slots__ = ("_rows", "_memos")
+    __slots__ = ("_columns", "_memos")
 
     def __init__(self, rows: Sequence[Row]) -> None:
-        self._rows: list[Row] = sorted(rows, key=_row_key)
+        self._columns = ColumnStore(rows)
         # (volume, min_performance, max_price) → rows surviving the
         # static predicates, in scan order.  Maintained incrementally by
         # commit/insert; the dynamic start-hint predicate is applied per
@@ -133,25 +114,26 @@ class _ShardState:
         max_price: float | None,
         start_hint: float,
         count_skips: bool,
-    ) -> tuple[list[SurvivorRow], int, float]:
+    ) -> tuple[list[SurvivorRow], int, int, float]:
         """Rows of this shard surviving all scan predicates.
 
-        Returns ``(survivors, hint_skips, seconds)`` where ``hint_skips``
-        counts rows failing the ``end <= start_hint`` fast path over the
-        *unfiltered* shard (the serial
+        Returns ``(survivors, hint_skips, runtime_skips, seconds)``:
+        ``hint_skips`` counts rows failing the tier-1 ``end <=
+        start_hint`` fast path over the *unfiltered* shard (the serial
         :meth:`SlotIndex.hint_skippable` count restricted to this
-        partition; 0 unless ``count_skips``).
+        partition) and ``runtime_skips`` the tier-2 prune — static
+        survivors that cannot fit their runtime between the hint and
+        their end (``end - start_hint < runtime``).  Both are 0 unless
+        ``count_skips``; together they restrict the serial
+        :meth:`SlotIndex.hint_prunes` pair to this partition.
         """
         began = perf_counter()
         key = (volume, min_performance, max_price)
         memo = self._memos.get(key)
         if memo is None:
-            memo = [
-                survivor
-                for row in self._rows
-                if (survivor := _survivor(row, volume, min_performance, max_price))
-                is not None
-            ]
+            memo, _positions = self._columns.survivors(
+                volume, min_performance, max_price
+            )
             self._memos[key] = memo
         if start_hint == NEG_INF:
             survivors = list(memo)
@@ -162,9 +144,15 @@ class _ShardState:
                 if entry[1] > start_hint and entry[1] - start_hint >= entry[5]
             ]
         skips = 0
+        runtime_skips = 0
         if count_skips and start_hint != NEG_INF:
-            skips = sum(1 for row in self._rows if row[1] <= start_hint)
-        return survivors, skips, perf_counter() - began
+            skips = self._columns.count_end_at_or_before(start_hint)
+            runtime_skips = sum(
+                1
+                for entry in memo
+                if entry[1] > start_hint and entry[1] - start_hint < entry[5]
+            )
+        return survivors, skips, runtime_skips, perf_counter() - began
 
     def commit(
         self,
@@ -180,62 +168,63 @@ class _ShardState:
             SlotListError: If no row matches the source slot — same
                 contract as :meth:`SlotIndex.commit`.
         """
-        rows = self._rows
-        position = bisect_left(rows, key, key=_row_key)
+        columns = self._columns
+        position = columns.bisect_key(key)
         if (
-            position == len(rows)
-            or _row_key(rows[position]) != key
-            or rows[position][4] != price
+            position == len(columns)
+            or columns.key_at(position) != key
+            or columns.prices[position] != price
         ):
             raise SlotListError(
                 f"no vacant slot on {resource_name!r} contains span "
                 f"[{span_start:g}, {span_end:g})"
             )
-        row = rows[position]
-        del rows[position]
+        row = columns.delete_at(position)
         remainders: list[Row] = []
         if span_start > row[0]:
             remainders.append((row[0], span_start, row[2], row[3], row[4]))
         if row[1] > span_end:
             remainders.append((span_end, row[1], row[2], row[3], row[4]))
         for remainder in remainders:
-            insort(rows, remainder, key=_row_key)
+            columns.insert_row(remainder)
         for memo_key, memo in self._memos.items():
             memo_position = bisect_left(memo, key, key=_row_key)
             if memo_position < len(memo) and _row_key(memo[memo_position]) == key:
                 del memo[memo_position]
             volume, min_performance, max_price = memo_key
             for remainder in remainders:
-                entry = _survivor(remainder, volume, min_performance, max_price)
+                entry = static_survivor(remainder, volume, min_performance, max_price)
                 if entry is not None:
                     insort(memo, entry, key=_row_key)
 
     def insert(self, row: Row, resource_name: str) -> None:
         """Re-insert vacant time (mirrors :meth:`SlotIndex.insert`).
 
+        The same-resource overlap check bisects to the insertion
+        neighbourhood (:meth:`ColumnStore.find_same_uid_overlap`)
+        instead of scanning the whole row prefix.
+
         Raises:
             SlotListError: If the row overlaps an existing row of the
                 same resource.
         """
         start, end, uid = row[0], row[1], row[2]
-        for existing in self._rows:
-            if existing[0] >= end:
-                break
-            if existing[2] == uid and existing[1] > start:
-                raise SlotListError(
-                    f"slot [{start:g}, {end:g}) on {resource_name!r} overlaps "
-                    f"vacant span [{existing[0]:g}, {existing[1]:g})"
-                )
-        insort(self._rows, row, key=_row_key)
+        overlap = self._columns.find_same_uid_overlap(start, end, uid)
+        if overlap is not None:
+            raise SlotListError(
+                f"slot [{start:g}, {end:g}) on {resource_name!r} overlaps "
+                f"vacant span [{overlap[0]:g}, {overlap[1]:g})"
+            )
+        self._columns.insert_row(row)
         for memo_key, memo in self._memos.items():
             volume, min_performance, max_price = memo_key
-            entry = _survivor(row, volume, min_performance, max_price)
+            entry = static_survivor(row, volume, min_performance, max_price)
             if entry is not None:
                 insort(memo, entry, key=_row_key)
 
     def rows(self) -> list[Row]:
         """Current rows of this shard, in scan order."""
-        return list(self._rows)
+        return self._columns.rows()
 
 
 def _shard_worker(connection: Connection, rows: list[Row]) -> None:
@@ -309,9 +298,13 @@ class ShardedSearchExecutor:
 
     Attributes:
         shards: Number of partitions.
-        last_hint_skips: Start-hint prune count of the most recent find
-            with ``count_skips=True`` (summed over shards; matches the
-            serial :meth:`SlotIndex.hint_skippable` value).
+        last_hint_skips: Tier-1 start-hint prune count (``end <=
+            start_hint``) of the most recent find with
+            ``count_skips=True`` (summed over shards; matches the serial
+            :meth:`SlotIndex.hint_prunes` first component).
+        last_runtime_skips: Tier-2 prune count of the same find — static
+            survivors with ``end - start_hint < runtime`` (matches the
+            serial :meth:`SlotIndex.hint_prunes` second component).
         shard_scan_seconds: Cumulative per-shard scan seconds, as
             measured inside each shard — the per-shard ``phase1.*``
             timing the instrumented search reports.
@@ -341,6 +334,7 @@ class ShardedSearchExecutor:
         self._owners = shard_owners(partitions)
         self.shards = shards
         self.last_hint_skips = 0
+        self.last_runtime_skips = 0
         self.shard_scan_seconds = [0.0] * shards
         self._hint_floor = float("inf")
         shard_rows: list[list[Row]] = [[] for _ in range(shards)]
@@ -461,12 +455,15 @@ class ShardedSearchExecutor:
         )
         streams: list[list[SurvivorRow]] = []
         skips = 0
+        runtime_skips = 0
         for shard, reply in enumerate(replies):
-            survivors, shard_skips, seconds = reply
+            survivors, shard_skips, shard_runtime_skips, seconds = reply
             streams.append(survivors)
             skips += shard_skips
+            runtime_skips += shard_runtime_skips
             self.shard_scan_seconds[shard] += seconds
         self.last_hint_skips = skips
+        self.last_runtime_skips = runtime_skips
         return streams
 
     def _owner_of(self, uid: int) -> int:
@@ -511,19 +508,38 @@ class ShardedSearchExecutor:
         )
         node_count = request.node_count
         window_start = NEG_INF
-        candidates: list[tuple[float, float, SurvivorRow]] = []
+        # Candidates are the survivor tuples themselves; events below
+        # ``min_bound`` (the smallest per-candidate
+        # :func:`~repro.core.columns.expiry_bound`) provably expire
+        # nobody, so the exact per-event expiry filter is skipped there
+        # — the same loop the serial :meth:`SlotIndex.find_alp_window`
+        # runs.
+        candidates: list[SurvivorRow] = []
+        min_bound = INF
         for entry in heap_merge(*streams, key=_row_key):
             start = entry[0]
             if start > window_start:
                 window_start = start
-                candidates = [c for c in candidates if c[0] - start >= c[1]]
-            candidates.append((entry[1], entry[5], entry))
+                if start >= min_bound:
+                    alive: list[SurvivorRow] = []
+                    min_bound = INF
+                    for c in candidates:
+                        if c[1] - start >= c[5]:
+                            alive.append(c)
+                            if c[6] < min_bound:
+                                min_bound = c[6]
+                    candidates = alive
+            candidates.append(entry)
+            if entry[6] < min_bound:
+                min_bound = entry[6]
             if len(candidates) == node_count:
                 allocations = [
-                    TaskAllocation(self._slot_of(c[2]), window_start, window_start + c[1])
+                    carved_allocation(
+                        self._slot_of(c), window_start, window_start + c[5]
+                    )
                     for c in candidates
                 ]
-                return Window(request, allocations)
+                return Window.from_scan(request, allocations)
         return None
 
     def find_amp_window_at(
@@ -550,26 +566,35 @@ class ShardedSearchExecutor:
         )
         node_count = request.node_count
         window_start = NEG_INF
-        candidates: list[tuple[float, float, float, int, SurvivorRow]] = []
+        candidates: list[SurvivorRow] = []
         ranked: list[tuple[float, int, float, SurvivorRow]] = []
         cheapest_total: float | None = None
+        min_bound = INF
         for entry in heap_merge(*streams, key=_row_key):
-            end = entry[1]
             runtime = entry[5]
             start = entry[0]
             if start > window_start:
                 window_start = start
-                alive = [c for c in candidates if c[0] - start >= c[1]]
-                if len(alive) != len(candidates):
-                    for expired in candidates:
-                        if expired[0] - start < expired[1]:
-                            if _remove_ranked(ranked, expired[2], expired[3]) < node_count:
-                                cheapest_total = None
+                # Same guarded expiry as the serial
+                # :meth:`SlotIndex.find_amp_window_at`; ``c[4] * c[5]``
+                # re-produces a candidate's cost bit-for-bit.
+                if start >= min_bound:
+                    alive: list[SurvivorRow] = []
+                    min_bound = INF
+                    for c in candidates:
+                        if c[1] - start >= c[5]:
+                            alive.append(c)
+                            if c[6] < min_bound:
+                                min_bound = c[6]
+                        elif _remove_ranked(ranked, c[4] * c[5], c[2]) < node_count:
+                            cheapest_total = None
                     candidates = alive
             uid = entry[2]
             cost = entry[4] * runtime
-            candidates.append((end, runtime, cost, uid, entry))
-            position = bisect_left(ranked, (cost, uid), key=_rank_key)
+            candidates.append(entry)
+            if entry[6] < min_bound:
+                min_bound = entry[6]
+            position = bisect_left(ranked, (cost, uid))
             ranked.insert(position, (cost, uid, runtime, entry))
             if position < node_count:
                 cheapest_total = None
@@ -584,10 +609,10 @@ class ShardedSearchExecutor:
                 chosen = ranked[:node_count]
                 sync = max(item[3][0] for item in chosen)
                 allocations = [
-                    TaskAllocation(self._slot_of(item[3]), sync, sync + item[2])
+                    carved_allocation(self._slot_of(item[3]), sync, sync + item[2])
                     for item in chosen
                 ]
-                return Window(request, allocations), start
+                return Window.from_scan(request, allocations), start
         return None
 
     def commit(self, window: Window) -> None:
@@ -679,7 +704,7 @@ def _remove_ranked(
     ranked: list[tuple[float, int, float, SurvivorRow]], cost: float, uid: int
 ) -> int:
     """Drop the ``(cost, uid)`` entry from the ranked list; return its position."""
-    position = bisect_left(ranked, (cost, uid), key=_rank_key)
+    position = bisect_left(ranked, (cost, uid))
     while position < len(ranked):
         entry = ranked[position]
         if entry[0] == cost and entry[1] == uid:

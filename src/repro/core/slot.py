@@ -212,11 +212,15 @@ class SlotList:
             The containing slot ``K`` that was removed.
 
         Raises:
-            SlotListError: If no vacant slot on ``resource`` fully
-                contains ``[start, end)``.
+            SlotListError: If the span is empty or negative
+                (``end <= start``) — subtracting nothing must not carve
+                a containing slot into fragments — or if no vacant slot
+                on ``resource`` fully contains ``[start, end)``.
         """
-        if end < start:
-            raise SlotListError(f"cannot subtract negative span [{start!r}, {end!r})")
+        if end <= start:
+            raise SlotListError(
+                f"cannot subtract empty or negative span [{start!r}, {end!r})"
+            )
         for index, candidate in enumerate(self._slots):
             if candidate.start > start:
                 break

@@ -22,7 +22,29 @@ from repro.core.job import ResourceRequest
 from repro.core.resource import Resource
 from repro.core.slot import Slot
 
-__all__ = ["TaskAllocation", "Window"]
+__all__ = ["TaskAllocation", "Window", "carved_allocation"]
+
+
+def carved_allocation(source: Slot, start: float, end: float) -> TaskAllocation:
+    """Construct a :class:`TaskAllocation` without re-validating containment.
+
+    Trusted fast path for the indexed and sharded finders, whose scan
+    invariants guarantee ``source.contains_span(start, end)``: a
+    candidate is only admitted while ``end - window_start >= runtime``
+    holds and rows are scanned in start order, so every emitted placement
+    fits its source slot by construction.  The naive reference finders
+    always construct through the validating ``__init__``, and the
+    differential oracles pin both paths to identical windows.
+    """
+    allocation = object.__new__(TaskAllocation)
+    object.__setattr__(allocation, "source", source)
+    object.__setattr__(allocation, "start", start)
+    object.__setattr__(allocation, "end", end)
+    return allocation
+
+
+def _allocation_uid(allocation: "TaskAllocation") -> int:
+    return allocation.source.resource.uid
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,7 +101,7 @@ class Window:
     source vacant slots).
     """
 
-    __slots__ = ("_request", "_allocations")
+    __slots__ = ("_request", "_allocations", "_end", "_cost")
 
     def __init__(self, request: ResourceRequest, allocations: Sequence[TaskAllocation]) -> None:
         if len(allocations) != request.node_count:
@@ -98,6 +120,30 @@ class Window:
         self._allocations = tuple(
             sorted(allocations, key=lambda a: (a.resource.uid, a.start))
         )
+        # Lazily cached aggregates — allocations are immutable, so the
+        # first computed value stays valid for the window's lifetime.
+        self._end: float | None = None
+        self._cost: float | None = None
+
+    @classmethod
+    def from_scan(cls, request: ResourceRequest, allocations: Sequence[TaskAllocation]) -> "Window":
+        """Construct a window from a finder's scan without re-validating.
+
+        Trusted fast path for the indexed and sharded finders: the scan
+        emits exactly ``node_count`` placements sharing one start, and
+        distinct resources follow from same-resource slots being
+        disjoint (two allocations covering the same start on one
+        resource would need overlapping vacant slots).  Sorting only by
+        resource uid matches ``__init__``'s ``(uid, start)`` order
+        because all starts are equal.  The naive reference finders
+        always construct through the validating ``__init__``.
+        """
+        window = object.__new__(cls)
+        window._request = request
+        window._allocations = tuple(sorted(allocations, key=_allocation_uid))
+        window._end = None
+        window._cost = None
+        return window
 
     # ------------------------------------------------------------------ #
     # Paper's Window fields                                              #
@@ -126,7 +172,11 @@ class Window:
     @property
     def end(self) -> float:
         """End of the *longest* placement (the rough right edge)."""
-        return max(allocation.end for allocation in self._allocations)
+        end = self._end
+        if end is None:
+            end = max(allocation.end for allocation in self._allocations)
+            self._end = end
+        return end
 
     @property
     def length(self) -> float:
@@ -136,7 +186,11 @@ class Window:
     @property
     def cost(self) -> float:
         """Total usage cost ``c_i(s̄_i)``: sum of placement costs."""
-        return sum(allocation.cost for allocation in self._allocations)
+        cost = self._cost
+        if cost is None:
+            cost = sum(allocation.cost for allocation in self._allocations)
+            self._cost = cost
+        return cost
 
     @property
     def unit_cost(self) -> float:

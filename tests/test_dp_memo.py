@@ -1,0 +1,198 @@
+"""Tests for the cross-cycle DP memoization (repro.core.optimize.DPMemo).
+
+The memo is keyed by the values the backward run consumes, so
+invalidation must be automatic: changing the alternative sets, the
+constraint limit, or a budget-forced resolution step-down must all miss.
+And memo-on runs must be byte-identical to memo-off runs — a hit returns
+exactly what recomputation would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Batch, Job, ResourceRequest, Slot, SlotList
+from repro.core.criteria import Criterion
+from repro.core.errors import InfeasibleConstraintError, OptimizationError
+from repro.core.optimize import (
+    DPMemo,
+    OptimizationBudget,
+    minimize_time,
+    optimize,
+    time_quota,
+    vo_budget,
+)
+from repro.core.scheduler import BatchScheduler, SchedulerConfig
+from repro.core.search import find_alternatives
+from repro.obs.telemetry import configure, get_telemetry, install
+from tests.conftest import make_random_batch, make_random_slot_list, make_resource
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry():
+    previous = get_telemetry()
+    yield
+    install(previous)
+
+
+def covered_alternatives(seed: int):
+    """Phase-1 alternatives for a seeded instance (covered jobs only)."""
+    result = find_alternatives(make_random_slot_list(seed), make_random_batch(seed))
+    return {job: windows for job, windows in result.alternatives.items() if windows}
+
+
+def combination_key(combination):
+    """Value identity of a phase-2 outcome (window object ids aside)."""
+    return (
+        combination.total_cost,
+        combination.total_time,
+        combination.degraded,
+        sorted(
+            (job.name, window.start, window.cost)
+            for job, window in combination.selection.items()
+        ),
+    )
+
+
+class TestMemoHitsAndInvalidation:
+    def test_identical_instance_hits_and_matches(self):
+        covered = covered_alternatives(1)
+        quota = time_quota(covered)
+        memo = DPMemo()
+        first = optimize(covered, Criterion.COST, quota, memo=memo)
+        assert memo.stats() == {"hits": 0, "misses": 1, "entries": 1}
+        second = optimize(covered, Criterion.COST, quota, memo=memo)
+        assert memo.hits == 1
+        assert combination_key(first) == combination_key(second)
+
+    def test_alternative_set_change_invalidates(self):
+        covered = covered_alternatives(2)
+        quota = time_quota(covered)
+        memo = DPMemo()
+        optimize(covered, Criterion.COST, quota, memo=memo)
+        # Drop one alternative of one job: the per-job (g, z) rows
+        # change, so the memo must miss, not serve the stale table.
+        job = next(job for job, windows in covered.items() if len(windows) > 1)
+        shrunk = dict(covered)
+        shrunk[job] = covered[job][:-1]
+        fresh = optimize(shrunk, Criterion.COST, quota, memo=memo)
+        assert memo.stats()["misses"] == 2
+        assert combination_key(fresh) == combination_key(
+            optimize(shrunk, Criterion.COST, quota, memo=DPMemo(enabled=False))
+        )
+
+    def test_quota_change_invalidates(self):
+        covered = covered_alternatives(3)
+        quota = time_quota(covered)
+        memo = DPMemo()
+        optimize(covered, Criterion.COST, quota, memo=memo)
+        optimize(covered, Criterion.COST, quota * 2.0, memo=memo)
+        assert memo.stats() == {"hits": 0, "misses": 2, "entries": 2}
+
+    def test_budget_stepdown_mid_stream_invalidates(self):
+        covered = covered_alternatives(4)
+        quota = time_quota(covered)
+        memo = DPMemo()
+        optimize(covered, Criterion.COST, quota, resolution=400, memo=memo)
+        # A max_cells budget forces the resolution down mid-stream: the
+        # discretization (capacity and z rows) changes, so the memo must
+        # miss and re-solve at the coarser bins.
+        total = sum(len(windows) for windows in covered.values())
+        budget = OptimizationBudget(max_cells=total * 101, min_resolution=50)
+        stepped = optimize(
+            covered, Criterion.COST, quota, resolution=400, budget=budget, memo=memo
+        )
+        assert memo.stats()["misses"] == 2
+        assert stepped.degraded
+        reference = optimize(
+            covered,
+            Criterion.COST,
+            quota,
+            resolution=400,
+            budget=budget,
+            memo=DPMemo(enabled=False),
+        )
+        assert combination_key(stepped) == combination_key(reference)
+
+    def test_infeasible_outcomes_are_cached(self):
+        resource = make_resource("solo", performance=1.0, price=1.0)
+        job = Job(ResourceRequest(node_count=1, volume=10.0), name="j0")
+        window = find_alternatives(
+            # One slot, one job, one window of length 10.
+            SlotList([Slot(resource, 0.0, 10.0)]),
+            Batch([job]),
+        ).alternatives[job]
+        memo = DPMemo()
+        for _ in range(2):
+            with pytest.raises(InfeasibleConstraintError):
+                optimize({job: window}, Criterion.COST, 1.0, memo=memo)
+        assert memo.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_lru_eviction_bounds_entries(self):
+        covered = covered_alternatives(5)
+        memo = DPMemo(max_entries=2)
+        quota = time_quota(covered)
+        for bump in range(4):
+            optimize(covered, Criterion.COST, quota + bump, memo=memo)
+        assert len(memo) == 2
+        assert memo.stats()["misses"] == 4
+
+    def test_disabled_memo_records_nothing(self):
+        covered = covered_alternatives(6)
+        memo = DPMemo(enabled=False)
+        quota = time_quota(covered)
+        optimize(covered, Criterion.COST, quota, memo=memo)
+        optimize(covered, Criterion.COST, quota, memo=memo)
+        assert memo.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(OptimizationError):
+            DPMemo(max_entries=0)
+
+
+class TestSchedulerByteIdentity:
+    @pytest.mark.parametrize("objective", [Criterion.TIME, Criterion.COST])
+    def test_memo_on_equals_memo_off_across_seeded_run(self, objective):
+        """Repeated seeded scheduling cycles: memo on ≡ memo off."""
+        memo = DPMemo()
+        on = BatchScheduler(SchedulerConfig(objective=objective, dp_memo=memo))
+        off = BatchScheduler(
+            SchedulerConfig(objective=objective, dp_memo=DPMemo(enabled=False))
+        )
+        for seed in range(8):
+            slots = make_random_slot_list(seed)
+            batch = make_random_batch(seed)
+            # Two cycles per seed so the second poses the memo an
+            # already-solved instance (a guaranteed cross-cycle hit).
+            for _ in range(2):
+                outcome_on = on.schedule(slots, batch)
+                outcome_off = off.schedule(slots, batch)
+                assert outcome_on.quota == outcome_off.quota
+                assert outcome_on.budget == outcome_off.budget
+                assert combination_key(outcome_on.combination) == combination_key(
+                    outcome_off.combination
+                )
+        assert memo.hits > 0
+
+    def test_vo_budget_hits_cross_cycle(self):
+        covered = covered_alternatives(7)
+        quota = time_quota(covered)
+        memo = DPMemo()
+        assert vo_budget(covered, quota, memo=memo) == vo_budget(
+            covered, quota, memo=memo
+        )
+        assert memo.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+
+class TestMemoTelemetry:
+    def test_hit_and_miss_counters(self):
+        configure()
+        telemetry = get_telemetry()
+        covered = covered_alternatives(8)
+        budget_limit = vo_budget(covered)
+        memo = DPMemo()
+        minimize_time(covered, budget_limit, memo=memo)
+        minimize_time(covered, budget_limit, memo=memo)
+        registry = telemetry.registry
+        assert registry.counter("dp.memo.misses", objective="time").value == 1
+        assert registry.counter("dp.memo.hits", objective="time").value == 1

@@ -487,3 +487,53 @@ def test_sharded_executor_amp_event_hints_match_index():
                 index.commit(reference[0])
                 executor.commit(sharded[0])
                 hint = reference[1]
+
+# --------------------------------------------------------------------- #
+# Column-path oracle: vectorized masks vs scalar fallback               #
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "algorithm", [SlotSearchAlgorithm.ALP, SlotSearchAlgorithm.AMP], ids=["alp", "amp"]
+)
+def test_column_scalar_fallback_matches_vectorized(algorithm, monkeypatch):
+    """The numpy-less scalar kernel is a drop-in for the vectorized masks.
+
+    :mod:`repro.core.columns` builds survivor memos through numpy masks
+    when available and through the scalar :func:`static_survivor` kernel
+    otherwise; the indexed search must not care which one ran.  Disable
+    numpy for the module and require byte-identical multi-pass results —
+    this is the column-path analogue of the indexed-vs-naive suite above.
+    """
+    import repro.core.columns as columns_module
+
+    for seed in range(40):
+        # One instance, three runs: resource uids are minted per slot
+        # list, so all paths must scan the *same* objects to compare.
+        slots = make_random_slot_list(seed, count=40)
+        batch = make_random_batch(seed)
+        naive = find_alternatives(slots, batch, algorithm, use_index=False)
+        vectorized = find_alternatives(slots, batch, algorithm, use_index=True)
+        with monkeypatch.context() as patch:
+            patch.setattr(columns_module, "_np", None)
+            scalar = find_alternatives(slots, batch, algorithm, use_index=True)
+        assert _search_fingerprint(scalar) == _search_fingerprint(vectorized), (
+            f"scalar fallback diverged from vectorized on seed={seed}"
+        )
+        assert _search_fingerprint(scalar) == _search_fingerprint(naive), (
+            f"scalar fallback diverged from naive reference on seed={seed}"
+        )
+
+
+def test_column_scalar_fallback_matches_serial_sharded(monkeypatch):
+    """Shard workers share the column kernels; the fallback must keep the
+    sharded merge byte-identical to the serial indexed path too."""
+    import repro.core.columns as columns_module
+
+    monkeypatch.setattr(columns_module, "_np", None)
+    for seed in range(10):
+        for algorithm in (SlotSearchAlgorithm.ALP, SlotSearchAlgorithm.AMP):
+            serial, sharded = _sharded_fingerprints(seed, algorithm, 3)
+            assert sharded == serial, (
+                f"divergence on seed={seed} algorithm={algorithm.value} (no numpy)"
+            )

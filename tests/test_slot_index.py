@@ -76,7 +76,9 @@ class TestInsert:
         index = SlotIndex(slots)
         victim = list(slots)[0]
         removed = index.subtract(victim.resource, 20.0, 60.0)
-        assert removed is victim
+        # The index stores primitive rows, not Slot objects, so the
+        # subtracted slot comes back as a value-equal reconstruction.
+        assert removed == victim
         from repro.core import Slot
 
         index.insert(Slot(victim.resource, 20.0, 60.0, victim.price))
