@@ -1,0 +1,138 @@
+"""Fault-injecting filesystem: the chaos side of the ``fsio`` seam.
+
+:class:`ChaosFilesystem` subclasses :class:`~repro.core.fsio.FileSystem`
+and consults a :class:`~repro.chaos.faults.FaultPlan` before every
+write, fsync, and rename the durability layer performs.  The injectable
+faults are the classic storage failure modes:
+
+========== =============================================================
+``crash``  :class:`~repro.chaos.faults.SimulatedCrash` raised at the
+           operation — a ``write`` crash lands *after* the full record
+           hits the OS buffer, a ``torn`` crash lands mid-record, a
+           ``replace`` crash leaves only the temp file.
+``torn``   Half the payload is written, then the process "dies" — the
+           torn-trailing-record case the journal must skip on reopen.
+``enospc`` ``OSError(ENOSPC)`` before any byte is written — the journal
+           must fail-closed (:class:`~repro.core.errors.JournalClosedError`
+           on later appends).
+``fsync_fail`` ``OSError(EIO)`` from ``fsync`` — the fsyncgate pattern:
+           durability of the flushed record is unknown, the handle must
+           poison itself.
+``rename_fail`` ``OSError(EACCES)`` from the snapshot-publishing
+           ``os.replace`` — the previous snapshot must survive intact.
+``bitflip`` One bit of the payload flips silently before the write — the
+           CRC must catch it on replay, never silently re-apply it.
+========== =============================================================
+
+Everything is deterministic: the plan decides *which* call faults, and
+the bit-flip mutates a fixed position, so a failing campaign replays
+exactly from its ``--chaos-seed``.
+"""
+
+from __future__ import annotations
+
+import errno
+from pathlib import Path
+from typing import IO
+
+from repro.chaos.faults import FaultPlan, FaultPoint
+from repro.core.errors import InvariantViolationError
+from repro.core.fsio import FileSystem
+
+__all__ = ["ChaosFilesystem", "flip_one_bit"]
+
+
+def flip_one_bit(text: str) -> str:
+    """Flip the low bit of the last ASCII digit in ``text``.
+
+    Deterministic by construction, and a digit XOR 1 is still a digit,
+    so the mutated line stays valid JSON — the corruption is only
+    detectable by the record checksum, which is exactly the property the
+    CRC exists to provide.
+    """
+    for position in range(len(text) - 1, -1, -1):
+        if text[position].isdigit():
+            flipped = chr(ord(text[position]) ^ 1)
+            return text[:position] + flipped + text[position + 1 :]
+    raise InvariantViolationError(
+        "bitflip fault needs at least one digit in the payload; journal "
+        "records always contain seq/crc digits"
+    )
+
+
+class ChaosFilesystem(FileSystem):
+    """A :class:`~repro.core.fsio.FileSystem` that injects planned faults.
+
+    Args:
+        plan: The fault schedule consulted before every instrumented
+            operation.  Operations the plan does not fault pass straight
+            through to the real filesystem.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        #: The fault schedule driving this filesystem.
+        self.plan = plan
+
+    def _target(self, stream: IO[str]) -> str:
+        name = getattr(stream, "name", None)
+        return str(name) if name is not None else "<stream>"
+
+    def write(self, stream: IO[str], text: str) -> None:
+        """Write ``text``, or inject the planned write fault."""
+        target = self._target(stream)
+        point = self.plan.observe("write", target)
+        if point is None:
+            super().write(stream, text)
+            return
+        self._inject_write(point, stream, text, target)
+
+    def _inject_write(
+        self, point: FaultPoint, stream: IO[str], text: str, target: str
+    ) -> None:
+        if point.kind == "enospc":
+            raise OSError(errno.ENOSPC, "No space left on device (injected)")
+        if point.kind == "bitflip":
+            super().write(stream, flip_one_bit(text))
+            return
+        if point.kind == "torn":
+            # Half the record reaches the OS, then the "process dies":
+            # flush the fragment so the tear is actually on disk, exactly
+            # what a SIGKILL between write() and the trailing newline
+            # leaves behind.
+            super().write(stream, text[: max(1, len(text) // 2)])
+            super().flush(stream)
+            raise self.plan.crash(point, target)
+        # kind == "crash": the full record reached the OS buffer first.
+        super().write(stream, text)
+        super().flush(stream)
+        raise self.plan.crash(point, target)
+
+    def fsync(self, stream: IO[str]) -> None:
+        """Fsync, or inject the planned fsync fault."""
+        target = self._target(stream)
+        point = self.plan.observe("fsync", target)
+        if point is None:
+            super().fsync(stream)
+            return
+        if point.kind == "fsync_fail":
+            # Flush so user-space buffers drain, then report the device
+            # error fsyncgate made famous: the kernel may have dropped
+            # the dirty pages, durability is unknown.
+            super().flush(stream)
+            raise OSError(errno.EIO, "fsync failed: Input/output error (injected)")
+        super().fsync(stream)
+        raise self.plan.crash(point, target)
+
+    def replace(self, source: str | Path, target: str | Path) -> None:
+        """Rename, or inject the planned rename fault."""
+        label = str(target)
+        point = self.plan.observe("replace", label)
+        if point is None:
+            super().replace(source, target)
+            return
+        if point.kind == "rename_fail":
+            raise OSError(
+                errno.EACCES, f"cannot replace {label!r}: Permission denied (injected)"
+            )
+        # kind == "crash": die before the rename publishes the new file.
+        raise self.plan.crash(point, label)

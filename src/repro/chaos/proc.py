@@ -1,0 +1,181 @@
+"""Worker-kill injection and the supervised-restart ladder.
+
+Two parallel layers run real OS processes: the experiment engine's
+:class:`~repro.sim.experiment.ParallelRunner` (a
+``concurrent.futures`` process pool) and the
+:class:`~repro.core.shard_search.ShardedSearchExecutor` process mode
+(one pipe-connected ``multiprocessing.Process`` per shard).  This module
+provides both the *supervision* those layers use to survive a dead
+worker and the *injection* the chaos harness uses to kill one on
+purpose:
+
+* :class:`WorkerSupervisor` — the restart budget and bounded
+  exponential-backoff ladder (the same shape as
+  :class:`~repro.grid.resilience.RetryPolicy`, shrunk to process
+  restarts).  Because every worker assignment is derived-seed pure,
+  a restarted worker recomputes exactly what the dead one would have
+  produced, so supervised recovery is byte-identical to an undisturbed
+  run; an exhausted budget raises
+  :class:`~repro.core.errors.WorkerLostError`.
+* :class:`CrashOnceSpanTask` — a picklable stand-in for the experiment
+  engine's span task that ``SIGKILL``s its own worker process exactly
+  once (a sentinel file makes the second attempt succeed), driving the
+  pool's broken-pool recovery path with a *real* killed process.
+* :func:`kill_shard_worker` — ``SIGKILL`` one shard's worker process so
+  the executor's next operation exercises respawn-and-replay.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.core.errors import InvalidRequestError, InvariantViolationError
+from repro.obs.telemetry import get_telemetry
+
+if TYPE_CHECKING:
+    from repro.core.shard_search import ShardedSearchExecutor
+    from repro.sim.experiment import ExperimentConfig, ExperimentResult
+
+__all__ = [
+    "DEFAULT_SUPERVISOR",
+    "CrashOnceSpanTask",
+    "WorkerSupervisor",
+    "kill_shard_worker",
+]
+
+
+@dataclass(frozen=True)
+class WorkerSupervisor:
+    """Restart budget + backoff ladder for dead parallel workers.
+
+    Attributes:
+        max_restarts: How many times a lost worker (or broken pool) may
+            be replaced before :class:`~repro.core.errors.WorkerLostError`
+            is raised.  ``0`` disables supervision: the first loss is
+            fatal.
+        backoff_base: Sleep before the first restart, in seconds.  The
+            default keeps tests fast while still exercising the ladder.
+        backoff_factor: Multiplier applied per further restart.
+        backoff_cap: Upper bound on any single sleep.
+    """
+
+    max_restarts: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise InvalidRequestError(
+                f"max_restarts must be >= 0, got {self.max_restarts!r}"
+            )
+        if self.backoff_base < 0:
+            raise InvalidRequestError(
+                f"backoff_base must be >= 0, got {self.backoff_base!r}"
+            )
+        if self.backoff_factor < 1.0:
+            raise InvalidRequestError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+        if self.backoff_cap < self.backoff_base:
+            raise InvalidRequestError(
+                f"backoff_cap {self.backoff_cap!r} below base {self.backoff_base!r}"
+            )
+
+    def delay(self, restarts: int) -> float:
+        """Backoff before restart number ``restarts`` (1-based).
+
+        Same ladder as :meth:`RetryPolicy.delay
+        <repro.grid.resilience.RetryPolicy.delay>`:
+        ``min(cap, base * factor**(restarts - 1))``.
+        """
+        if self.backoff_base <= 0.0:
+            return 0.0
+        exponent = max(0, restarts - 1)
+        return min(self.backoff_cap, self.backoff_base * self.backoff_factor**exponent)
+
+    def pause(self, restarts: int) -> None:
+        """Sleep the ladder delay for restart number ``restarts``."""
+        delay = self.delay(restarts)
+        if delay > 0.0:
+            time.sleep(delay)
+
+
+#: Supervisor used when a parallel layer is constructed without one.
+DEFAULT_SUPERVISOR = WorkerSupervisor()
+
+
+@dataclass(frozen=True)
+class CrashOnceSpanTask:
+    """Span task that ``SIGKILL``s its own pool worker exactly once.
+
+    A drop-in for :func:`repro.sim.experiment._run_span` (the
+    ``span_task`` seam of :class:`~repro.sim.experiment.ParallelRunner`):
+    the first worker whose span contains ``victim_index`` creates the
+    sentinel file and kills itself — breaking the whole
+    ``concurrent.futures`` pool, exactly like a real OOM-kill — and
+    every later attempt, which sees the sentinel, computes the span
+    normally.  Instances are pickled into the worker, so all state must
+    be immutable values.
+
+    Attributes:
+        sentinel: Path used to remember that the kill already happened.
+        victim_index: Iteration index whose owning span triggers the
+            kill (faults target *work*, not worker identity, so the
+            campaign is worker-count independent).
+    """
+
+    sentinel: str
+    victim_index: int
+
+    def __call__(
+        self, config: "ExperimentConfig", start: int, stop: int
+    ) -> "ExperimentResult":
+        """Run the span, killing this worker first if it is the victim."""
+        from repro.sim.experiment import _run_span
+
+        if start <= self.victim_index < stop and not Path(self.sentinel).exists():
+            Path(self.sentinel).touch()
+            os.kill(os.getpid(), signal.SIGKILL)
+        return _run_span(config, start, stop)
+
+
+def kill_shard_worker(executor: "ShardedSearchExecutor", shard: int) -> int:
+    """``SIGKILL`` the worker process behind ``shard``; returns its pid.
+
+    Only meaningful for a process-mode
+    :class:`~repro.core.shard_search.ShardedSearchExecutor`; the
+    executor's next operation on the shard observes the dead pipe and
+    runs its supervised respawn-and-replay path.
+
+    Raises:
+        InvalidRequestError: When the executor runs in-process or the
+            shard index is out of range.
+        InvariantViolationError: When the worker has no pid (never
+            started).
+    """
+    workers: list[Any] = getattr(executor, "_workers", [])
+    if not workers:
+        raise InvalidRequestError(
+            "kill_shard_worker needs a process-mode ShardedSearchExecutor "
+            "(constructed with processes=True)"
+        )
+    if not 0 <= shard < len(workers):
+        raise InvalidRequestError(
+            f"shard {shard} out of range for {len(workers)} workers"
+        )
+    worker = workers[shard]
+    pid = worker.pid
+    if pid is None:
+        raise InvariantViolationError(f"shard {shard} worker was never started")
+    worker.kill()
+    worker.join()
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.count("chaos.workers_killed", 1, layer="shard")
+    return int(pid)

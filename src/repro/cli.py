@@ -449,6 +449,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.chaos import run_campaigns
+
+    names = args.campaign if args.campaign else None
+    if args.dir is not None:
+        report = run_campaigns(args.dir, seed=args.chaos_seed, names=names)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+            report = run_campaigns(scratch, seed=args.chaos_seed, names=names)
+    print(report.summary())
+    return 0 if report.ok else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -728,6 +743,39 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[shard_options],
     )
     profile.set_defaults(handler=_cmd_profile)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the deterministic fault-injection campaigns",
+        parents=[telemetry_options],
+    )
+    chaos.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=20110368,
+        metavar="SEED",
+        help="master seed every campaign derives its fault placement from",
+    )
+    chaos.add_argument(
+        "--campaign",
+        action="append",
+        choices=["sweep", "experiment", "io", "pool", "shard"],
+        metavar="NAME",
+        help=(
+            "run only this campaign (repeatable); default runs all of "
+            "sweep, experiment, io, pool, shard"
+        ),
+    )
+    chaos.add_argument(
+        "--dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "scratch directory for journals and checkpoints (kept after "
+            "the run for inspection); default: a temporary directory"
+        ),
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
 
     return parser
 

@@ -33,6 +33,7 @@ from repro.core.errors import (
     InfeasibleConstraintError,
     InvalidRequestError,
     InvariantViolationError,
+    JournalClosedError,
     JournalCorruptError,
     OptimizationError,
     PersistenceError,
@@ -40,7 +41,9 @@ from repro.core.errors import (
     SchedulingError,
     SlotListError,
     WindowNotFoundError,
+    WorkerLostError,
 )
+from repro.core.fsio import FileSystem, REAL_FS
 from repro.core.job import Batch, Job, ResourceRequest
 from repro.core.journal import (
     JournalRecord,
@@ -169,6 +172,8 @@ __all__ = [
     "journal_header",
     "read_journal",
     "verify_record",
+    "FileSystem",
+    "REAL_FS",
     # auditing
     "Violation",
     "AuditError",
@@ -198,5 +203,7 @@ __all__ = [
     "AdmissionRejectedError",
     "PersistenceError",
     "JournalCorruptError",
+    "JournalClosedError",
     "CheckpointMismatchError",
+    "WorkerLostError",
 ]

@@ -21,7 +21,9 @@ __all__ = [
     "TelemetryError",
     "PersistenceError",
     "JournalCorruptError",
+    "JournalClosedError",
     "CheckpointMismatchError",
+    "WorkerLostError",
 ]
 
 
@@ -177,6 +179,54 @@ class JournalCorruptError(PersistenceError):
         self.path = path
         #: 1-based line number of the offending record, when known.
         self.line = line
+
+
+class JournalClosedError(PersistenceError):
+    """An append was attempted on a journal that has fail-closed.
+
+    After an append or ``fsync`` raises :class:`OSError`, the durability
+    of the in-flight record is *unknown* — the page cache may or may not
+    hold it, and a later successful append would silently write past a
+    record that never reached stable storage (the "fsyncgate" failure
+    mode).  The writer therefore poisons its handle on the first I/O
+    error: every subsequent :meth:`~repro.core.journal.JournalWriter.append`
+    raises this error until the journal is reopened, which re-scans the
+    file and truncates any torn tail.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None) -> None:
+        super().__init__(message)
+        #: The journal file whose handle is poisoned, when known.
+        self.path = path
+
+
+class WorkerLostError(SchedulingError):
+    """A parallel worker process died and supervised recovery gave up.
+
+    Raised by the parallel experiment engine
+    (:class:`~repro.sim.experiment.ParallelRunner`) and the sharded
+    search executor (:class:`~repro.core.shard_search.ShardedSearchExecutor`)
+    after a killed or wedged worker process could not be replaced within
+    the supervisor's bounded restart budget.  Because every worker
+    assignment is derived-seed pure, a *successful* supervised retry is
+    byte-identical to an undisturbed run; this error means the fault
+    recurred past the budget and the run cannot be trusted to finish.
+    Deriving from :class:`SchedulingError` maps it to the CLI's standard
+    exit code 2.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        restarts: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Index of the shard/span whose worker was lost, when known.
+        self.shard = shard
+        #: How many supervised restarts were attempted before giving up.
+        self.restarts = restarts
 
 
 class CheckpointMismatchError(PersistenceError):

@@ -1,0 +1,67 @@
+"""Injectable filesystem seam for the durable-state writers.
+
+Every byte the durability layer puts on disk — journal appends, snapshot
+temp-file writes, the atomic ``rename`` that publishes a snapshot, and
+the ``fsync`` calls that make all of it crash-safe — goes through one
+small object: :class:`FileSystem`.  Production code uses the process-wide
+:data:`REAL_FS` instance, which delegates straight to the stdlib.  The
+chaos engine (:mod:`repro.chaos.fs`) substitutes a fault-injecting
+subclass that can tear a write mid-record, return ``ENOSPC``, fail an
+``fsync``, refuse a rename, or flip a bit — all at deterministic,
+seed-derived points.
+
+The seam is deliberately tiny: it covers exactly the operations whose
+failure modes the durability layer must survive, and nothing else.
+Reads stay on the plain stdlib — a failed read is already surfaced as a
+typed error by the readers themselves.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO
+
+__all__ = ["FileSystem", "REAL_FS"]
+
+
+class FileSystem:
+    """Real filesystem operations behind the durability layer.
+
+    Subclasses override individual operations to inject faults; the base
+    class is a thin, allocation-free pass-through to the stdlib.  All
+    text streams are UTF-8.
+    """
+
+    def open(self, path: str | Path, mode: str) -> IO[str]:
+        """Open ``path`` as a UTF-8 text stream (``"w"`` / ``"a"`` …)."""
+        return open(path, mode, encoding="utf-8")
+
+    def write(self, stream: IO[str], text: str) -> None:
+        """Write ``text`` to an open stream."""
+        stream.write(text)
+
+    def flush(self, stream: IO[str]) -> None:
+        """Flush the stream's user-space buffer to the OS."""
+        stream.flush()
+
+    def fsync(self, stream: IO[str]) -> None:
+        """Flush and force the stream's bytes to stable storage."""
+        stream.flush()
+        os.fsync(stream.fileno())
+
+    def replace(self, source: str | Path, target: str | Path) -> None:
+        """Atomically rename ``source`` over ``target``."""
+        os.replace(source, target)
+
+    def fsync_directory(self, path: str | Path) -> None:
+        """Force a directory entry (e.g. after a rename) to stable storage."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+#: Process-wide pass-through instance used when no filesystem is injected.
+REAL_FS = FileSystem()

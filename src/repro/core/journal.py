@@ -28,15 +28,15 @@ of kind ``"journal"`` declaring :data:`JOURNAL_FORMAT`.
 from __future__ import annotations
 
 import json
-import os
 import warnings
 import zlib
 from time import perf_counter
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable
+from typing import IO, Any, Iterable
 
-from repro.core.errors import JournalCorruptError, PersistenceError
+from repro.core.errors import JournalClosedError, JournalCorruptError, PersistenceError
+from repro.core.fsio import REAL_FS, FileSystem
 from repro.obs.telemetry import get_telemetry
 
 __all__ = [
@@ -126,6 +126,17 @@ class JournalWriter:
             OS-buffered flush per record is an acceptable risk.
         header: Extra fields merged into the header record of a fresh
             journal (e.g. a config fingerprint for resume validation).
+        fs: Filesystem seam the writer performs I/O through.  Defaults
+            to the real filesystem; the chaos engine injects a
+            fault-raising :class:`~repro.core.fsio.FileSystem` here.
+
+    The writer is **fail-closed**: the first :class:`OSError` raised by
+    a write, flush, or fsync poisons the handle, and every later
+    :meth:`append` raises :class:`~repro.core.errors.JournalClosedError`.
+    After a failed fsync the durability of the in-flight record is
+    unknown, so appending past it could silently build on state that
+    never reached disk; reopening the path re-scans the file and
+    truncates any torn tail, which is the only safe way to resume.
     """
 
     def __init__(
@@ -134,10 +145,13 @@ class JournalWriter:
         *,
         fsync: bool = True,
         header: dict[str, Any] | None = None,
+        fs: FileSystem | None = None,
     ) -> None:
         self.path = Path(path)
         self._fsync = fsync
-        self._stream = None
+        self._fs = fs if fs is not None else REAL_FS
+        self._stream: IO[str] | None = None
+        self._poisoned = False
         existing = 0
         fresh = True
         if self.path.exists() and self.path.stat().st_size > 0:
@@ -149,18 +163,16 @@ class JournalWriter:
                 # written after the fragment would share its line and be
                 # unreadable forever.
                 try:
-                    with open(self.path, "w", encoding="utf-8") as stream:
+                    with self._fs.open(self.path, "w") as stream:
                         for line in valid_lines:
-                            stream.write(line)
-                            stream.write("\n")
-                        stream.flush()
-                        os.fsync(stream.fileno())
+                            self._fs.write(stream, line + "\n")
+                        self._fs.fsync(stream)
                 except OSError as error:
                     raise PersistenceError(
                         f"cannot truncate torn journal {str(self.path)!r}: {error}"
                     ) from error
         try:
-            self._stream = open(self.path, "a", encoding="utf-8")
+            self._stream = self._fs.open(self.path, "a")
         except OSError as error:
             raise PersistenceError(f"cannot open journal {str(self.path)!r}: {error}") from error
         self._seq = existing
@@ -176,9 +188,18 @@ class JournalWriter:
         """Durably append one record; returns its sequence number.
 
         Raises:
+            JournalClosedError: When a previous append failed and the
+                handle is fail-closed (reopen the path to resume).
             PersistenceError: When the journal is closed or the write
-                fails.
+                fails (the failing call also poisons the handle).
         """
+        if self._poisoned:
+            raise JournalClosedError(
+                f"journal {str(self.path)!r} is fail-closed after a write/fsync "
+                f"failure; the durability of record seq {self._seq} is unknown — "
+                f"reopen the journal to truncate any torn tail and resume",
+                path=str(self.path),
+            )
         if self._stream is None:
             raise PersistenceError(f"journal {str(self.path)!r} is closed")
         record = {
@@ -190,12 +211,15 @@ class JournalWriter:
         telemetry = get_telemetry()
         began = perf_counter() if telemetry.enabled else 0.0
         try:
-            self._stream.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
-            self._stream.write("\n")
-            self._stream.flush()
+            self._fs.write(
+                self._stream,
+                json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n",
+            )
+            self._fs.flush(self._stream)
             if self._fsync:
-                os.fsync(self._stream.fileno())
+                self._fs.fsync(self._stream)
         except OSError as error:
+            self._poison()
             raise PersistenceError(
                 f"cannot append to journal {str(self.path)!r}: {error}"
             ) from error
@@ -206,6 +230,26 @@ class JournalWriter:
                 "phase.seconds", perf_counter() - began, phase="journal.fsync"
             )
         return record["seq"]
+
+    def _poison(self) -> None:
+        """Fail-close the handle after an I/O error (fsyncgate pattern)."""
+        self._poisoned = True
+        stream, self._stream = self._stream, None
+        if stream is not None:
+            try:
+                stream.close()
+            except OSError:
+                # The handle is already being abandoned; a close failure
+                # adds no information beyond the original I/O error.
+                pass
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("journal.fail_closed")
+
+    @property
+    def poisoned(self) -> bool:
+        """Whether the writer has fail-closed after an I/O error."""
+        return self._poisoned
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""

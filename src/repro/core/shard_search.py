@@ -56,7 +56,7 @@ from multiprocessing import Pipe, Process
 from multiprocessing.connection import Connection
 from operator import itemgetter
 from time import perf_counter
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.core import errors
 from repro.core.columns import ColumnStore, Row, SurvivorRow, static_survivor
@@ -65,12 +65,17 @@ from repro.core.errors import (
     InvariantViolationError,
     SchedulingError,
     SlotListError,
+    WorkerLostError,
 )
 from repro.core.job import ResourceRequest
 from repro.core.partition import partition_uids, shard_owners
 from repro.core.resource import Resource
 from repro.core.slot import Slot, SlotList
 from repro.core.window import Window, carved_allocation
+from repro.obs.telemetry import get_telemetry
+
+if TYPE_CHECKING:
+    from repro.chaos.proc import WorkerSupervisor
 
 __all__ = ["ShardedSearchExecutor"]
 
@@ -233,8 +238,10 @@ def _shard_worker(connection: Connection, rows: list[Row]) -> None:
     Every reply is a tagged tuple: ``("ok", payload)`` or
     ``("err", error type name, message)``.  Only library errors
     (:class:`SchedulingError`) are marshalled; anything else crashes the
-    worker, which the master surfaces as a broken-pipe
-    :class:`InvariantViolationError`.
+    worker, which the master's supervisor observes as a dead pipe and
+    answers with respawn-and-replay (then
+    :class:`~repro.core.errors.WorkerLostError` once its restart budget
+    is spent).
     """
     state = _ShardState(rows)
     while True:
@@ -316,6 +323,7 @@ class ShardedSearchExecutor:
         shards: int,
         *,
         processes: bool | None = None,
+        supervisor: "WorkerSupervisor | None" = None,
     ) -> None:
         """Partition ``slots`` into ``shards`` blocks and start workers.
 
@@ -325,6 +333,15 @@ class ShardedSearchExecutor:
             processes: Force worker processes on/off; ``None`` (default)
                 stays in-process — see the class docstring for when
                 processes pay off.
+            supervisor: Restart budget/backoff for dead worker processes
+                (process mode only).  Defaults to
+                :data:`repro.chaos.proc.DEFAULT_SUPERVISOR`; a dead
+                worker is respawned from the shard's initial rows, its
+                committed mutations replayed in order, and the in-flight
+                operation retried — byte-identical to an undisturbed run
+                because shard state is a pure function of the mutation
+                sequence.  An exhausted budget raises
+                :class:`~repro.core.errors.WorkerLostError`.
         """
         materialized = list(slots)
         self._resources: dict[int, Resource] = {
@@ -352,18 +369,39 @@ class ShardedSearchExecutor:
         self._states: list[_ShardState] | None = None
         self._connections: list[Connection] | None = None
         self._workers: list[Process] = []
+        self._supervisor: "WorkerSupervisor | None" = supervisor
+        # Respawn state (process mode): the rows each shard started from
+        # plus every mutation it acknowledged, so a replacement worker
+        # can be rebuilt to the exact pre-death state.
+        self._initial_rows: list[list[Row]] = []
+        self._op_logs: list[list[tuple[Any, ...]]] = []
         if processes:
-            connections: list[Connection] = []
-            for rows in shard_rows:
-                parent, child = Pipe()
-                worker = Process(target=_shard_worker, args=(child, rows), daemon=True)
-                worker.start()
-                child.close()
-                connections.append(parent)
-                self._workers.append(worker)
-            self._connections = connections
+            if self._supervisor is None:
+                # Deferred import: repro.chaos depends on repro.core, so
+                # the default supervisor is resolved at first use, never
+                # at module import time.
+                from repro.chaos.proc import DEFAULT_SUPERVISOR
+
+                self._supervisor = DEFAULT_SUPERVISOR
+            self._initial_rows = shard_rows
+            self._op_logs = [[] for _ in range(shards)]
+            self._connections = [self._spawn(shard) for shard in range(shards)]
         else:
             self._states = [_ShardState(rows) for rows in shard_rows]
+
+    def _spawn(self, shard: int) -> Connection:
+        """Start (or restart) the worker process backing ``shard``."""
+        parent, child = Pipe()
+        worker = Process(
+            target=_shard_worker, args=(child, self._initial_rows[shard]), daemon=True
+        )
+        worker.start()
+        child.close()
+        if shard < len(self._workers):
+            self._workers[shard] = worker
+        else:
+            self._workers.append(worker)
+        return parent
 
     # ------------------------------------------------------------------ #
     # Lifecycle                                                          #
@@ -374,21 +412,50 @@ class ShardedSearchExecutor:
         """Whether shard scans run in worker processes."""
         return self._connections is not None
 
-    def close(self) -> None:
-        """Stop worker processes; in-process mode is a no-op."""
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop worker processes; in-process mode is a no-op.
+
+        Each worker is asked to stop, then joined with a bounded
+        ``timeout``; a worker still alive after that is *wedged* (stuck
+        in a syscall, spinning, or ignoring its pipe) and is
+        ``terminate()``-d so shutdown can never hang.  Pipe failures
+        during the stop handshake are expected for workers that already
+        died and are recorded per shard.
+
+        Raises:
+            WorkerLostError: After cleanup, when any worker had to be
+                terminated — the error names the wedged shard(s).
+        """
         if self._connections is None:
             return
         connections, self._connections = self._connections, None
-        for connection in connections:
+        workers, self._workers = self._workers, []
+        telemetry = get_telemetry()
+        for shard, connection in enumerate(connections):
             try:
                 connection.send(("stop",))
                 connection.recv()
             except (OSError, EOFError):
-                pass
+                # The worker is already gone — which is what close() is
+                # after — but record which shard's pipe failed so a
+                # campaign can tell a clean stop from a dead worker.
+                if telemetry.enabled:
+                    telemetry.count("shard.pipe_failures", 1, shard=str(shard))
             connection.close()
-        for worker in self._workers:
-            worker.join()
-        self._workers = []
+        wedged: list[int] = []
+        for shard, worker in enumerate(workers):
+            worker.join(timeout)
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(1.0)
+                wedged.append(shard)
+        if wedged:
+            names = ", ".join(str(shard) for shard in wedged)
+            raise WorkerLostError(
+                f"shard worker(s) {names} did not stop within {timeout:g}s "
+                f"and were terminated",
+                shard=wedged[0],
+            )
 
     def __enter__(self) -> "ShardedSearchExecutor":
         return self
@@ -397,24 +464,95 @@ class ShardedSearchExecutor:
         self.close()
 
     # ------------------------------------------------------------------ #
-    # Worker protocol                                                    #
+    # Worker protocol (supervised in process mode)                       #
     # ------------------------------------------------------------------ #
 
-    def _receive(self, shard: int, connection: Connection) -> Any:
-        try:
-            reply = connection.recv()
-        except EOFError:
-            raise InvariantViolationError(
-                f"shard {shard} worker died mid-operation"
-            ) from None
-        if reply[0] == "ok":
-            return reply[1]
-        raise _error_type(reply[1])(reply[2])
+    def _respawn(self, shard: int, restarts: int) -> None:
+        """Replace a dead shard worker and replay its mutation log.
+
+        The supervisor's backoff ladder paces the restart; the new
+        worker starts from the shard's initial rows and re-applies every
+        *acknowledged* commit/insert in order, so its state is exactly
+        the dead worker's last consistent state.  An operation the dead
+        worker may have applied but never acknowledged is not replayed —
+        the caller re-sends it, so it lands exactly once.
+        """
+        if self._supervisor is None or self._connections is None:
+            raise InvariantViolationError("executor is closed")
+        self._supervisor.pause(restarts)
+        self._connections[shard].close()
+        self._connections[shard] = self._spawn(shard)
+        connection = self._connections[shard]
+        for message in self._op_logs[shard]:
+            try:
+                connection.send(message)
+                reply = connection.recv()
+            except (OSError, EOFError) as error:
+                raise WorkerLostError(
+                    f"shard {shard} replacement worker died replaying its "
+                    f"mutation log",
+                    shard=shard,
+                    restarts=restarts,
+                ) from error
+            if reply[0] != "ok":
+                raise InvariantViolationError(
+                    f"shard {shard} replacement worker rejected a previously "
+                    f"acknowledged op: {reply[1]}: {reply[2]}"
+                )
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("chaos.worker_restarts", 1, layer="shard")
+            if telemetry.decisions.enabled:
+                telemetry.decisions.emit(
+                    "chaos.worker_recovered",
+                    layer="shard",
+                    shard=shard,
+                    restarts=restarts,
+                    replayed=len(self._op_logs[shard]),
+                )
+
+    def _call_worker(
+        self, shard: int, message: tuple[Any, ...], *, record: bool
+    ) -> Any:
+        """Send one op to a shard worker under supervision.
+
+        A dead pipe (send ``OSError`` / recv ``EOFError``) triggers the
+        supervised respawn-and-replay path up to the supervisor's restart
+        budget; past it, :class:`~repro.core.errors.WorkerLostError`
+        names the shard.  ``record`` ops (commit/insert) are appended to
+        the shard's mutation log only after the worker acknowledges
+        them.
+        """
+        if self._connections is None or self._supervisor is None:
+            raise InvariantViolationError("executor is closed")
+        restarts = 0
+        while True:
+            try:
+                self._connections[shard].send(message)
+                reply = self._connections[shard].recv()
+            except (OSError, EOFError) as error:
+                restarts += 1
+                if restarts > self._supervisor.max_restarts:
+                    raise WorkerLostError(
+                        f"shard {shard} worker died mid-operation and the "
+                        f"supervisor's restart budget "
+                        f"({self._supervisor.max_restarts}) is exhausted",
+                        shard=shard,
+                        restarts=restarts - 1,
+                    ) from error
+                self._respawn(shard, restarts)
+                continue
+            if reply[0] == "ok":
+                if record:
+                    self._op_logs[shard].append(message)
+                return reply[1]
+            raise _error_type(reply[1])(reply[2])
 
     def _call_one(self, shard: int, message: tuple[Any, ...]) -> Any:
         if self._connections is not None:
-            self._connections[shard].send(message)
-            return self._receive(shard, self._connections[shard])
+            return self._call_worker(
+                shard, message, record=message[0] in ("commit", "insert")
+            )
         if self._states is None:
             raise InvariantViolationError("executor is closed")
         state = self._states[shard]
@@ -432,14 +570,39 @@ class ShardedSearchExecutor:
         raise InvalidRequestError(f"unknown shard op {op!r}")
 
     def _broadcast(self, message: tuple[Any, ...]) -> list[Any]:
-        """Run one op on every shard; parallel in process mode."""
+        """Run one op on every shard; parallel in process mode.
+
+        Sends are pipelined so shard scans overlap; a shard whose pipe
+        fails mid-round falls back to the supervised
+        :meth:`_call_worker` path, which respawns the worker and
+        re-issues this shard's (read-only) op.
+        """
         if self._connections is not None:
-            for connection in self._connections:
-                connection.send(message)
-            return [
-                self._receive(shard, connection)
-                for shard, connection in enumerate(self._connections)
-            ]
+            dead: set[int] = set()
+            for shard, connection in enumerate(self._connections):
+                try:
+                    connection.send(message)
+                except OSError:
+                    dead.add(shard)
+            replies: list[Any] = []
+            for shard, connection in enumerate(self._connections):
+                if shard in dead:
+                    replies.append(None)
+                    continue
+                try:
+                    replies.append(connection.recv())
+                except (OSError, EOFError):
+                    dead.add(shard)
+                    replies.append(None)
+            results: list[Any] = []
+            for shard, reply in enumerate(replies):
+                if shard in dead:
+                    results.append(self._call_worker(shard, message, record=False))
+                elif reply[0] == "ok":
+                    results.append(reply[1])
+                else:
+                    raise _error_type(reply[1])(reply[2])
+            return results
         return [self._call_one(shard, message) for shard in range(self.shards)]
 
     def _scan(
@@ -618,36 +781,16 @@ class ShardedSearchExecutor:
     def commit(self, window: Window) -> None:
         """Subtract the window's occupied spans on the owning shards.
 
+        Commits apply sequentially per allocation in *both* execution
+        modes, stopping at the first failure — so the two modes leave
+        identical shard state on a failed commit, and each mutation is
+        individually acknowledged before entering the shard's replay log
+        (the supervised-respawn exactly-once invariant).
+
         Raises:
             SlotListError: If some source slot is no longer present —
                 same contract as :meth:`SlotIndex.commit`.
         """
-        if self._connections is not None:
-            involved: list[int] = []
-            for allocation in window.allocations:
-                source = allocation.source
-                shard = self._owner_of(source.resource.uid)
-                self._connections[shard].send(
-                    (
-                        "commit",
-                        (source.start, source.end, source.resource.uid),
-                        allocation.start,
-                        allocation.end,
-                        source.price,
-                        source.resource.name,
-                    )
-                )
-                involved.append(shard)
-            failure: SchedulingError | None = None
-            for shard in involved:
-                try:
-                    self._receive(shard, self._connections[shard])
-                except SchedulingError as error:
-                    if failure is None:
-                        failure = error
-            if failure is not None:
-                raise failure
-            return
         for allocation in window.allocations:
             source = allocation.source
             self._call_one(

@@ -42,7 +42,6 @@ from __future__ import annotations
 
 import itertools
 import json
-import os
 from pathlib import Path
 from time import perf_counter
 from typing import Any
@@ -51,6 +50,7 @@ from repro.core import job as job_module
 from repro.core import resource as resource_module
 from repro.core.criteria import Criterion
 from repro.core.errors import CheckpointMismatchError, PersistenceError
+from repro.core.fsio import REAL_FS, FileSystem
 from repro.core.journal import JournalWriter, read_journal
 from repro.core.pricing import DemandAdjustedPricing, ExponentialPricing
 from repro.core.resource import Resource
@@ -465,32 +465,33 @@ def restore_metascheduler(data: dict[str, Any]) -> Metascheduler:
 # --------------------------------------------------------------------- #
 
 
-def save_snapshot(data: dict[str, Any], path: str | Path) -> Path:
+def save_snapshot(
+    data: dict[str, Any], path: str | Path, *, fs: FileSystem | None = None
+) -> Path:
     """Write a snapshot document atomically: tmp + fsync + rename.
 
     A crash at any point leaves either the previous snapshot or the new
     one — never a torn file.  The temporary file lives next to the
-    target so the rename stays within one filesystem.
+    target so the rename stays within one filesystem.  All I/O goes
+    through ``fs`` (the real filesystem by default) so the chaos engine
+    can fail the write, the fsync, or the publishing rename.
 
     Raises:
         PersistenceError: When the snapshot cannot be written.
     """
     path = Path(path)
+    fs = fs if fs is not None else REAL_FS
     tmp = path.with_name(path.name + ".tmp")
     telemetry = get_telemetry()
     began = perf_counter() if telemetry.enabled else 0.0
     try:
-        with open(tmp, "w", encoding="utf-8") as stream:
-            json.dump(data, stream, separators=(",", ":"), sort_keys=True)
-            stream.write("\n")
-            stream.flush()
-            os.fsync(stream.fileno())
-        os.replace(tmp, path)
-        directory = os.open(path.parent, os.O_RDONLY)
-        try:
-            os.fsync(directory)
-        finally:
-            os.close(directory)
+        with fs.open(tmp, "w") as stream:
+            fs.write(
+                stream, json.dumps(data, separators=(",", ":"), sort_keys=True) + "\n"
+            )
+            fs.fsync(stream)
+        fs.replace(tmp, path)
+        fs.fsync_directory(path.parent)
     except OSError as error:
         raise PersistenceError(
             f"cannot write snapshot {str(path)!r}: {error}"
@@ -550,6 +551,9 @@ class DurableMetascheduler:
             (created if missing).
         snapshot_every: Iterations between automatic snapshots.
         fsync: Force journal appends to stable storage per record.
+        fs: Filesystem seam for all durable writes (journal appends and
+            snapshot publishing).  Defaults to the real filesystem; the
+            chaos engine injects a fault-raising one.
     """
 
     def __init__(
@@ -559,6 +563,7 @@ class DurableMetascheduler:
         *,
         snapshot_every: int = 25,
         fsync: bool = True,
+        fs: FileSystem | None = None,
         _restored: bool = False,
     ) -> None:
         if snapshot_every < 1:
@@ -570,10 +575,12 @@ class DurableMetascheduler:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.snapshot_every = snapshot_every
         self._since_snapshot = 0
+        self._fs = fs if fs is not None else REAL_FS
         self._journal = JournalWriter(
             self.directory / JOURNAL_NAME,
             fsync=fsync,
             header={"checkpoint": CHECKPOINT_FORMAT},
+            fs=self._fs,
         )
         if not _restored:
             # A snapshot must always exist: restore() without one would
@@ -659,7 +666,7 @@ class DurableMetascheduler:
             # recorded before and after the crash carry the same trace id
             # and merge into one tree.
             data["trace_context"] = telemetry.context.to_dict()
-        path = save_snapshot(data, self.snapshot_path)
+        path = save_snapshot(data, self.snapshot_path, fs=self._fs)
         self._since_snapshot = 0
         return path
 
@@ -681,6 +688,7 @@ class DurableMetascheduler:
         *,
         snapshot_every: int = 25,
         fsync: bool = True,
+        fs: FileSystem | None = None,
     ) -> "DurableMetascheduler":
         """Rebuild the durable run from its snapshot + journal.
 
@@ -738,6 +746,7 @@ class DurableMetascheduler:
             directory,
             snapshot_every=snapshot_every,
             fsync=fsync,
+            fs=fs,
             _restored=True,
         )
         return durable

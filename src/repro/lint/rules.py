@@ -29,7 +29,17 @@ ENTROPY_ALLOWLIST = ("repro/obs/clock.py",)
 
 #: Sharded execution paths: every RNG here must be seeded through the
 #: derivation helpers or results stop being worker-count-invariant.
-SHARDED_PATHS = ("sim/experiment.py", "grid/resilience.py")
+#: The chaos engine is held to the same bar — fault placement must be a
+#: pure function of the master ``--chaos-seed`` or campaigns stop
+#: replaying.
+SHARDED_PATHS = (
+    "sim/experiment.py",
+    "grid/resilience.py",
+    "chaos/faults.py",
+    "chaos/fs.py",
+    "chaos/proc.py",
+    "chaos/harness.py",
+)
 
 #: Modules whose output is serialized, journaled, checksummed, or
 #: diffed byte-for-byte across runs.
@@ -46,7 +56,7 @@ SERIALIZATION_PATHS = (
 
 #: ``random`` module helpers that drive the *shared global* RNG (or the
 #: OS entropy pool, for SystemRandom) — never acceptable in seeded code.
-_SEED_DERIVERS = ("derive_iteration_seed", "derive_node_seed")
+_SEED_DERIVERS = ("derive_iteration_seed", "derive_node_seed", "derive_fault_seed")
 
 _WALL_CLOCK_CALLS = {
     "time.time": "wall-clock timestamp",

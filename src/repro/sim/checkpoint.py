@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.core.errors import CheckpointMismatchError
+from repro.core.fsio import FileSystem
 from repro.core.journal import JournalWriter, journal_header, read_journal
 from repro.sim.experiment import (
     AlgorithmSample,
@@ -119,6 +120,8 @@ class ExperimentCheckpoint:
             ``False`` still flushes per record — enough to survive a
             process kill, which is the failure mode experiments care
             about — without paying an fsync per iteration.
+        fs: Filesystem seam the underlying journal writes through
+            (defaults to the real filesystem; used by the chaos engine).
 
     Raises:
         CheckpointMismatchError: When resuming against a checkpoint
@@ -132,6 +135,7 @@ class ExperimentCheckpoint:
         *,
         resume: bool = False,
         fsync: bool = False,
+        fs: FileSystem | None = None,
     ) -> None:
         self.path = Path(path)
         self.fingerprint = config_fingerprint(config)
@@ -157,7 +161,7 @@ class ExperimentCheckpoint:
         elif self.path.exists():
             self.path.unlink()
         self._writer = JournalWriter(
-            self.path, fsync=fsync, header={"fingerprint": self.fingerprint}
+            self.path, fsync=fsync, header={"fingerprint": self.fingerprint}, fs=fs
         )
 
     def __contains__(self, index: int) -> bool:

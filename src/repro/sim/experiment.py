@@ -21,16 +21,22 @@ from __future__ import annotations
 
 import hashlib
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.proc import WorkerSupervisor
     from repro.grid.resilience import FailureConfig
     from repro.sim.checkpoint import ExperimentCheckpoint
 
 from repro.core.criteria import Criterion
-from repro.core.errors import InfeasibleConstraintError, InvalidRequestError
+from repro.core.errors import (
+    InfeasibleConstraintError,
+    InvalidRequestError,
+    WorkerLostError,
+)
 from repro.core.job import Batch
 from repro.core.optimize import (
     DEFAULT_RESOLUTION,
@@ -58,6 +64,10 @@ __all__ = [
     "run_pipeline",
     "trace_shard_path",
 ]
+
+#: Result type of one supervised ``pool.map`` (span results or outcome
+#: lists, depending on the calling path).
+_SpanResult = TypeVar("_SpanResult")
 
 
 @dataclass(frozen=True)
@@ -337,13 +347,23 @@ class _SeriesAccumulator:
 
 
 def _open_checkpoint(
-    config: ExperimentConfig, checkpoint: "str | Path | None", resume: bool
+    config: ExperimentConfig,
+    checkpoint: "str | Path | ExperimentCheckpoint | None",
+    resume: bool,
 ) -> "ExperimentCheckpoint | None":
-    """Open the optional resume journal for a runner (shared helper)."""
+    """Open the optional resume journal for a runner (shared helper).
+
+    An already-constructed :class:`~repro.sim.checkpoint.ExperimentCheckpoint`
+    passes through unchanged — the seam the chaos suite uses to hand the
+    runner a checkpoint backed by a fault-injecting filesystem.  The
+    runner closes whatever store it ran with, caller-provided or not.
+    """
     if checkpoint is None:
         return None
     from repro.sim.checkpoint import ExperimentCheckpoint
 
+    if isinstance(checkpoint, ExperimentCheckpoint):
+        return checkpoint
     return ExperimentCheckpoint(checkpoint, config, resume=resume)
 
 
@@ -365,7 +385,7 @@ class ExperimentRunner:
         self,
         *,
         progress: Callable[[int, int], None] | None = None,
-        checkpoint: "str | Path | None" = None,
+        checkpoint: "str | Path | ExperimentCheckpoint | None" = None,
         resume: bool = False,
     ) -> ExperimentResult:
         """Execute the series.
@@ -373,10 +393,11 @@ class ExperimentRunner:
         Args:
             progress: Optional callback ``(attempted_so_far, counted)``
                 invoked after every attempted iteration.
-            checkpoint: Optional path to a resumable checkpoint journal;
+            checkpoint: Optional path to a resumable checkpoint journal
+                (or an open :class:`~repro.sim.checkpoint.ExperimentCheckpoint`);
                 every completed iteration is appended so a killed run
-                can be resumed.  Without ``resume``, an existing file is
-                replaced.
+                can be resumed.  Without ``resume``, an existing file at
+                a given path is replaced.
             resume: Skip iterations already recorded in ``checkpoint``,
                 replaying their outcomes from disk.  The generators are
                 still advanced through skipped iterations, so the merged
@@ -556,19 +577,100 @@ class ParallelRunner:
     per-iteration seeding means results differ from
     :class:`ExperimentRunner`'s single-stream draws for the same master
     seed; both are fully reproducible, they are just different series.
+
+    A worker killed mid-run (OOM killer, operator ``SIGKILL``) breaks
+    the whole ``concurrent.futures`` pool; the runner catches that,
+    re-derives every shard's seeds, and retries the map on a fresh pool
+    under the supervisor's budget — byte-identical to an undisturbed run
+    because shards are pure functions of ``(config, span)``.  A loss
+    that recurs past the budget raises
+    :class:`~repro.core.errors.WorkerLostError` (CLI exit code 2).
     """
 
-    def __init__(self, config: ExperimentConfig | None = None, *, workers: int = 1) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        *,
+        workers: int = 1,
+        supervisor: "WorkerSupervisor | None" = None,
+        span_task: "Callable[[ExperimentConfig, int, int], ExperimentResult] | None" = None,
+    ) -> None:
+        """Configure the sharded runner.
+
+        Args:
+            config: The experiment series to run.
+            workers: Worker-process count (1 runs inline).
+            supervisor: Restart budget/backoff for a broken worker pool.
+                Defaults to a single fresh-pool retry
+                (``WorkerSupervisor(max_restarts=1)``).
+            span_task: Replacement for the per-shard span function on the
+                plain (untraced, uncheckpointed) parallel path — the
+                injection seam the chaos engine uses to kill a real
+                worker (:class:`repro.chaos.proc.CrashOnceSpanTask`).
+                Must be picklable and return the same result
+                :func:`_run_span` would.
+        """
         if workers < 1:
             raise InvalidRequestError(f"workers must be >= 1, got {workers!r}")
         self.config = config or ExperimentConfig()
         self.workers = workers
+        self._supervisor = supervisor
+        self._span_task = span_task
+
+    def _pool_supervisor(self) -> "WorkerSupervisor":
+        """The configured supervisor, or the one-fresh-pool-retry default."""
+        if self._supervisor is None:
+            from repro.chaos.proc import WorkerSupervisor
+
+            self._supervisor = WorkerSupervisor(max_restarts=1)
+        return self._supervisor
+
+    def _map_supervised(
+        self,
+        task: "Callable[..., _SpanResult]",
+        argument_lists: Sequence[Sequence[object]],
+    ) -> "list[_SpanResult]":
+        """``pool.map`` with broken-pool recovery.
+
+        A ``SIGKILL``-ed worker surfaces as :class:`BrokenProcessPool`
+        and poisons the whole executor, so recovery re-runs the *entire*
+        map on a fresh pool: every shard is a pure function of its
+        arguments, so the retried results are byte-identical and no
+        partial state needs reconciling.
+        """
+        supervisor = self._pool_supervisor()
+        restarts = 0
+        while True:
+            try:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    return list(pool.map(task, *argument_lists))
+            except BrokenProcessPool as error:
+                restarts += 1
+                from repro.obs.telemetry import get_telemetry
+
+                telemetry = get_telemetry()
+                if telemetry.enabled:
+                    telemetry.count("chaos.pool_broken", 1, layer="pool")
+                if restarts > supervisor.max_restarts:
+                    raise WorkerLostError(
+                        f"experiment worker pool broke {restarts} times "
+                        f"(a worker process died); supervisor budget "
+                        f"({supervisor.max_restarts} restart(s)) is exhausted",
+                        restarts=restarts - 1,
+                    ) from error
+                if telemetry.enabled:
+                    telemetry.count("chaos.worker_restarts", 1, layer="pool")
+                    if telemetry.decisions.enabled:
+                        telemetry.decisions.emit(
+                            "chaos.worker_recovered", layer="pool", restarts=restarts
+                        )
+                supervisor.pause(restarts)
 
     def run(
         self,
         *,
         progress: Callable[[int, int], None] | None = None,
-        checkpoint: "str | Path | None" = None,
+        checkpoint: "str | Path | ExperimentCheckpoint | None" = None,
         resume: bool = False,
         trace_base: "str | Path | None" = None,
     ) -> ExperimentResult:
@@ -578,10 +680,11 @@ class ParallelRunner:
             progress: Optional callback ``(attempted_so_far, counted)``;
                 with multiple workers it fires once per merged shard
                 rather than per iteration.
-            checkpoint: Optional path to a resumable checkpoint journal;
-                completed iterations are appended (in the parent
-                process) as shards finish.  Without ``resume``, an
-                existing file is replaced.
+            checkpoint: Optional path to a resumable checkpoint journal
+                (or an already-open :class:`ExperimentCheckpoint`, which
+                is used as-is); completed iterations are appended (in
+                the parent process) as shards finish.  Without
+                ``resume``, an existing file is replaced.
             resume: Skip iterations already recorded in ``checkpoint``.
                 Per-iteration derived seeds make every iteration
                 independent, so only the missing indices run; the merged
@@ -632,27 +735,26 @@ class ParallelRunner:
                     progress(index + 1, len(accumulator.samples))
             return accumulator.result(config, config.iterations)
         spans = _shard_spans(config.iterations, self.workers)
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            if trace_base is not None:
-                shards = list(
-                    pool.map(
-                        _run_span_traced,
-                        [config] * len(spans),
-                        [span[0] for span in spans],
-                        [span[1] for span in spans],
-                        [str(trace_base)] * len(spans),
-                        list(range(len(spans))),
-                    )
-                )
-            else:
-                shards = list(
-                    pool.map(
-                        _run_span,
-                        [config] * len(spans),
-                        [span[0] for span in spans],
-                        [span[1] for span in spans],
-                    )
-                )
+        if trace_base is not None:
+            shards = self._map_supervised(
+                _run_span_traced,
+                (
+                    [config] * len(spans),
+                    [span[0] for span in spans],
+                    [span[1] for span in spans],
+                    [str(trace_base)] * len(spans),
+                    list(range(len(spans))),
+                ),
+            )
+        else:
+            shards = self._map_supervised(
+                self._span_task if self._span_task is not None else _run_span,
+                (
+                    [config] * len(spans),
+                    [span[0] for span in spans],
+                    [span[1] for span in spans],
+                ),
+            )
         if progress is not None:
             attempted = 0
             counted = 0
@@ -690,15 +792,15 @@ class ParallelRunner:
         else:
             spans = _shard_spans(len(remaining), self.workers)
             chunks = [remaining[start:stop] for start, stop in spans]
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                for chunk, results in zip(
-                    chunks, pool.map(_run_indices, [config] * len(chunks), chunks)
-                ):
-                    for index, outcome in zip(chunk, results):
-                        store.record(index, outcome)
-                        outcomes[index] = outcome
-                    if progress is not None:
-                        progress(len(outcomes), _count_samples(outcomes))
+            chunk_results = self._map_supervised(
+                _run_indices, ([config] * len(chunks), chunks)
+            )
+            for chunk, results in zip(chunks, chunk_results):
+                for index, outcome in zip(chunk, results):
+                    store.record(index, outcome)
+                    outcomes[index] = outcome
+                if progress is not None:
+                    progress(len(outcomes), _count_samples(outcomes))
         accumulator = _SeriesAccumulator()
         for index in range(config.iterations):
             accumulator.add(outcomes[index])

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.sim",
     "repro.obs",
     "repro.lint",
+    "repro.chaos",
 ]
 
 

@@ -154,6 +154,24 @@ class TestDerivedSeedRule:
         report = lint_source(snippet, CORE_PATH, [rule])
         assert codes(report) == ["RPR002"]
 
+    def test_chaos_modules_are_in_scope(self):
+        # The chaos engine is sharded-path scoped: ad-hoc seeds there
+        # would make fault placement unreplayable from --chaos-seed.
+        snippet = "import random\nrng = random.Random(1 + 2)\n"
+        report = lint_source(snippet, "repro/chaos/harness.py", [DerivedSeedRule])
+        assert codes(report) == ["RPR002"]
+
+    def test_fault_seed_deriver_is_accepted(self):
+        snippet = (
+            "import random\n"
+            "from repro.chaos.faults import derive_fault_seed\n"
+            "def place(master, label):\n"
+            "    seed = derive_fault_seed(master, label)\n"
+            "    return random.Random(seed)\n"
+        )
+        report = lint_source(snippet, "repro/chaos/harness.py", [DerivedSeedRule])
+        assert report.findings == []
+
 
 # ---------------------------------------------------------------------- #
 # RPR003 — no bare assert                                                #
