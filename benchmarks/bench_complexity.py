@@ -27,7 +27,7 @@ from repro.baselines import backfill_find_window
 from repro.core import ResourceRequest
 from repro.core import alp, amp
 from repro.core import search as search_module
-from repro.core.optimize import DEFAULT_DP_MEMO
+from repro.core.optimize import DPMemo
 from repro.sim import ExperimentConfig, ParallelRunner, SlotGenerator, SlotGeneratorConfig, table
 
 from benchmarks.conftest import BENCH_SEED, BENCH_WORKERS, record_baseline, report
@@ -134,14 +134,15 @@ def test_growth_exponents(benchmark, capsys):
 # --------------------------------------------------------------------- #
 
 
-def _timed_series(*, workers: int, use_index: bool):
+def _timed_series(*, workers: int, use_index: bool, dp_memo=None):
     """Run the speedup workload once; returns (elapsed seconds, result).
 
     ``use_index=False`` flips :data:`repro.core.search.DEFAULT_USE_INDEX`
     for the duration — the escape hatch that restores the seed's naive
     O(m)-rescan behaviour.  Only the in-process (workers=1) run may be
     flipped: worker processes import the module fresh and would not see
-    the override.
+    the override.  ``dp_memo`` is the runner's explicit cross-run DP
+    memo (the global default memo is gone; sharing is opt-in).
     """
     assert use_index or workers == 1, "naive baseline must stay in-process"
     config = ExperimentConfig(
@@ -153,14 +154,14 @@ def _timed_series(*, workers: int, use_index: bool):
     search_module.DEFAULT_USE_INDEX = use_index
     try:
         started = time.perf_counter()
-        result = ParallelRunner(config, workers=workers).run()
+        result = ParallelRunner(config, workers=workers, dp_memo=dp_memo).run()
         elapsed = time.perf_counter() - started
     finally:
         search_module.DEFAULT_USE_INDEX = previous
     return elapsed, result
 
 
-def _best_series(*, workers: int, use_index: bool):
+def _best_series(*, workers: int, use_index: bool, dp_memo=None):
     """Best-of-:data:`SPEEDUP_REPEATS` wall time for one configuration.
 
     Every repeat must produce the byte-identical series (the engine is
@@ -170,7 +171,9 @@ def _best_series(*, workers: int, use_index: bool):
     best = math.inf
     result = None
     for _ in range(SPEEDUP_REPEATS):
-        elapsed, current = _timed_series(workers=workers, use_index=use_index)
+        elapsed, current = _timed_series(
+            workers=workers, use_index=use_index, dp_memo=dp_memo
+        )
         if result is None:
             result = current
         else:
@@ -205,12 +208,20 @@ def test_experiment_workload_speedup(capsys):
     parallel engine than on the seed's serial naive-rescan path — while
     producing byte-identical samples.  Each configuration is timed
     best-of-:data:`SPEEDUP_REPEATS` (see the constant's rationale)."""
-    naive_elapsed, naive_result = _best_series(workers=1, use_index=False)
-    memo_before = DEFAULT_DP_MEMO.stats()
-    indexed_elapsed, indexed_result = _best_series(workers=1, use_index=True)
-    memo_after = DEFAULT_DP_MEMO.stats()
-    # Cross-cycle DP memo traffic of the indexed repeats (in-process
-    # only: worker processes hold their own DEFAULT_DP_MEMO instances).
+    # One explicit memo shared across the serial timed runs — the same
+    # cross-run reuse the retired process-global memo used to provide,
+    # now visible and opt-in (worker runs build their own span-local
+    # memos; the parent process does no DP there).
+    serial_memo = DPMemo()
+    naive_elapsed, naive_result = _best_series(
+        workers=1, use_index=False, dp_memo=serial_memo
+    )
+    memo_before = serial_memo.stats()
+    indexed_elapsed, indexed_result = _best_series(
+        workers=1, use_index=True, dp_memo=serial_memo
+    )
+    memo_after = serial_memo.stats()
+    # Cross-cycle DP memo traffic of the indexed repeats.
     dp_memo_hits = memo_after["hits"] - memo_before["hits"]
     dp_memo_misses = memo_after["misses"] - memo_before["misses"]
     parallel_elapsed, parallel_result = _best_series(

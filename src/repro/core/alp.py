@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.errors import WindowNotFoundError
+from repro.core.errors import InvalidRequestError, WindowNotFoundError
 from repro.core.job import ResourceRequest
 from repro.core.slot import Slot, SlotList
 from repro.core.window import TaskAllocation, Window
@@ -87,7 +87,7 @@ class ForwardScan:
         starting at ``T_last`` still finishes inside the slot.
         """
         if time < self.window_start:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"forward scan cannot move backwards: {time!r} < {self.window_start!r}"
             )
         self.window_start = time

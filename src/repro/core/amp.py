@@ -29,7 +29,7 @@ candidate window.
 from __future__ import annotations
 
 from repro.core.alp import ForwardScan
-from repro.core.errors import WindowNotFoundError
+from repro.core.errors import InvalidRequestError, WindowNotFoundError
 from repro.core.job import ResourceRequest
 from repro.core.slot import Slot, SlotList
 from repro.core.window import Window
@@ -56,10 +56,10 @@ def cheapest_subset(candidates: list[Slot], request: ResourceRequest) -> tuple[l
     broken by resource uid so results are deterministic.
 
     Raises:
-        ValueError: If fewer than ``N`` candidates are supplied.
+        InvalidRequestError: If fewer than ``N`` candidates are supplied.
     """
     if len(candidates) < request.node_count:
-        raise ValueError(
+        raise InvalidRequestError(
             f"need at least {request.node_count} candidates, got {len(candidates)}"
         )
     ranked = sorted(

@@ -19,6 +19,7 @@ __all__ = [
     "RecoveryExhaustedError",
     "AdmissionRejectedError",
     "TelemetryError",
+    "TelemetryUsageError",
     "PersistenceError",
     "JournalCorruptError",
     "JournalClosedError",
@@ -247,4 +248,17 @@ class TelemetryError(SchedulingError):
     unsupported-format trace files; deriving from
     :class:`SchedulingError` lets the CLI map it to a non-zero exit code
     with the same handler as every other library failure.
+    """
+
+
+class TelemetryUsageError(TelemetryError, ValueError):
+    """An observability API was called with invalid values.
+
+    Counter decrements, histogram bounds out of order, quantiles outside
+    ``[0, 1]``, non-positive capacities — misuse of the :mod:`repro.obs`
+    surface, as opposed to trace-file failures (plain
+    :class:`TelemetryError`).  Also a :class:`ValueError`, so callers
+    catching the builtin keep working (RPR102 migration: every untyped
+    ``raise ValueError`` on the public observability surface became this
+    type).
     """

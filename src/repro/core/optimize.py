@@ -62,7 +62,6 @@ __all__ = [
     "optimize",
     "brute_force",
     "DEFAULT_RESOLUTION",
-    "DEFAULT_DP_MEMO",
 ]
 
 #: Default number of discretization bins for the constrained axis.  With
@@ -420,13 +419,6 @@ class DPMemo:
         return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
 
 
-#: Module-default memo used when callers do not supply their own: one
-#: process-wide cache shared by every scheduler the process runs, the
-#: cross-cycle reuse the ROADMAP asks for.  Correctness does not depend
-#: on cache identity — keys are pure values — so sharing is safe.
-DEFAULT_DP_MEMO = DPMemo()
-
-
 def _memoized_backward_run(
     g_values: list[list[float]],
     z_weights: list[list[int]],
@@ -445,9 +437,7 @@ def _memoized_backward_run(
     and misses are counted on the memo and, when telemetry is enabled,
     on the ``dp.memo.hits`` / ``dp.memo.misses`` counters.
     """
-    if memo is None:
-        memo = DEFAULT_DP_MEMO
-    if not memo.enabled:
+    if memo is None or not memo.enabled:
         return _backward_run(g_values, z_weights, capacity, maximize=maximize)
     key: _DPKey = (
         maximize,
@@ -496,9 +486,12 @@ def optimize(
     marked ``degraded=True`` and stays feasible — budget exhaustion
     never raises.
 
-    The backward run goes through ``memo`` (default
-    :data:`DEFAULT_DP_MEMO`) — see :class:`DPMemo`; a hit reproduces the
-    memo-off outcome exactly.
+    The backward run goes through ``memo`` when one is supplied — see
+    :class:`DPMemo`; a hit reproduces the memo-off outcome exactly.
+    ``memo=None`` (the default) recomputes every run: cross-cycle reuse
+    is an explicit opt-in owned by the caller (each
+    :class:`~repro.core.scheduler.BatchScheduler` holds its own memo),
+    never ambient process state.
 
     Raises:
         InfeasibleConstraintError: When no selection fits the limit
@@ -702,8 +695,8 @@ def vo_budget(
         budget: Optional degradation budget; on exhaustion ``B*`` is
             estimated by a greedy selection instead of the DP (a lower
             bound on the exact income, still quota-feasible).
-        memo: DP memo for the backward run (default
-            :data:`DEFAULT_DP_MEMO`; see :class:`DPMemo`).
+        memo: Optional DP memo for the backward run (``None``
+            recomputes; see :class:`DPMemo`).
 
     Raises:
         InfeasibleConstraintError: When even the fastest combination

@@ -73,13 +73,14 @@ class SchedulerConfig:
             for every count (``tests/test_reference_oracles.py``); pays
             off only on fleet-scale slot lists (see docs/benchmarks.md).
         dp_memo: Cross-cycle DP memo for the phase-2 backward runs;
-            ``None`` uses the process-wide
-            :data:`~repro.core.optimize.DEFAULT_DP_MEMO`.  Memo hits
-            reproduce the memo-off result exactly (value-keyed tables;
-            see :class:`~repro.core.optimize.DPMemo`), so this knob only
-            controls *where* the cache lives — e.g. a per-scheduler memo
-            for isolation, or ``DPMemo(enabled=False)`` to recompute
-            every run.
+            ``None`` (the default) gives every :class:`BatchScheduler`
+            built from this config its **own private** memo — schedulers
+            never share cache state implicitly.  Memo hits reproduce the
+            memo-off result exactly (value-keyed tables; see
+            :class:`~repro.core.optimize.DPMemo`), so this knob only
+            controls *where* the cache lives: pass one ``DPMemo``
+            instance to several configs to opt into explicit sharing, or
+            ``DPMemo(enabled=False)`` to recompute every run.
     """
 
     algorithm: SlotSearchAlgorithm = SlotSearchAlgorithm.AMP
@@ -152,6 +153,18 @@ class BatchScheduler:
 
     def __init__(self, config: SchedulerConfig | None = None) -> None:
         self.config = config or SchedulerConfig()
+        # Scheduler-local unless the config opts into explicit sharing:
+        # DP cache traffic must never cross scheduler instances
+        # implicitly (that was the old process-wide DEFAULT_DP_MEMO,
+        # retired as the canonical RPR101 shared-state finding).
+        self._dp_memo = (
+            self.config.dp_memo if self.config.dp_memo is not None else DPMemo()
+        )
+
+    @property
+    def dp_memo(self) -> DPMemo:
+        """This scheduler's DP memo (shared only if the config says so)."""
+        return self._dp_memo
 
     def schedule(self, slot_list: SlotList, batch: Batch) -> ScheduleOutcome:
         """Schedule ``batch`` against the vacant ``slot_list``.
@@ -213,14 +226,14 @@ class BatchScheduler:
                         quota,
                         resolution=config.resolution,
                         budget=config.budget,
-                        memo=config.dp_memo,
+                        memo=self._dp_memo,
                     )
                     combination = minimize_time(
                         covered,
                         budget,
                         resolution=config.resolution,
                         budget=config.budget,
-                        memo=config.dp_memo,
+                        memo=self._dp_memo,
                     )
                 else:
                     combination = minimize_cost(
@@ -228,7 +241,7 @@ class BatchScheduler:
                         quota,
                         resolution=config.resolution,
                         budget=config.budget,
-                        memo=config.dp_memo,
+                        memo=self._dp_memo,
                     )
             except InfeasibleConstraintError:
                 if config.infeasible_policy is InfeasiblePolicy.RAISE:

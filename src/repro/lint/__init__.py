@@ -20,29 +20,54 @@ invariants that no general-purpose linter knows about:
   (``repro/core``, ``repro/grid``) sits behind an enabled-guard, so
   disabled telemetry stays zero-cost.
 
+On top of the per-module rules sits a whole-program layer: a project
+symbol table with import/alias resolution (:mod:`repro.lint.project`),
+a conservative cross-module call graph (:mod:`repro.lint.graph`), and
+four flow rules (:mod:`repro.lint.flowrules`) — RPR101 no shared state
+in worker-reachable code, RPR102 typed errors at the ``__all__``
+surface, RPR103 fork-safe worker arguments, RPR104 deterministic
+resource lifecycles.
+
 This package checks those invariants statically, at lint time, instead
 of waiting for a 25 000-iteration differential run to diverge.  Run it
 as ``repro-lint src/`` (console script) or ``python -m repro.lint src/``;
-rules are one class each (:mod:`repro.lint.rules`), findings print as
-``file:line:col CODE message``, and inline
-``# repro-lint: disable=RPR00x`` comments suppress (and are counted).
-See ``docs/static-analysis.md`` for the full rule catalog and the
-suppression policy.
+rules are one class each (:mod:`repro.lint.rules`,
+:mod:`repro.lint.flowrules`), findings print as
+``file:line:col CODE message`` (or SARIF 2.1.0 via ``--format sarif``),
+and ``# repro-lint: disable=...`` comments suppress line- or file-wide
+(and are counted).  ``--changed-only`` scopes reporting to the git
+diff; ``--cache`` makes reruns incremental.  See
+``docs/static-analysis.md`` for the full rule catalog, the
+whole-program model and its conservatisms, and the suppression policy.
 """
 
 from repro.lint.base import (
     Finding,
     ModuleContext,
+    ProjectRule,
     Rule,
+    file_suppressions,
     module_key,
     parse_suppressions,
 )
+from repro.lint.cache import LintCache
 from repro.lint.engine import (
+    DEFAULT_RULES,
     LintReport,
     lint_file,
     lint_paths,
     lint_source,
+    lint_sources,
 )
+from repro.lint.flowrules import (
+    FLOW_RULES,
+    ExceptionContractRule,
+    ForkSafetyRule,
+    ResourceLifecycleRule,
+    SharedStateRule,
+)
+from repro.lint.graph import CallGraph
+from repro.lint.project import Project
 from repro.lint.rules import (
     ALL_RULES,
     BroadExceptRule,
@@ -53,21 +78,30 @@ from repro.lint.rules import (
     OrderedSerializationRule,
     rules_by_code,
 )
+from repro.lint.sarif import render_sarif, sarif_document
 from repro.lint.cli import main
 
 __all__ = [
     # data model
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
+    "file_suppressions",
     "module_key",
     "parse_suppressions",
     # engine
+    "DEFAULT_RULES",
     "LintReport",
+    "LintCache",
     "lint_source",
+    "lint_sources",
     "lint_file",
     "lint_paths",
-    # rules
+    # whole-program analysis
+    "Project",
+    "CallGraph",
+    # per-module rules
     "ALL_RULES",
     "EntropyRule",
     "DerivedSeedRule",
@@ -76,6 +110,15 @@ __all__ = [
     "BroadExceptRule",
     "GuardedTelemetryRule",
     "rules_by_code",
+    # flow rules
+    "FLOW_RULES",
+    "SharedStateRule",
+    "ExceptionContractRule",
+    "ForkSafetyRule",
+    "ResourceLifecycleRule",
+    # export
+    "render_sarif",
+    "sarif_document",
     # entry point
     "main",
 ]

@@ -14,12 +14,17 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import PurePath
-from typing import ClassVar, Iterable, Iterator
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.project import Project
 
 __all__ = [
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
+    "file_suppressions",
     "module_key",
     "parse_suppressions",
     "SUPPRESS_ALL",
@@ -94,6 +99,32 @@ def parse_suppressions(source: str) -> dict[int, set[str]]:
         if codes:
             suppressions[lineno] = codes
     return suppressions
+
+
+def file_suppressions(source: str) -> set[str]:
+    """Codes disabled for the *whole file* by comment-only directives.
+
+    A directive on a line of its own (nothing but the comment) scopes to
+    the entire file; a directive trailing code scopes to that line only
+    (see :func:`parse_suppressions`).  Codes of any rule family —
+    ``RPR0xx`` module rules and ``RPR1xx`` flow rules alike — are
+    accepted uniformly; the directive grammar never special-cases a
+    code prefix.
+    """
+    codes: set[str] = set()
+    for text in source.splitlines():
+        stripped = text.strip()
+        if not stripped.startswith("#"):
+            continue
+        match = _DIRECTIVE.search(stripped)
+        if match is None:
+            continue
+        codes.update(
+            code.strip().upper()
+            for code in match.group(1).split(",")
+            if code.strip()
+        )
+    return codes
 
 
 class ModuleContext:
@@ -189,6 +220,23 @@ class Rule:
             code=self.code,
             message=message,
         )
+
+
+@dataclass
+class ProjectRule(Rule):
+    """Base class for whole-program rules (cross-module flow analysis).
+
+    Unlike a plain :class:`Rule`, a project rule sees every parseable
+    module of the run at once — as a :class:`repro.lint.project.Project`
+    — and implements :meth:`check_project` instead of :meth:`check`.
+    The engine attributes each finding back to its module and applies
+    that file's suppressions, so a project rule's findings behave
+    exactly like per-module ones downstream.
+    """
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        """Yield findings for the whole project; base yields none."""
+        return iter(())
 
 
 def matches_suffix(key: str, suffixes: Iterable[str]) -> bool:

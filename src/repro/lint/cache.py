@@ -1,0 +1,177 @@
+"""Content-hash incremental cache for the lint engine.
+
+Per-module results are keyed by ``(path, sha256(source), rule
+signature)``; the whole-program (flow-rule) result is keyed by the
+digest of *every* file's content digest, because one edited module can
+change what is reachable in every other module.  A stale or corrupt
+cache file is discarded wholesale — the cache can only ever skip work,
+never change a result.
+
+The rule signature is the sorted tuple of rule codes plus
+:data:`CACHE_VERSION`; bump the version whenever any rule's behaviour
+changes so old caches invalidate themselves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from repro.lint.base import Finding
+
+__all__ = ["CACHE_VERSION", "LintCache", "source_digest"]
+
+#: Bump on any change to rule behaviour or the cache schema.
+CACHE_VERSION = 1
+
+
+def source_digest(source: str) -> str:
+    """Stable content hash of one file's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _encode_findings(findings: list[Finding]) -> list[dict[str, Any]]:
+    return [asdict(finding) for finding in findings]
+
+
+def _decode_findings(payload: Any) -> list[Finding] | None:
+    if not isinstance(payload, list):
+        return None
+    decoded = []
+    for entry in payload:
+        try:
+            decoded.append(Finding(**entry))
+        except TypeError:
+            return None
+    return decoded
+
+
+class LintCache:
+    """One cache file; load on construction, persist via :meth:`save`."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.hits = 0
+        self.misses = 0
+        self._files: dict[str, dict[str, Any]] = {}
+        self._project: dict[str, Any] | None = None
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = payload.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    # -- per-file entries ---------------------------------------------
+
+    def load_file(
+        self, path: str, digest: str, signature: str
+    ) -> tuple[list[Finding], list[Finding]] | None:
+        """Cached ``(findings, suppressed)`` for one unchanged file."""
+        entry = self._files.get(path)
+        if (
+            not isinstance(entry, dict)
+            or entry.get("digest") != digest
+            or entry.get("signature") != signature
+        ):
+            self.misses += 1
+            return None
+        findings = _decode_findings(entry.get("findings"))
+        suppressed = _decode_findings(entry.get("suppressed"))
+        if findings is None or suppressed is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, suppressed
+
+    def store_file(
+        self,
+        path: str,
+        digest: str,
+        signature: str,
+        findings: list[Finding],
+        suppressed: list[Finding],
+    ) -> None:
+        """Record one file's results under its content digest."""
+        self._files[path] = {
+            "digest": digest,
+            "signature": signature,
+            "findings": _encode_findings(findings),
+            "suppressed": _encode_findings(suppressed),
+        }
+
+    # -- whole-program entry ------------------------------------------
+
+    @staticmethod
+    def project_digest(file_digests: list[tuple[str, str]]) -> str:
+        """Digest over every (path, content digest) of the run."""
+        hasher = hashlib.sha256()
+        for path, digest in sorted(file_digests):
+            hasher.update(path.encode("utf-8"))
+            hasher.update(b"\x00")
+            hasher.update(digest.encode("utf-8"))
+            hasher.update(b"\x00")
+        return hasher.hexdigest()
+
+    def load_project(
+        self, digest: str, signature: str
+    ) -> tuple[list[Finding], list[Finding]] | None:
+        """Cached whole-program results for an unchanged tree."""
+        entry = self._project
+        if (
+            not isinstance(entry, dict)
+            or entry.get("digest") != digest
+            or entry.get("signature") != signature
+        ):
+            self.misses += 1
+            return None
+        findings = _decode_findings(entry.get("findings"))
+        suppressed = _decode_findings(entry.get("suppressed"))
+        if findings is None or suppressed is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, suppressed
+
+    def store_project(
+        self,
+        digest: str,
+        signature: str,
+        findings: list[Finding],
+        suppressed: list[Finding],
+    ) -> None:
+        """Record the whole-program results for the tree digest."""
+        self._project = {
+            "digest": digest,
+            "signature": signature,
+            "findings": _encode_findings(findings),
+            "suppressed": _encode_findings(suppressed),
+        }
+
+    # -- persistence --------------------------------------------------
+
+    def save(self) -> None:
+        """Write the cache atomically (tmp file + rename)."""
+        payload = {
+            "version": CACHE_VERSION,
+            "files": {path: self._files[path] for path in sorted(self._files)},
+            "project": self._project,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        tmp.replace(self.path)

@@ -3,6 +3,20 @@
 The engine is pure (no process exit, no printing) so tests and other
 tools can call it directly; :mod:`repro.lint.cli` layers the console
 behaviour (output format, summary, exit codes) on top.
+
+Two rule families run over one file set:
+
+* plain :class:`~repro.lint.base.Rule` subclasses see one module at a
+  time (the PR-5 model);
+* :class:`~repro.lint.base.ProjectRule` subclasses see the whole run as
+  a :class:`~repro.lint.project.Project` — the cross-module flow rules.
+
+Suppressions apply identically to both: a ``# repro-lint: disable=``
+directive trailing code silences that line, a directive on a line of
+its own silences the listed codes for the whole file.  With a
+:class:`~repro.lint.cache.LintCache`, per-module results are reused for
+unchanged files and the whole-program result is reused when *no* file
+changed (one edit anywhere can change reachability everywhere).
 """
 
 from __future__ import annotations
@@ -12,18 +26,34 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.lint.base import SUPPRESS_ALL, Finding, ModuleContext, Rule, parse_suppressions
+from repro.lint.base import (
+    SUPPRESS_ALL,
+    Finding,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    file_suppressions,
+    parse_suppressions,
+)
+from repro.lint.cache import CACHE_VERSION, LintCache, source_digest
+from repro.lint.flowrules import FLOW_RULES
+from repro.lint.project import Project
 from repro.lint.rules import ALL_RULES
 
 __all__ = [
+    "DEFAULT_RULES",
     "LintReport",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "lint_sources",
 ]
 
 #: Code attached to files the engine cannot parse at all.
 SYNTAX_ERROR_CODE = "RPR900"
+
+#: The full default rule set: per-module rules plus the flow rules.
+DEFAULT_RULES: tuple[type[Rule], ...] = ALL_RULES + FLOW_RULES
 
 
 def _finding_key(finding: Finding) -> tuple[str, int, int, str]:
@@ -63,8 +93,142 @@ class LintReport:
 
 
 def _instantiate(rules: Sequence[Rule | type[Rule]] | None) -> list[Rule]:
-    chosen = ALL_RULES if rules is None else rules
+    chosen = DEFAULT_RULES if rules is None else rules
     return [rule() if isinstance(rule, type) else rule for rule in chosen]
+
+
+def _signature(rules: Sequence[Rule]) -> str:
+    """Cache signature of a rule set (see :data:`~repro.lint.cache.CACHE_VERSION`)."""
+    return f"v{CACHE_VERSION}:" + ",".join(sorted(rule.code for rule in rules))
+
+
+class _Suppressions:
+    """Line- and file-scoped suppression directives of one source file."""
+
+    def __init__(self, source: str) -> None:
+        self.by_line = parse_suppressions(source)
+        self.file_wide = file_suppressions(source)
+
+    def silences(self, finding: Finding) -> bool:
+        allowed = self.by_line.get(finding.line, set()) | self.file_wide
+        return finding.code.upper() in allowed or SUPPRESS_ALL in allowed
+
+
+def _syntax_finding(path: str, error: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=error.lineno or 1,
+        col=(error.offset or 1) - 1,
+        code=SYNTAX_ERROR_CODE,
+        message=f"file does not parse: {error.msg}",
+    )
+
+
+def lint_sources(
+    files: Sequence[tuple[str, str]],
+    rules: Sequence[Rule | type[Rule]] | None = None,
+    *,
+    cache: LintCache | None = None,
+) -> LintReport:
+    """Lint ``(path, source)`` pairs as one run (the engine core).
+
+    Paths drive rule scoping and cross-module naming (see
+    :func:`repro.lint.base.module_key`); files that do not parse yield
+    one :data:`SYNTAX_ERROR_CODE` finding each and are excluded from the
+    whole-program stage.  ``cache`` (optional) short-circuits unchanged
+    files and, when nothing at all changed, the whole-program stage.
+    """
+    instantiated = _instantiate(rules)
+    module_rules = [r for r in instantiated if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in instantiated if isinstance(r, ProjectRule)]
+    module_signature = _signature(module_rules)
+    project_signature = _signature(project_rules)
+    report = LintReport()
+    trees: dict[str, ast.Module | None] = {}
+    sources: dict[str, str] = {}
+    digests: list[tuple[str, str]] = []
+
+    for path, source in files:
+        report.files_checked += 1
+        sources[path] = source
+        digest = source_digest(source) if cache is not None else ""
+        if cache is not None:
+            digests.append((path, digest))
+            cached = cache.load_file(path, digest, module_signature)
+            if cached is not None:
+                report.findings.extend(cached[0])
+                report.suppressed.extend(cached[1])
+                continue
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            finding = _syntax_finding(path, error)
+            report.findings.append(finding)
+            trees[path] = None
+            if cache is not None:
+                cache.store_file(path, digest, module_signature, [finding], [])
+            continue
+        trees[path] = tree
+        module = ModuleContext(path, source, tree)
+        suppressions = _Suppressions(source)
+        active: list[Finding] = []
+        silenced: list[Finding] = []
+        for rule in module_rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                (silenced if suppressions.silences(finding) else active).append(
+                    finding
+                )
+        report.findings.extend(active)
+        report.suppressed.extend(silenced)
+        if cache is not None:
+            cache.store_file(path, digest, module_signature, active, silenced)
+
+    if project_rules:
+        project_result = None
+        project_digest = ""
+        if cache is not None:
+            project_digest = LintCache.project_digest(digests)
+            project_result = cache.load_project(project_digest, project_signature)
+        if project_result is not None:
+            report.findings.extend(project_result[0])
+            report.suppressed.extend(project_result[1])
+        else:
+            parsed: list[tuple[str, str, ast.Module]] = []
+            for path, source in files:
+                if path not in trees:
+                    # Module stage was a cache hit — parse now for the
+                    # whole-program stage.
+                    try:
+                        trees[path] = ast.parse(source)
+                    except SyntaxError:
+                        trees[path] = None
+                tree = trees[path]
+                if tree is not None:
+                    parsed.append((path, source, tree))
+            project = Project.build(parsed)
+            suppression_maps = {
+                path: _Suppressions(source) for path, source, _ in parsed
+            }
+            active = []
+            silenced = []
+            for rule in project_rules:
+                for finding in rule.check_project(project):
+                    suppressions = suppression_maps.get(finding.path)
+                    if suppressions is not None and suppressions.silences(finding):
+                        silenced.append(finding)
+                    else:
+                        active.append(finding)
+            report.findings.extend(active)
+            report.suppressed.extend(silenced)
+            if cache is not None:
+                cache.store_project(
+                    project_digest, project_signature, active, silenced
+                )
+
+    report.sort()
+    return report
 
 
 def lint_source(
@@ -79,33 +243,7 @@ def lint_source(
     into the core-scoped rules.  A file that does not parse yields one
     :data:`SYNTAX_ERROR_CODE` finding instead of raising.
     """
-    report = LintReport(files_checked=1)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as error:
-        report.findings.append(
-            Finding(
-                path=path,
-                line=error.lineno or 1,
-                col=(error.offset or 1) - 1,
-                code=SYNTAX_ERROR_CODE,
-                message=f"file does not parse: {error.msg}",
-            )
-        )
-        return report
-    module = ModuleContext(path, source, tree)
-    suppressions = parse_suppressions(source)
-    for rule in _instantiate(rules):
-        if not rule.applies_to(module):
-            continue
-        for finding in rule.check(module):
-            allowed = suppressions.get(finding.line, set())
-            if finding.code.upper() in allowed or SUPPRESS_ALL in allowed:
-                report.suppressed.append(finding)
-            else:
-                report.findings.append(finding)
-    report.sort()
-    return report
+    return lint_sources([(path, source)], rules)
 
 
 def lint_file(
@@ -128,20 +266,24 @@ def _python_files(path: Path) -> list[Path]:
 def lint_paths(
     paths: Iterable[str | Path],
     rules: Sequence[Rule | type[Rule]] | None = None,
+    *,
+    cache: LintCache | None = None,
 ) -> LintReport:
     """Lint every Python file under the given files/directories.
+
+    All files form *one* run: the whole-program rules resolve imports
+    across every directory given.  ``cache`` is saved by the caller
+    (see :meth:`repro.lint.cache.LintCache.save`).
 
     Raises:
         FileNotFoundError: When a given path does not exist (a linter
             that silently checks nothing is worse than no linter).
     """
-    instantiated = _instantiate(rules)
-    report = LintReport()
+    files: list[tuple[str, str]] = []
     for raw in paths:
         path = Path(raw)
         if not path.exists():
             raise FileNotFoundError(f"lint target does not exist: {path}")
         for file_path in _python_files(path):
-            report.extend(lint_file(file_path, instantiated))
-    report.sort()
-    return report
+            files.append((str(file_path), file_path.read_text(encoding="utf-8")))
+    return lint_sources(files, rules, cache=cache)

@@ -1,0 +1,304 @@
+"""Conservative cross-module call graph + worker-reachability.
+
+Built on the :class:`~repro.lint.project.Project` symbol table.  Every
+top-level function and every method becomes a node (qualified as
+``pkg.module.func`` / ``pkg.module.Class.method``; nested functions and
+lambdas fold into their enclosing definition).  Edges are added only
+when the callee resolves statically:
+
+* direct calls to module-level functions, local or imported (aliases
+  and ``__init__`` re-export chains are followed);
+* ``self.method()`` inside a class, searched through statically
+  resolvable base classes;
+* constructor calls — ``Cls(...)`` adds edges to ``Cls.__init__`` and
+  ``Cls.__post_init__`` when defined, and tags the assigned local with
+  the class so later ``local.method()`` calls resolve;
+* methods on locals whose class is known from a constructor call or a
+  plain annotation (``x: Cls``);
+* bare *references* to known functions (callbacks handed to executors,
+  e.g. ``pool.map(worker_fn, ...)``) — a referenced function may be
+  called, so reachability must include it.
+
+Anything else — dynamic dispatch, getattr, values returned from calls,
+subscripted containers of callables — contributes **no edge**.  The
+graph is therefore an under-approximation of the true call relation on
+dynamic code and an over-approximation on referenced-but-never-called
+functions; the flow rules document how each one leans on that.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.lint.project import ClassInfo, Project, ProjectModule
+
+__all__ = ["CallGraph", "FunctionInfo"]
+
+#: Dunder methods a constructor call implicitly runs.
+_CONSTRUCTOR_METHODS = ("__init__", "__post_init__")
+
+
+@dataclass
+class FunctionInfo:
+    """One call-graph node: a function or method definition."""
+
+    qualname: str
+    module: ProjectModule
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+
+
+@dataclass
+class CallGraph:
+    """The project's functions and the resolvable may-call edges."""
+
+    project: Project
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls(project=project)
+        for module in project.sorted_modules():
+            for name, node in sorted(module.functions.items()):
+                graph._register(f"{module.name}.{name}", module, node, None)
+            for class_name, info in sorted(module.classes.items()):
+                for method_name, method in sorted(info.methods.items()):
+                    graph._register(
+                        f"{module.name}.{class_name}.{method_name}",
+                        module,
+                        method,
+                        class_name,
+                    )
+        for qualname in sorted(graph.functions):
+            graph.edges[qualname] = graph._collect_edges(graph.functions[qualname])
+        return graph
+
+    def _register(
+        self,
+        qualname: str,
+        module: ProjectModule,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+    ) -> None:
+        self.functions[qualname] = FunctionInfo(
+            qualname=qualname, module=module, node=node, class_name=class_name
+        )
+
+    # -- resolution helpers -------------------------------------------
+
+    def _class_of(self, module: ProjectModule, name: str) -> tuple[ProjectModule, ClassInfo] | None:
+        """Resolve a (possibly imported/aliased) class name."""
+        qualified = module.resolve_local(name)
+        if qualified is None:
+            return None
+        symbol = self.project.resolve_symbol(qualified)
+        if symbol is None or symbol.kind != "class":
+            return None
+        return symbol.module, symbol.module.classes[symbol.local_name]
+
+    def _method_qualname(
+        self, module: ProjectModule, info: ClassInfo, method: str, _depth: int = 0
+    ) -> str | None:
+        """Find ``method`` on the class or a statically known base."""
+        if method in info.methods:
+            return f"{module.name}.{info.name}.{method}"
+        if _depth >= 8:
+            return None
+        for base in info.bases:
+            dotted = self.project.resolve_expression(module, base)
+            if dotted is None:
+                continue
+            symbol = self.project.resolve_symbol(dotted)
+            if symbol is None or symbol.kind != "class":
+                continue
+            base_info = symbol.module.classes[symbol.local_name]
+            found = self._method_qualname(
+                symbol.module, base_info, method, _depth + 1
+            )
+            if found is not None:
+                return found
+        return None
+
+    def _constructor_targets(
+        self, module: ProjectModule, info: ClassInfo
+    ) -> list[str]:
+        targets = []
+        for dunder in _CONSTRUCTOR_METHODS:
+            qualname = self._method_qualname(module, info, dunder)
+            if qualname is not None and qualname in self.functions:
+                targets.append(qualname)
+        return targets
+
+    def _function_targets(
+        self, function: FunctionInfo, expr: ast.expr, local_types: dict[str, str]
+    ) -> list[str]:
+        """Qualnames a callable expression may invoke (possibly empty)."""
+        module = function.module
+        if isinstance(expr, ast.Name):
+            resolved = module.resolve_local(expr.id)
+            if resolved is None:
+                return []
+            symbol = self.project.resolve_symbol(resolved)
+            if symbol is None:
+                return []
+            if symbol.kind == "function":
+                qualname = f"{symbol.module.name}.{symbol.local_name}"
+                return [qualname] if qualname in self.functions else []
+            if symbol.kind == "class":
+                return self._constructor_targets(
+                    symbol.module, symbol.module.classes[symbol.local_name]
+                )
+            return []
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            # self.method() — resolve through the enclosing class.
+            if (
+                isinstance(base, ast.Name)
+                and base.id == "self"
+                and function.class_name is not None
+            ):
+                info = module.classes.get(function.class_name)
+                if info is None:
+                    return []
+                qualname = self._method_qualname(module, info, expr.attr)
+                return (
+                    [qualname]
+                    if qualname is not None and qualname in self.functions
+                    else []
+                )
+            # local.method() where the local's class is known.
+            if isinstance(base, ast.Name) and base.id in local_types:
+                symbol = self.project.resolve_symbol(local_types[base.id])
+                if symbol is not None and symbol.kind == "class":
+                    owner = symbol.module
+                    info = owner.classes[symbol.local_name]
+                    qualname = self._method_qualname(owner, info, expr.attr)
+                    return (
+                        [qualname]
+                        if qualname is not None and qualname in self.functions
+                        else []
+                    )
+                return []
+            # Dotted access: module.func, Class.method, alias chains.
+            dotted = self.project.resolve_expression(module, expr)
+            if dotted is None:
+                return []
+            symbol = self.project.resolve_symbol(dotted)
+            if symbol is None:
+                return []
+            if symbol.kind == "function":
+                qualname = f"{symbol.module.name}.{symbol.local_name}"
+                return [qualname] if qualname in self.functions else []
+            if symbol.kind == "class":
+                return self._constructor_targets(
+                    symbol.module, symbol.module.classes[symbol.local_name]
+                )
+            return []
+        return []
+
+    def _local_types(self, function: FunctionInfo) -> dict[str, str]:
+        """Local name -> class qualname, from constructors and annotations."""
+        module = function.module
+        types: dict[str, str] = {}
+
+        def note_annotation(name: str, annotation: ast.expr | None) -> None:
+            if annotation is None:
+                return
+            dotted = self.project.resolve_expression(module, annotation)
+            if dotted is None and isinstance(annotation, ast.Constant):
+                # String annotations: "ClassName" (no dotted forms).
+                if isinstance(annotation.value, str) and annotation.value.isidentifier():
+                    dotted = module.resolve_local(annotation.value)
+            if dotted is None:
+                return
+            symbol = self.project.resolve_symbol(dotted)
+            if symbol is not None and symbol.kind == "class":
+                types[name] = f"{symbol.module.name}.{symbol.local_name}"
+
+        arguments = function.node.args
+        for arg in [
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ]:
+            note_annotation(arg.arg, arg.annotation)
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                note_annotation(node.target.id, node.annotation)
+            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                callee = node.value.func
+                class_name: str | None = None
+                if isinstance(callee, ast.Name):
+                    class_name = callee.id
+                elif isinstance(callee, ast.Attribute):
+                    dotted = self.project.resolve_expression(module, callee)
+                    if dotted is not None:
+                        symbol = self.project.resolve_symbol(dotted)
+                        if symbol is not None and symbol.kind == "class":
+                            for target in node.targets:
+                                if isinstance(target, ast.Name):
+                                    types[target.id] = (
+                                        f"{symbol.module.name}.{symbol.local_name}"
+                                    )
+                            continue
+                if class_name is not None:
+                    resolved = self._class_of(module, class_name)
+                    if resolved is not None:
+                        owner, info = resolved
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                types[target.id] = f"{owner.name}.{info.name}"
+        return types
+
+    def _collect_edges(self, function: FunctionInfo) -> set[str]:
+        local_types = self._local_types(function)
+        targets: set[str] = set()
+        callee_positions: set[int] = set()
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Call):
+                callee_positions.add(id(node.func))
+                targets.update(
+                    self._function_targets(function, node.func, local_types)
+                )
+        # Bare references to known functions (callbacks shipped to
+        # executors, registries, ...): a referenced function may run.
+        for node in ast.walk(function.node):
+            if id(node) in callee_positions:
+                continue
+            if not isinstance(node, (ast.Name, ast.Attribute)):
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            for qualname in self._function_targets(function, node, local_types):
+                # References only count for plain functions; a bare
+                # class reference is not an instantiation.
+                if self.functions[qualname].class_name is None or isinstance(
+                    node, ast.Attribute
+                ):
+                    targets.add(qualname)
+        return targets
+
+    # -- queries ------------------------------------------------------
+
+    def reachable(self, roots: list[str]) -> dict[str, str]:
+        """Map each reachable function to the (first) root that reaches it.
+
+        Roots missing from the graph are ignored — an entry point whose
+        module is outside the linted set simply contributes nothing.
+        """
+        witness: dict[str, str] = {}
+        queue: deque[str] = deque()
+        for root in sorted(set(roots)):
+            if root in self.functions and root not in witness:
+                witness[root] = root
+                queue.append(root)
+        while queue:
+            current = queue.popleft()
+            for callee in sorted(self.edges.get(current, ())):
+                if callee not in witness:
+                    witness[callee] = witness[current]
+                    queue.append(callee)
+        return witness

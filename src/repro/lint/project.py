@@ -1,0 +1,310 @@
+"""Project symbol table: every module of one lint run, cross-resolvable.
+
+The per-module linter (:mod:`repro.lint.rules`) sees one file at a time;
+the flow rules (:mod:`repro.lint.flowrules`) need to know what a dotted
+name in module A refers to in module B.  This module builds that view:
+
+* each file becomes a :class:`ProjectModule` — its dotted module name,
+  import bindings (``from x import y as z`` maps ``z`` to ``x.y``),
+  top-level functions/classes, module-level assigned names, and the
+  literal ``__all__`` export list when one exists;
+* :class:`Project` resolves dotted names *across* modules, following
+  re-export chains through ``__init__`` files with a cycle guard, and
+  degrades to ``None`` for anything dynamic or external — resolution is
+  conservative by design: an unresolvable name produces no symbol, and
+  rules built on top must treat "no symbol" as "no finding".
+
+Module names derive from :func:`repro.lint.base.module_key`, so a tree
+rooted at ``src/repro`` and a test fixture tree rooted at
+``tmp_path/repro`` produce the same dotted names (``repro.core.x``) and
+therefore resolve each other's imports identically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.lint.base import module_key
+
+__all__ = [
+    "ClassInfo",
+    "Project",
+    "ProjectModule",
+    "ResolvedSymbol",
+    "module_name_from_key",
+]
+
+
+def module_name_from_key(key: str) -> str:
+    """Dotted module name for a :func:`module_key`-normalized path.
+
+    ``repro/core/optimize.py`` -> ``repro.core.optimize``;
+    ``repro/lint/__init__.py`` -> ``repro.lint``.
+    """
+    parts = key.split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class: its methods and (unresolved) base names."""
+
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    #: Base-class expressions as written (resolved lazily via imports).
+    bases: tuple[ast.expr, ...] = ()
+
+
+@dataclass
+class ResolvedSymbol:
+    """What a dotted name resolved to inside the project.
+
+    ``kind`` is one of ``"module"``, ``"function"``, ``"class"``, or
+    ``"name"`` (a module-level assigned name).  ``node`` is the defining
+    AST node when one exists (``None`` for modules).
+    """
+
+    kind: str
+    module: "ProjectModule"
+    local_name: str
+    node: ast.AST | None
+
+
+class ProjectModule:
+    """One parsed module and its locally resolvable symbols."""
+
+    def __init__(self, path: str, name: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.key = module_key(path)
+        self.name = name
+        self.source = source
+        self.tree = tree
+        self.imports: dict[str, str] = {}
+        self.functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.module_names: set[str] = set()
+        self.exports: tuple[str, ...] | None = None
+        self._index()
+
+    # -- construction -------------------------------------------------
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.key.endswith("/__init__.py"):
+            return self.name
+        head, _, _ = self.name.rpartition(".")
+        return head
+
+    def _resolve_relative(self, module: str | None, level: int) -> str | None:
+        """Absolute module named by a ``from ... import`` statement."""
+        if level == 0:
+            return module
+        anchor = self.package.split(".") if self.package else []
+        drop = level - 1
+        if drop > len(anchor):
+            return None
+        if drop:
+            anchor = anchor[:-drop]
+        if module:
+            anchor.extend(module.split("."))
+        return ".".join(anchor) or None
+
+    def _index(self) -> None:
+        # Imports anywhere in the module (function-local lazy imports
+        # included — they bind names the call graph must resolve).
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.imports[local] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_relative(node.module, node.level)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{base}.{alias.name}"
+        # Top-level definitions and module-scope bindings only.
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                info = ClassInfo(name=node.name, node=node, bases=tuple(node.bases))
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info.methods[item.name] = item
+                self.classes[node.name] = info
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                for name in _assigned_names(node):
+                    self.module_names.add(name)
+        self.exports = _literal_exports(self.tree)
+
+    # -- queries ------------------------------------------------------
+
+    def resolve_local(self, name: str) -> str | None:
+        """Qualified dotted target of a local name, if statically known."""
+        if name in self.imports:
+            return self.imports[name]
+        if name in self.functions or name in self.classes or name in self.module_names:
+            return f"{self.name}.{name}"
+        return None
+
+
+def _assigned_names(node: ast.stmt) -> Iterator[str]:
+    targets: list[ast.expr]
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    else:
+        return
+    for target in targets:
+        for leaf in ast.walk(target):
+            if isinstance(leaf, ast.Name):
+                yield leaf.id
+
+
+def _literal_exports(tree: ast.Module) -> tuple[str, ...] | None:
+    """The module's ``__all__`` when it is a literal list/tuple of strings."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            continue
+        value = node.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return None
+        names = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.append(element.value)
+            else:
+                return None
+        return tuple(names)
+    return None
+
+
+class Project:
+    """All modules of one lint run, resolvable against each other."""
+
+    def __init__(self, modules: Iterable[ProjectModule]) -> None:
+        self.modules: dict[str, ProjectModule] = {}
+        for module in modules:
+            self.modules[module.name] = module
+
+    @classmethod
+    def build(cls, files: Iterable[tuple[str, str, ast.Module]]) -> "Project":
+        """Build from ``(path, source, parsed tree)`` triples."""
+        return cls(
+            ProjectModule(path, module_name_from_key(module_key(path)), source, tree)
+            for path, source, tree in files
+        )
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "Project":
+        """Build from ``{dotted module name: source}`` (test fixtures).
+
+        Raises:
+            SyntaxError: When a fixture source does not parse — fixture
+                bugs should fail loudly, unlike engine inputs (which get
+                an RPR900 finding and are excluded from the project).
+        """
+        modules = []
+        for name, source in sources.items():
+            path = name.replace(".", "/") + ".py"
+            # "pkg.__init__" is the package "pkg", as on disk.
+            if name.endswith(".__init__"):
+                name = name[: -len(".__init__")]
+            modules.append(ProjectModule(path, name, source, ast.parse(source)))
+        return cls(modules)
+
+    def sorted_modules(self) -> list[ProjectModule]:
+        """Modules in name order (deterministic iteration for rules)."""
+        return [self.modules[name] for name in sorted(self.modules)]
+
+    def _split(self, qualified: str) -> tuple[ProjectModule, list[str]] | None:
+        """Longest known module prefix of ``qualified`` + the remainder."""
+        parts = qualified.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                return self.modules[prefix], parts[cut:]
+        return None
+
+    def resolve_symbol(
+        self, qualified: str, _seen: frozenset[str] = frozenset()
+    ) -> ResolvedSymbol | None:
+        """Resolve a dotted name to a project symbol, or ``None``.
+
+        Follows re-export chains (``from repro.core.optimize import
+        minimize_time`` in ``repro/core/__init__.py`` makes
+        ``repro.core.minimize_time`` resolve to the real function) with
+        a cycle guard, so mutually importing ``__init__`` files cannot
+        loop.  External names and anything dynamic resolve to ``None``.
+        """
+        if qualified in _seen:
+            return None
+        split = self._split(qualified)
+        if split is None:
+            return None
+        module, rest = split
+        if not rest:
+            return ResolvedSymbol("module", module, "", None)
+        head, tail = rest[0], rest[1:]
+        if head in module.functions:
+            if tail:
+                return None
+            return ResolvedSymbol("function", module, head, module.functions[head])
+        if head in module.classes:
+            info = module.classes[head]
+            if not tail:
+                return ResolvedSymbol("class", module, head, info.node)
+            if len(tail) == 1 and tail[0] in info.methods:
+                return ResolvedSymbol(
+                    "function", module, f"{head}.{tail[0]}", info.methods[tail[0]]
+                )
+            return None
+        if head in module.imports:
+            target = ".".join([module.imports[head], *tail])
+            return self.resolve_symbol(target, _seen | {qualified})
+        if head in module.module_names:
+            if tail:
+                return None
+            return ResolvedSymbol("name", module, head, None)
+        return None
+
+    def resolve_expression(
+        self, module: ProjectModule, node: ast.expr
+    ) -> str | None:
+        """Dotted name of a ``Name``/``Attribute`` chain in ``module``.
+
+        The chain's base name is expanded through the module's local
+        bindings (imports, then own definitions); non-dotted expressions
+        (calls, subscripts, literals) return ``None``.
+        """
+        attrs: list[str] = []
+        while isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = module.resolve_local(node.id) or node.id
+        attrs.append(base)
+        return ".".join(reversed(attrs))

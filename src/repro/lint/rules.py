@@ -520,7 +520,9 @@ class GuardedTelemetryRule(Rule):
         )
 
 
-#: The default rule set, in code order.
+#: The per-module rule set, in code order.  The engine's full default
+#: set additionally includes the whole-program flow rules — see
+#: :data:`repro.lint.engine.DEFAULT_RULES`.
 ALL_RULES: tuple[type[Rule], ...] = (
     EntropyRule,
     DerivedSeedRule,
@@ -532,5 +534,11 @@ ALL_RULES: tuple[type[Rule], ...] = (
 
 
 def rules_by_code() -> dict[str, type[Rule]]:
-    """Map ``RPR0xx`` code -> rule class for the default rule set."""
-    return {rule.code: rule for rule in ALL_RULES}
+    """Map rule code -> rule class, RPR0xx and RPR1xx alike.
+
+    Codes of both families resolve uniformly, so ``--select`` and
+    suppression bookkeeping never special-case the flow rules.
+    """
+    from repro.lint.flowrules import FLOW_RULES
+
+    return {rule.code: rule for rule in ALL_RULES + FLOW_RULES}

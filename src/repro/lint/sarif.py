@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 export of a :class:`~repro.lint.engine.LintReport`.
+
+SARIF (Static Analysis Results Interchange Format) is the artifact
+format CI code-scanning UIs ingest.  The document carries the full rule
+catalog under ``tool.driver.rules`` and one ``result`` per finding;
+findings silenced by an in-source directive are included with a
+``suppressions`` entry of kind ``inSource`` so consumers can count the
+paper trail without treating it as active.
+
+Columns: the engine stores 0-based AST columns; SARIF regions are
+1-based, so ``startColumn`` is ``col + 1``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.lint.base import Finding, Rule
+from repro.lint.engine import SYNTAX_ERROR_CODE, LintReport
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif", "sarif_document"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Name/semver reported for the tool driver.
+_TOOL_NAME = "repro-lint"
+_TOOL_VERSION = "2.0.0"
+_TOOL_URI = "https://example.invalid/repro/docs/static-analysis.md"
+
+
+def _rule_entries(rules: Sequence[Rule | type[Rule]]) -> list[dict[str, Any]]:
+    entries = []
+    seen = set()
+    for rule in rules:
+        code = rule.code
+        if code in seen:
+            continue
+        seen.add(code)
+        entries.append(
+            {
+                "id": code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.rationale or rule.name},
+            }
+        )
+    entries.append(
+        {
+            "id": SYNTAX_ERROR_CODE,
+            "name": "syntax-error",
+            "shortDescription": {"text": "file does not parse"},
+        }
+    )
+    entries.sort(key=lambda entry: entry["id"])
+    return entries
+
+
+def _result(
+    finding: Finding, rule_index: dict[str, int], suppressed: bool
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.code in rule_index:
+        result["ruleIndex"] = rule_index[finding.code]
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def sarif_document(
+    report: LintReport, rules: Sequence[Rule | type[Rule]]
+) -> dict[str, Any]:
+    """The SARIF 2.1.0 document for one lint run, as plain data."""
+    rule_entries = _rule_entries(rules)
+    rule_index = {entry["id"]: index for index, entry in enumerate(rule_entries)}
+    results = [
+        _result(finding, rule_index, suppressed=False)
+        for finding in report.findings
+    ]
+    results.extend(
+        _result(finding, rule_index, suppressed=True)
+        for finding in report.suppressed
+    )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "version": _TOOL_VERSION,
+                        "informationUri": _TOOL_URI,
+                        "rules": rule_entries,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport, rules: Sequence[Rule | type[Rule]]) -> str:
+    """The SARIF document serialized deterministically (sorted keys)."""
+    return json.dumps(sarif_document(report, rules), indent=2, sort_keys=True) + "\n"

@@ -33,6 +33,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.core.errors import TelemetryUsageError
+
 __all__ = [
     "DecisionLog",
     "NOOP_DECISIONS",
@@ -58,7 +60,9 @@ class DecisionLog:
     def __init__(self, *, enabled: bool = True, max_records: int = 200_000) -> None:
         """Create a log retaining at most ``max_records`` records."""
         if max_records < 1:
-            raise ValueError(f"max_records must be >= 1, got {max_records!r}")
+            raise TelemetryUsageError(
+                f"max_records must be >= 1, got {max_records!r}"
+            )
         self.enabled = enabled
         self.records: list[dict] = []
         self.max_records = max_records

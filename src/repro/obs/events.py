@@ -17,6 +17,7 @@ telemetry façade stamps them with wall-clock time before delivery.
 from __future__ import annotations
 
 import json
+from repro.core.errors import TelemetryUsageError
 from collections import deque
 from types import TracebackType
 from typing import IO, Iterable, Iterator
@@ -30,7 +31,9 @@ class RingBuffer:
     def __init__(self, capacity: int = 2048) -> None:
         """Create a buffer holding at most ``capacity`` events."""
         if capacity < 1:
-            raise ValueError(f"ring buffer capacity must be >= 1, got {capacity!r}")
+            raise TelemetryUsageError(
+                f"ring buffer capacity must be >= 1, got {capacity!r}"
+            )
         self._events: deque[dict] = deque(maxlen=capacity)
 
     @property
@@ -65,7 +68,7 @@ class JsonlSink:
     The file is opened lazily on the first emit, so configuring a sink
     costs nothing until telemetry actually produces data.  Use as a
     context manager or call :meth:`close` explicitly; emitting after
-    close raises ``ValueError``.
+    close raises :class:`~repro.core.errors.TelemetryUsageError`.
     """
 
     def __init__(self, path: str) -> None:
@@ -77,7 +80,7 @@ class JsonlSink:
     def emit(self, event: dict) -> None:
         """Append one event as a JSON line (compact separators)."""
         if self._closed:
-            raise ValueError(f"sink for {self.path!r} is closed")
+            raise TelemetryUsageError(f"sink for {self.path!r} is closed")
         if self._stream is None:
             self._stream = open(self.path, "w", encoding="utf-8")
         self._stream.write(json.dumps(event, separators=(",", ":"), sort_keys=True))

@@ -21,6 +21,7 @@ scheduling run, one registry (see ``docs/observability.md``).
 from __future__ import annotations
 
 import math
+from repro.core.errors import TelemetryUsageError
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping, TypeVar
 
@@ -70,7 +71,9 @@ class Counter:
     def increment(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the total."""
         if amount < 0:
-            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount!r})")
+            raise TelemetryUsageError(
+                f"counter {self.name!r} cannot decrease (got {amount!r})"
+            )
         self.value += amount
 
     def to_dict(self) -> dict:
@@ -130,7 +133,9 @@ class Histogram:
         if not self.counts:
             self.counts = [0] * len(self.bounds)
         if list(self.bounds) != sorted(self.bounds):
-            raise ValueError(f"histogram bounds must be ascending, got {self.bounds!r}")
+            raise TelemetryUsageError(
+                f"histogram bounds must be ascending, got {self.bounds!r}"
+            )
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -169,7 +174,7 @@ class Histogram:
         last bound); 0.0 when the histogram is empty.
         """
         if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+            raise TelemetryUsageError(f"quantile must be in [0, 1], got {q!r}")
         if not self.count:
             return 0.0
         threshold = q * self.count

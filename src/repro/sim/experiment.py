@@ -41,6 +41,7 @@ from repro.core.job import Batch
 from repro.core.optimize import (
     DEFAULT_RESOLUTION,
     Combination,
+    DPMemo,
     minimize_cost,
     minimize_time,
     time_quota,
@@ -250,30 +251,46 @@ class IterationOutcome:
     dropped_infeasible: bool = False
 
 
-def _optimize_search(config: ExperimentConfig, search: SearchResult) -> AlgorithmSample | None:
+def _optimize_search(
+    config: ExperimentConfig,
+    search: SearchResult,
+    memo: "DPMemo | None" = None,
+) -> AlgorithmSample | None:
     """Phase 2 for one algorithm's search; ``None`` when infeasible."""
     covered = search.alternatives
     quota = time_quota(covered)
     try:
         if config.objective is Criterion.TIME:
-            budget = vo_budget(covered, quota, resolution=config.resolution)
-            combination = minimize_time(covered, budget, resolution=config.resolution)
+            budget = vo_budget(
+                covered, quota, resolution=config.resolution, memo=memo
+            )
+            combination = minimize_time(
+                covered, budget, resolution=config.resolution, memo=memo
+            )
         else:
             budget = None
-            combination = minimize_cost(covered, quota, resolution=config.resolution)
+            combination = minimize_cost(
+                covered, quota, resolution=config.resolution, memo=memo
+            )
     except InfeasibleConstraintError:
         return None
     return AlgorithmSample.from_combination(combination, search, quota, budget)
 
 
 def run_iteration(
-    config: ExperimentConfig, index: int, slots: SlotList, batch: Batch
+    config: ExperimentConfig,
+    index: int,
+    slots: SlotList,
+    batch: Batch,
+    memo: "DPMemo | None" = None,
 ) -> IterationOutcome:
     """One attempted iteration: both pipelines on identical inputs.
 
     Pure function of its inputs — the shared building block of
     :class:`ExperimentRunner` (streamed RNG) and :class:`ParallelRunner`
-    (per-iteration derived seeds).
+    (per-iteration derived seeds).  ``memo`` is the caller-owned DP memo
+    (each runner/worker span holds one); memo hits are byte-identical to
+    recomputation, so the memo never affects results — only speed.
     """
     outcomes = {}
     uncovered = False
@@ -296,7 +313,7 @@ def run_iteration(
         )
     pipelines = {}
     for algorithm, search in outcomes.items():
-        finished = _optimize_search(config, search)
+        finished = _optimize_search(config, search, memo)
         if finished is None:
             return IterationOutcome(
                 slot_count=len(slots), job_count=len(batch), dropped_infeasible=True
@@ -412,6 +429,9 @@ class ExperimentRunner:
         slot_generator = SlotGenerator(config.slot_config, seed=config.seed)
         job_generator = JobGenerator(config.job_config, rng=slot_generator.rng)
         accumulator = _SeriesAccumulator()
+        # Run-local DP memo: cross-iteration reuse within this series
+        # only, never ambient process state (hits are byte-identical).
+        memo = DPMemo()
         try:
             for attempt in range(config.iterations):
                 # Draws happen unconditionally: the streamed RNG must
@@ -424,7 +444,7 @@ class ExperimentRunner:
                     outcome = cached
                 else:
                     slots = _degrade_slots(config, slots, salt=attempt)
-                    outcome = run_iteration(config, attempt, slots, batch)
+                    outcome = run_iteration(config, attempt, slots, batch, memo)
                     if store is not None:
                         store.record(attempt, outcome)
                 accumulator.add(outcome)
@@ -480,11 +500,18 @@ def _degrade_slots(config: ExperimentConfig, slots: SlotList, *, salt: int) -> S
 
 
 def _run_span(config: ExperimentConfig, start: int, stop: int) -> ExperimentResult:
-    """Run iterations ``[start, stop)`` of the seeded series (one shard)."""
+    """Run iterations ``[start, stop)`` of the seeded series (one shard).
+
+    The DP memo is span-local: created here, dropped with the span.
+    Worker processes therefore never share cache state — cross-cycle
+    reuse happens within one shard only (memo hits are byte-identical
+    to recomputation, so this is purely a speed matter).
+    """
     accumulator = _SeriesAccumulator()
+    memo = DPMemo()
     for index in range(start, stop):
         slots, batch = generate_iteration(config, index)
-        accumulator.add(run_iteration(config, index, slots, batch))
+        accumulator.add(run_iteration(config, index, slots, batch, memo))
     return accumulator.result(config, stop - start)
 
 
@@ -523,12 +550,13 @@ def _run_span_traced(
     telemetry = configure(context=TraceContext.derive(config.seed, worker=worker))
     try:
         accumulator = _SeriesAccumulator()
+        memo = DPMemo()
         decisions = telemetry.decisions
         for index in range(start, stop):
             slots, batch = generate_iteration(config, index)
             with decisions.scope(iteration=index):
                 with telemetry.span("experiment.iteration", index=index):
-                    accumulator.add(run_iteration(config, index, slots, batch))
+                    accumulator.add(run_iteration(config, index, slots, batch, memo))
         write_trace(str(trace_shard_path(trace_base, worker)), telemetry)
         return accumulator.result(config, stop - start)
     finally:
@@ -543,9 +571,10 @@ def _run_indices(config: ExperimentConfig, indices: list[int]) -> list[Iteration
     index lists rather than contiguous spans.
     """
     outcomes = []
+    memo = DPMemo()
     for index in indices:
         slots, batch = generate_iteration(config, index)
-        outcomes.append(run_iteration(config, index, slots, batch))
+        outcomes.append(run_iteration(config, index, slots, batch, memo))
     return outcomes
 
 
@@ -594,6 +623,7 @@ class ParallelRunner:
         workers: int = 1,
         supervisor: "WorkerSupervisor | None" = None,
         span_task: "Callable[[ExperimentConfig, int, int], ExperimentResult] | None" = None,
+        dp_memo: "DPMemo | None" = None,
     ) -> None:
         """Configure the sharded runner.
 
@@ -609,6 +639,12 @@ class ParallelRunner:
                 worker (:class:`repro.chaos.proc.CrashOnceSpanTask`).
                 Must be picklable and return the same result
                 :func:`_run_span` would.
+            dp_memo: Explicit opt-in DP memo for the *in-process*
+                (``workers=1``, untraced, uncheckpointed) path — lets a
+                caller observe or share cross-run DP cache traffic (the
+                complexity benchmark does).  Worker processes always
+                build their own span-local memo; results never depend on
+                the memo either way.
         """
         if workers < 1:
             raise InvalidRequestError(f"workers must be >= 1, got {workers!r}")
@@ -616,6 +652,7 @@ class ParallelRunner:
         self.workers = workers
         self._supervisor = supervisor
         self._span_task = span_task
+        self._dp_memo = dp_memo
 
     def _pool_supervisor(self) -> "WorkerSupervisor":
         """The configured supervisor, or the one-fresh-pool-retry default."""
@@ -728,9 +765,10 @@ class ParallelRunner:
                     progress(result.attempted, result.counted)
                 return result
             accumulator = _SeriesAccumulator()
+            memo = self._dp_memo if self._dp_memo is not None else DPMemo()
             for index in range(config.iterations):
                 slots, batch = generate_iteration(config, index)
-                accumulator.add(run_iteration(config, index, slots, batch))
+                accumulator.add(run_iteration(config, index, slots, batch, memo))
                 if progress is not None:
                     progress(index + 1, len(accumulator.samples))
             return accumulator.result(config, config.iterations)
@@ -782,9 +820,10 @@ class ParallelRunner:
             index for index in range(config.iterations) if index not in outcomes
         ]
         if self.workers == 1 or len(remaining) <= 1:
+            memo = DPMemo()
             for index in remaining:
                 slots, batch = generate_iteration(config, index)
-                outcome = run_iteration(config, index, slots, batch)
+                outcome = run_iteration(config, index, slots, batch, memo)
                 store.record(index, outcome)
                 outcomes[index] = outcome
                 if progress is not None:

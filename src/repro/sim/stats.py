@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.criteria import Criterion
+from repro.core.errors import InvalidRequestError
 from repro.sim.experiment import ExperimentConfig, ExperimentResult, IterationComparison
 
 __all__ = [
@@ -150,7 +151,7 @@ def merge_results(
             first shard's config.
     """
     if not shards:
-        raise ValueError("cannot merge an empty shard sequence")
+        raise InvalidRequestError("cannot merge an empty shard sequence")
     samples: list[IterationComparison] = []
     for shard in shards:
         samples.extend(shard.samples)

@@ -150,6 +150,56 @@ class TestMemoHitsAndInvalidation:
             DPMemo(max_entries=0)
 
 
+class TestSchedulerMemoIsolation:
+    """No ambient process-wide memo: schedulers never share cache state
+    implicitly (the retired ``DEFAULT_DP_MEMO`` module global)."""
+
+    def test_schedulers_do_not_share_memo_implicitly(self):
+        slots = make_random_slot_list(3)
+        batch = make_random_batch(3)
+        first = BatchScheduler(SchedulerConfig())
+        first.schedule(slots, batch)
+        first.schedule(slots, batch)
+        # Same instance twice: the second cycle hits the private memo.
+        assert first.dp_memo.stats()["hits"] > 0
+
+        # A fresh scheduler on the *same* instance starts cold — were a
+        # process-wide memo still ambient, these would be all hits.
+        second = BatchScheduler(SchedulerConfig())
+        assert second.dp_memo is not first.dp_memo
+        second.schedule(slots, batch)
+        assert second.dp_memo.stats()["hits"] == 0
+        assert second.dp_memo.stats()["misses"] > 0
+
+    def test_explicit_sharing_is_opt_in(self):
+        slots = make_random_slot_list(4)
+        batch = make_random_batch(4)
+        shared = DPMemo()
+        a = BatchScheduler(SchedulerConfig(dp_memo=shared))
+        b = BatchScheduler(SchedulerConfig(dp_memo=shared))
+        assert a.dp_memo is shared and b.dp_memo is shared
+        a.schedule(slots, batch)
+        outcome_shared = b.schedule(slots, batch)
+        assert shared.stats()["hits"] > 0
+        # The hit-served outcome is value-identical to a cold scheduler's.
+        outcome_cold = BatchScheduler(SchedulerConfig()).schedule(slots, batch)
+        assert combination_key(outcome_shared.combination) == combination_key(
+            outcome_cold.combination
+        )
+        assert outcome_shared.quota == outcome_cold.quota
+        assert outcome_shared.budget == outcome_cold.budget
+
+    def test_module_has_no_default_memo_global(self):
+        import importlib
+
+        # ``import repro.core.optimize as m`` would bind the re-exported
+        # *function* (repro.core shadows the submodule name); go through
+        # importlib to get the module object itself.
+        optimize_module = importlib.import_module("repro.core.optimize")
+        assert not hasattr(optimize_module, "DEFAULT_DP_MEMO")
+        assert "DEFAULT_DP_MEMO" not in optimize_module.__all__
+
+
 class TestSchedulerByteIdentity:
     @pytest.mark.parametrize("objective", [Criterion.TIME, Criterion.COST])
     def test_memo_on_equals_memo_off_across_seeded_run(self, objective):

@@ -453,7 +453,15 @@ class TestEngine:
 
     def test_rule_catalog_is_consistent(self):
         catalog = rules_by_code()
-        assert len(catalog) == len(ALL_RULES) == 6
+        # 6 per-module rules (RPR0xx) + 4 whole-program flow rules (RPR1xx).
+        assert len(ALL_RULES) == 6
+        assert len(catalog) == 10
+        assert {code for code in catalog if code.startswith("RPR1")} == {
+            "RPR101",
+            "RPR102",
+            "RPR103",
+            "RPR104",
+        }
         for code, rule in catalog.items():
             assert code == rule.code
             assert rule.rationale

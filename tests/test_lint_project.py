@@ -1,0 +1,226 @@
+"""Tests for the whole-program layer: symbol table and call graph.
+
+The analyzer's correctness rests on two properties exercised here:
+
+* **Resolution** follows the import graph faithfully — aliases,
+  re-exports through ``__init__`` chains, relative imports — and import
+  cycles terminate instead of looping.
+* **Conservatism** — anything dynamic (getattr dispatch, computed
+  attributes, externals) resolves to ``None`` / contributes no edge,
+  never a crash and never a fabricated edge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import CallGraph, Project
+from repro.lint.project import module_name_from_key
+
+
+class TestModuleNaming:
+    def test_plain_module(self):
+        assert module_name_from_key("repro/core/optimize.py") == "repro.core.optimize"
+
+    def test_package_init_drops_basename(self):
+        assert module_name_from_key("repro/core/__init__.py") == "repro.core"
+
+    def test_top_level_file(self):
+        assert module_name_from_key("conf.py") == "conf"
+
+
+class TestSymbolResolution:
+    def test_resolves_own_function_and_class_method(self):
+        project = Project.from_sources(
+            {
+                "pkg.mod": (
+                    "def fn():\n"
+                    "    return 1\n"
+                    "class Thing:\n"
+                    "    def method(self):\n"
+                    "        return 2\n"
+                )
+            }
+        )
+        fn = project.resolve_symbol("pkg.mod.fn")
+        assert fn is not None and fn.kind == "function"
+        method = project.resolve_symbol("pkg.mod.Thing.method")
+        assert method is not None and method.kind == "function"
+        assert method.local_name == "Thing.method"
+
+    def test_from_import_with_alias(self):
+        project = Project.from_sources(
+            {
+                "pkg.real": "def target():\n    return 1\n",
+                "pkg.user": "from pkg.real import target as renamed\n",
+            }
+        )
+        symbol = project.resolve_symbol("pkg.user.renamed")
+        assert symbol is not None
+        assert symbol.kind == "function"
+        assert symbol.module.name == "pkg.real"
+        assert symbol.local_name == "target"
+
+    def test_reexport_through_init_chain(self):
+        project = Project.from_sources(
+            {
+                "pkg.__init__": "from pkg.sub import helper\n",
+                "pkg.sub.__init__": "from pkg.sub.impl import helper\n",
+                "pkg.sub.impl": "def helper():\n    return 1\n",
+            }
+        )
+        symbol = project.resolve_symbol("pkg.helper")
+        assert symbol is not None
+        assert symbol.module.name == "pkg.sub.impl"
+        assert symbol.local_name == "helper"
+
+    def test_import_cycle_terminates(self):
+        project = Project.from_sources(
+            {
+                "pkg.a": "from pkg.b import thing\n",
+                "pkg.b": "from pkg.a import thing\n",
+            }
+        )
+        # Mutually re-importing modules must terminate (cycle guard),
+        # resolving to None rather than recursing forever.
+        assert project.resolve_symbol("pkg.a.thing") is None
+
+    def test_relative_import_resolves_within_package(self):
+        project = Project.from_sources(
+            {
+                "pkg.sub.impl": "def helper():\n    return 1\n",
+                "pkg.sub.user": "from .impl import helper\n",
+            }
+        )
+        symbol = project.resolve_symbol("pkg.sub.user.helper")
+        assert symbol is not None
+        assert symbol.module.name == "pkg.sub.impl"
+
+    def test_external_names_resolve_to_none(self):
+        project = Project.from_sources({"pkg.mod": "import os\n"})
+        assert project.resolve_symbol("pkg.mod.os.path.join") is None
+        assert project.resolve_symbol("nowhere.fn") is None
+
+    def test_fixture_syntax_error_raises(self):
+        with pytest.raises(SyntaxError):
+            Project.from_sources({"pkg.broken": "def broken(:\n"})
+
+
+class TestCallGraph:
+    def test_direct_and_aliased_call_edges(self):
+        project = Project.from_sources(
+            {
+                "pkg.lib": "def helper():\n    return 1\n",
+                "pkg.app": (
+                    "from pkg.lib import helper as h\n"
+                    "def entry():\n"
+                    "    return h()\n"
+                ),
+            }
+        )
+        graph = CallGraph.build(project)
+        assert "pkg.lib.helper" in graph.edges["pkg.app.entry"]
+
+    def test_self_method_edges(self):
+        project = Project.from_sources(
+            {
+                "pkg.mod": (
+                    "class Runner:\n"
+                    "    def run(self):\n"
+                    "        return self._step()\n"
+                    "    def _step(self):\n"
+                    "        return 1\n"
+                )
+            }
+        )
+        graph = CallGraph.build(project)
+        assert "pkg.mod.Runner._step" in graph.edges["pkg.mod.Runner.run"]
+
+    def test_inherited_method_resolves_to_base_class(self):
+        project = Project.from_sources(
+            {
+                "pkg.mod": (
+                    "class Base:\n"
+                    "    def shared(self):\n"
+                    "        return 1\n"
+                    "class Child(Base):\n"
+                    "    def run(self):\n"
+                    "        return self.shared()\n"
+                )
+            }
+        )
+        graph = CallGraph.build(project)
+        assert "pkg.mod.Base.shared" in graph.edges["pkg.mod.Child.run"]
+
+    def test_constructor_edge_reaches_init(self):
+        project = Project.from_sources(
+            {
+                "pkg.mod": (
+                    "class Thing:\n"
+                    "    def __init__(self):\n"
+                    "        self.x = 1\n"
+                    "def make():\n"
+                    "    return Thing()\n"
+                )
+            }
+        )
+        graph = CallGraph.build(project)
+        assert "pkg.mod.Thing.__init__" in graph.edges["pkg.mod.make"]
+
+    def test_callback_reference_counts_as_may_call(self):
+        # pool.map(worker, ...) passes the function without calling it;
+        # the bare reference must still produce a may-call edge.
+        project = Project.from_sources(
+            {
+                "pkg.mod": (
+                    "def worker(x):\n"
+                    "    return x\n"
+                    "def driver(pool):\n"
+                    "    return pool.map(worker, [1, 2])\n"
+                )
+            }
+        )
+        graph = CallGraph.build(project)
+        assert "pkg.mod.worker" in graph.edges["pkg.mod.driver"]
+
+    def test_dynamic_calls_contribute_no_edges(self):
+        project = Project.from_sources(
+            {
+                "pkg.lib": "def hidden():\n    return 1\n",
+                "pkg.mod": (
+                    "import pkg.lib\n"
+                    "def dynamic(name):\n"
+                    "    fn = getattr(pkg.lib, name)\n"
+                    "    return fn()\n"
+                ),
+            }
+        )
+        graph = CallGraph.build(project)
+        # getattr dispatch is unresolvable: conservative no-edge, and
+        # building the graph must not raise.
+        assert "pkg.lib.hidden" not in graph.edges["pkg.mod.dynamic"]
+
+    def test_reachable_reports_witness_roots(self):
+        project = Project.from_sources(
+            {
+                "pkg.mod": (
+                    "def entry():\n"
+                    "    return middle()\n"
+                    "def middle():\n"
+                    "    return leaf()\n"
+                    "def leaf():\n"
+                    "    return 1\n"
+                    "def orphan():\n"
+                    "    return 2\n"
+                )
+            }
+        )
+        graph = CallGraph.build(project)
+        witness = graph.reachable(["pkg.mod.entry"])
+        assert witness["pkg.mod.leaf"] == "pkg.mod.entry"
+        assert "pkg.mod.orphan" not in witness
+
+    def test_missing_roots_are_ignored(self):
+        project = Project.from_sources({"pkg.mod": "def fn():\n    return 1\n"})
+        graph = CallGraph.build(project)
+        assert graph.reachable(["elsewhere.entry"]) == {}

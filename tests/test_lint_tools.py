@@ -1,0 +1,296 @@
+"""Tests for the analyzer tooling: SARIF export, incremental cache,
+``--changed-only`` diff mode, and uniform suppression handling across
+the RPR0xx/RPR1xx rule families."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_RULES,
+    LintCache,
+    file_suppressions,
+    lint_source,
+    lint_sources,
+    render_sarif,
+    sarif_document,
+)
+from repro.lint.cli import main
+from repro.lint.engine import SYNTAX_ERROR_CODE
+
+# An assert in a core module (RPR003) plus an unclosed open (RPR104):
+# one finding from each rule family, at known lines.
+MIXED_SOURCE = (
+    "def check(value):\n"
+    "    assert value > 0\n"
+    "    handle = open('log.txt')\n"
+    "    return handle\n"
+)
+MIXED_PATH = "repro/core/mixed.py"
+
+
+def codes(report):
+    """Sorted finding codes of a report."""
+    return sorted(finding.code for finding in report.findings)
+
+
+# ---------------------------------------------------------------------- #
+# SARIF                                                                  #
+# ---------------------------------------------------------------------- #
+
+
+class TestSarifExport:
+    def report(self):
+        return lint_source(MIXED_SOURCE, MIXED_PATH, DEFAULT_RULES)
+
+    def test_document_shape(self):
+        document = sarif_document(self.report(), DEFAULT_RULES)
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [entry["id"] for entry in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        # Full catalog ships in the driver, plus the synthetic
+        # syntax-error rule for unparseable files.
+        for code in ("RPR003", "RPR101", "RPR104", SYNTAX_ERROR_CODE):
+            assert code in rule_ids
+
+    def test_results_reference_catalog_and_use_one_based_columns(self):
+        report = self.report()
+        document = sarif_document(report, DEFAULT_RULES)
+        (run,) = document["runs"]
+        assert len(run["results"]) == len(report.findings)
+        by_id = {result["ruleId"]: result for result in run["results"]}
+        assert set(by_id) == {"RPR003", "RPR104"}
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            (location,) = result["locations"]
+            region = location["physicalLocation"]["region"]
+            assert region["startColumn"] >= 1
+        open_finding = next(f for f in report.findings if f.code == "RPR104")
+        region = by_id["RPR104"]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == open_finding.line
+        assert region["startColumn"] == open_finding.col + 1
+
+    def test_suppressed_findings_carry_in_source_marker(self):
+        suppressed_source = MIXED_SOURCE.replace(
+            "assert value > 0",
+            "assert value > 0  # repro-lint: disable=RPR003",
+        )
+        report = lint_source(suppressed_source, MIXED_PATH, DEFAULT_RULES)
+        document = sarif_document(report, DEFAULT_RULES)
+        results = document["runs"][0]["results"]
+        marked = [r for r in results if "suppressions" in r]
+        assert [r["ruleId"] for r in marked] == ["RPR003"]
+        assert marked[0]["suppressions"] == [{"kind": "inSource"}]
+        active = [r for r in results if "suppressions" not in r]
+        assert [r["ruleId"] for r in active] == ["RPR104"]
+
+    def test_render_is_deterministic_json(self):
+        first = render_sarif(self.report(), DEFAULT_RULES)
+        second = render_sarif(self.report(), DEFAULT_RULES)
+        assert first == second
+        assert json.loads(first)["version"] == "2.1.0"
+
+    def test_cli_writes_sarif_file(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(MIXED_SOURCE, encoding="utf-8")
+        out = tmp_path / "findings.sarif"
+        assert main(["--format", "sarif", "--output", str(out), str(tmp_path)]) == 1
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert {r["ruleId"] for r in document["runs"][0]["results"]} == {
+            "RPR003",
+            "RPR104",
+        }
+        # Findings went to the file; stdout stays empty for piping.
+        assert capsys.readouterr().out == ""
+
+
+# ---------------------------------------------------------------------- #
+# Incremental cache                                                      #
+# ---------------------------------------------------------------------- #
+
+
+class TestLintCache:
+    FILES = [
+        (MIXED_PATH, MIXED_SOURCE),
+        ("repro/core/clean.py", "x = 1\n"),
+    ]
+
+    def test_second_run_hits_and_matches_cold_results(self, tmp_path):
+        cache_path = tmp_path / "lint-cache.json"
+        cold = lint_sources(self.FILES, DEFAULT_RULES)
+
+        cache = LintCache(cache_path)
+        first = lint_sources(self.FILES, DEFAULT_RULES, cache=cache)
+        assert cache.hits == 0
+        cache.save()
+
+        warm_cache = LintCache(cache_path)
+        warm = lint_sources(self.FILES, DEFAULT_RULES, cache=warm_cache)
+        assert warm_cache.hits > 0
+        assert warm_cache.misses == 0
+        for report in (first, warm):
+            report.sort()
+        cold.sort()
+        assert warm.findings == cold.findings == first.findings
+        assert warm.suppressed == cold.suppressed
+
+    def test_content_change_invalidates_only_that_file(self, tmp_path):
+        cache_path = tmp_path / "lint-cache.json"
+        cache = LintCache(cache_path)
+        lint_sources(self.FILES, DEFAULT_RULES, cache=cache)
+        cache.save()
+
+        edited = [
+            (MIXED_PATH, MIXED_SOURCE + "\n# touched\n"),
+            ("repro/core/clean.py", "x = 1\n"),
+        ]
+        warm = LintCache(cache_path)
+        report = lint_sources(edited, DEFAULT_RULES, cache=warm)
+        assert warm.hits >= 1  # the untouched file
+        assert warm.misses >= 1  # the edited file (and the project entry)
+        assert codes(report) == ["RPR003", "RPR104"]
+
+    def test_rule_selection_change_invalidates(self, tmp_path):
+        from repro.lint import ResourceLifecycleRule
+
+        cache_path = tmp_path / "lint-cache.json"
+        cache = LintCache(cache_path)
+        lint_sources(self.FILES, DEFAULT_RULES, cache=cache)
+        cache.save()
+
+        narrow = LintCache(cache_path)
+        report = lint_sources(self.FILES, [ResourceLifecycleRule()], cache=narrow)
+        assert narrow.hits == 0
+        assert codes(report) == ["RPR104"]
+
+    def test_corrupt_cache_is_discarded(self, tmp_path):
+        cache_path = tmp_path / "lint-cache.json"
+        cache_path.write_text("{not json", encoding="utf-8")
+        cache = LintCache(cache_path)
+        report = lint_sources(self.FILES, DEFAULT_RULES, cache=cache)
+        assert cache.hits == 0
+        assert codes(report) == ["RPR003", "RPR104"]
+        cache.save()
+        assert json.loads(cache_path.read_text(encoding="utf-8"))
+
+
+# ---------------------------------------------------------------------- #
+# --changed-only                                                         #
+# ---------------------------------------------------------------------- #
+
+
+def _git(tmp_path, *arguments):
+    proc = subprocess.run(
+        ["git", *arguments],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.fixture
+def git_tree(tmp_path, monkeypatch):
+    """A tmp git checkout with one committed bad file, cwd switched in."""
+    _git(tmp_path, "init", "--quiet")
+    _git(tmp_path, "config", "user.email", "lint@test")
+    _git(tmp_path, "config", "user.name", "lint")
+    committed = tmp_path / "repro" / "core" / "committed.py"
+    committed.parent.mkdir(parents=True)
+    committed.write_text(MIXED_SOURCE, encoding="utf-8")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "--quiet", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestChangedOnly:
+    def test_untracked_file_is_reported_committed_is_filtered(
+        self, git_tree, capsys
+    ):
+        fresh = git_tree / "repro" / "core" / "fresh.py"
+        fresh.write_text("def f():\n    assert True\n", encoding="utf-8")
+        assert main(["--changed-only", str(git_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        # The committed file's findings exist but are filtered from the
+        # report — pre-commit only cares about what the diff touches.
+        assert "committed.py" not in out
+
+    def test_clean_diff_exits_zero_despite_old_findings(self, git_tree, capsys):
+        assert main(["--changed-only", str(git_tree)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_outside_git_exits_two(self, tmp_path, monkeypatch, capsys):
+        outside = tmp_path / "plain"
+        outside.mkdir()
+        (outside / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        monkeypatch.chdir(outside)
+        monkeypatch.setenv("GIT_DIR", str(outside / "nowhere"))
+        assert main(["--changed-only", str(outside)]) == 2
+        assert "--changed-only" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------- #
+# Suppression handling across rule families                              #
+# ---------------------------------------------------------------------- #
+
+
+class TestSuppressionUniformity:
+    def test_file_wide_directive_accepts_both_families(self):
+        source = (
+            "# repro-lint: disable=RPR003,RPR104\n" + MIXED_SOURCE
+        )
+        assert file_suppressions(source) == {"RPR003", "RPR104"}
+        report = lint_source(source, MIXED_PATH, DEFAULT_RULES)
+        assert report.findings == []
+        assert sorted(f.code for f in report.suppressed) == ["RPR003", "RPR104"]
+        assert report.exit_code == 0
+
+    def test_trailing_directive_stays_line_scoped(self):
+        source = MIXED_SOURCE.replace(
+            "assert value > 0",
+            "assert value > 0  # repro-lint: disable=all",
+        )
+        # The directive trails code: it silences its own line only, so
+        # the RPR104 finding two lines down stays active.
+        assert file_suppressions(source) == set()
+        report = lint_source(source, MIXED_PATH, DEFAULT_RULES)
+        assert codes(report) == ["RPR104"]
+        assert [f.code for f in report.suppressed] == ["RPR003"]
+
+    def test_flow_finding_suppressed_inline(self):
+        source = MIXED_SOURCE.replace(
+            "handle = open('log.txt')",
+            "handle = open('log.txt')  # repro-lint: disable=RPR104",
+        )
+        report = lint_source(source, MIXED_PATH, DEFAULT_RULES)
+        assert codes(report) == ["RPR003"]
+        assert [f.code for f in report.suppressed] == ["RPR104"]
+
+    def test_select_accepts_flow_codes(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(MIXED_SOURCE, encoding="utf-8")
+        assert main(["--select", "RPR104", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR104" in out and "RPR003" not in out
+        # Case-insensitive, same as the RPR0xx family.
+        assert main(["--select", "rpr104", str(tmp_path)]) == 1
+
+    def test_select_flow_project_rule(self, tmp_path, capsys):
+        ok = tmp_path / "repro" / "core" / "ok.py"
+        ok.parent.mkdir(parents=True)
+        ok.write_text("x = 1\n", encoding="utf-8")
+        assert main(["--select", "RPR101,RPR102", str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
